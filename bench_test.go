@@ -1,0 +1,492 @@
+// Package repro's benchmark harness regenerates every experiment of
+// DESIGN.md §4 under `go test -bench`. Wall-clock time measures the
+// simulator, not a real multiprocessor; the paper-relevant outputs are the
+// custom metrics each benchmark reports (RMRs per process, amortized RMRs,
+// messages, adversary certificates), whose *shapes* must match the paper's
+// claims. EXPERIMENTS.md records a measured run against those claims.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gme"
+	"repro/internal/lowerbound"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/mutex"
+	"repro/internal/sched"
+	"repro/internal/semisync"
+	"repro/internal/signal"
+)
+
+// runSignaling drives one signaling history and returns the result.
+func runSignaling(b *testing.B, cfg core.Config) *core.Result {
+	b.Helper()
+	res, err := core.Run(cfg)
+	if err != nil && !errors.Is(err, core.ErrBudget) {
+		b.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		b.Fatalf("spec violations: %v", res.Violations)
+	}
+	return res
+}
+
+// BenchmarkE1CCFlag — Section 5 upper bound: worst-case CC RMRs per process
+// stay O(1) as N grows (flat rmr_worst_per_proc across sub-benchmarks).
+func BenchmarkE1CCFlag(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var rep *model.Report
+			for i := 0; i < b.N; i++ {
+				res := runSignaling(b, core.Config{
+					Algorithm:   signal.Flag(),
+					N:           n,
+					MaxPolls:    64,
+					SignalAfter: 4 * n,
+					MaxSteps:    2_000_000,
+				})
+				rep = res.Score(model.ModelCC)
+			}
+			b.ReportMetric(float64(rep.Max()), "rmr_worst_per_proc")
+			b.ReportMetric(rep.Amortized(), "rmr_amortized")
+		})
+	}
+}
+
+// BenchmarkE2NaiveDSM — the identical flag algorithm under the DSM rule:
+// worst-case RMRs grow linearly with the poll budget (the naive solution
+// has unbounded RMR complexity on DSM).
+func BenchmarkE2NaiveDSM(b *testing.B) {
+	for _, polls := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("polls=%d", polls), func(b *testing.B) {
+			var cc, dsm *model.Report
+			for i := 0; i < b.N; i++ {
+				res := runSignaling(b, core.Config{
+					Algorithm:  signal.Flag(),
+					N:          8,
+					MaxPolls:   polls,
+					NoSignaler: true,
+					MaxSteps:   2_000_000,
+				})
+				cc = res.Score(model.ModelCC)
+				dsm = res.Score(model.ModelDSM)
+			}
+			b.ReportMetric(float64(cc.Max()), "rmr_worst_cc")
+			b.ReportMetric(float64(dsm.Max()), "rmr_worst_dsm")
+		})
+	}
+}
+
+// BenchmarkE3Adversary — Theorem 6.2: the adversary's certificate exceeds
+// c·k for read/write algorithms; ratio = total/(c·k) > 1.
+func BenchmarkE3Adversary(b *testing.B) {
+	for _, alg := range []signal.Algorithm{signal.Flag(), signal.FixedWaiters()} {
+		for _, c := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/c=%d", alg.Name, c), func(b *testing.B) {
+				var cert *lowerbound.Certificate
+				for i := 0; i < b.N; i++ {
+					var err error
+					cert, err = lowerbound.Run(lowerbound.Config{
+						Algorithm: alg,
+						N:         16 * (c + 1),
+						C:         c,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if cert.Verdict != lowerbound.VerdictExceeded {
+						b.Fatalf("verdict = %v", cert.Verdict)
+					}
+				}
+				b.ReportMetric(float64(cert.TotalRMRs), "total_rmrs")
+				b.ReportMetric(float64(cert.K), "participants_k")
+				b.ReportMetric(float64(cert.TotalRMRs)/float64(c*cert.K), "excess_ratio")
+			})
+		}
+	}
+}
+
+// BenchmarkE4AdversaryCAS — Corollary 6.14: the read/write transformation
+// of the CAS registration algorithm is defeated (excess_ratio > 1) while
+// the F&I queue evades (excess_ratio <= 1).
+func BenchmarkE4AdversaryCAS(b *testing.B) {
+	for _, alg := range []signal.Algorithm{signal.CASRegisterRW(), signal.QueueSignal()} {
+		b.Run(alg.Name, func(b *testing.B) {
+			var cert *lowerbound.Certificate
+			for i := 0; i < b.N; i++ {
+				var err error
+				cert, err = lowerbound.Run(lowerbound.Config{Algorithm: alg, N: 16, C: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cert.TotalRMRs), "total_rmrs")
+			b.ReportMetric(float64(cert.TotalRMRs)/float64(3*cert.K), "excess_ratio")
+		})
+	}
+}
+
+// BenchmarkE5SingleWaiter — Section 7 single-waiter: worst-case RMRs flat
+// in both models regardless of poll count.
+func BenchmarkE5SingleWaiter(b *testing.B) {
+	for _, polls := range []int{4, 64, 256} {
+		b.Run(fmt.Sprintf("polls=%d", polls), func(b *testing.B) {
+			var cc, dsm *model.Report
+			for i := 0; i < b.N; i++ {
+				res := runSignaling(b, core.Config{
+					Algorithm:   signal.SingleWaiter(),
+					N:           4,
+					Waiters:     []memsim.PID{0},
+					Signaler:    3,
+					MaxPolls:    polls,
+					SignalAfter: 2 * polls,
+					MaxSteps:    1_000_000,
+				})
+				cc = res.Score(model.ModelCC)
+				dsm = res.Score(model.ModelDSM)
+			}
+			b.ReportMetric(float64(cc.Max()), "rmr_worst_cc")
+			b.ReportMetric(float64(dsm.Max()), "rmr_worst_dsm")
+		})
+	}
+}
+
+// BenchmarkE6FixedWaiters — Section 7 fixed waiters: the broadcast
+// signaler's amortized DSM cost grows with W under sparse participation;
+// the terminating variant stays O(1).
+func BenchmarkE6FixedWaiters(b *testing.B) {
+	for _, w := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("broadcast/W=%d", w), func(b *testing.B) {
+			var rep *model.Report
+			for i := 0; i < b.N; i++ {
+				res := runSignaling(b, core.Config{
+					Algorithm: signal.FixedWaiters(),
+					N:         w + 1,
+					Waiters:   []memsim.PID{0, 1},
+					Signaler:  memsim.PID(w),
+					MaxPolls:  4,
+					MaxSteps:  4_000_000,
+				})
+				rep = res.Score(model.ModelDSM)
+			}
+			b.ReportMetric(rep.Amortized(), "rmr_amortized_dsm")
+		})
+		b.Run(fmt.Sprintf("terminating/W=%d", w), func(b *testing.B) {
+			var rep *model.Report
+			for i := 0; i < b.N; i++ {
+				res := runSignaling(b, core.Config{
+					Algorithm: signal.FixedWaitersTerminating(),
+					N:         w + 1,
+					MaxSteps:  8_000_000,
+				})
+				rep = res.Score(model.ModelDSM)
+			}
+			b.ReportMetric(rep.Amortized(), "rmr_amortized_dsm")
+		})
+	}
+}
+
+// BenchmarkE7QueueSignal — Section 7 queue algorithm: waiter worst-case and
+// amortized DSM RMRs flat as the number of participating waiters grows.
+func BenchmarkE7QueueSignal(b *testing.B) {
+	for _, k := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var rep *model.Report
+			n := k + 1
+			for i := 0; i < b.N; i++ {
+				res := runSignaling(b, core.Config{
+					Algorithm:   signal.QueueSignal(),
+					N:           n,
+					MaxPolls:    6,
+					SignalAfter: 6 * k,
+					MaxSteps:    4_000_000,
+				})
+				rep = res.Score(model.ModelDSM)
+			}
+			maxWaiter := 0
+			for pid := 0; pid < n-1; pid++ {
+				if rep.PerProc[pid] > maxWaiter {
+					maxWaiter = rep.PerProc[pid]
+				}
+			}
+			b.ReportMetric(float64(maxWaiter), "rmr_worst_waiter")
+			b.ReportMetric(float64(rep.PerProc[n-1]), "rmr_signaler")
+			b.ReportMetric(rep.Amortized(), "rmr_amortized")
+		})
+	}
+}
+
+// BenchmarkE8Messages — Section 8 exchange rate: the same CC execution
+// priced as bus, ideal-directory and limited-directory messages.
+func BenchmarkE8Messages(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var bus, ideal, limited *model.Report
+			waiters := make([]memsim.PID, 0, n/2)
+			for i := 0; i < n/2; i++ {
+				waiters = append(waiters, memsim.PID(i))
+			}
+			for i := 0; i < b.N; i++ {
+				res := runSignaling(b, core.Config{
+					Algorithm:   signal.Flag(),
+					N:           n,
+					Waiters:     waiters,
+					Signaler:    memsim.PID(n - 1),
+					MaxPolls:    32,
+					SignalAfter: 6 * n,
+					MaxSteps:    4_000_000,
+				})
+				bus = res.Score(model.ModelCC)
+				ideal = res.Score(model.ModelCCDirIdeal)
+				limited = res.Score(model.CCDirLimited(4))
+			}
+			b.ReportMetric(float64(bus.Total), "rmrs")
+			b.ReportMetric(float64(bus.Invalidations), "invalidations")
+			b.ReportMetric(float64(bus.Messages), "msgs_bus")
+			b.ReportMetric(float64(ideal.Messages), "msgs_dir_ideal")
+			b.ReportMetric(float64(limited.Messages), "msgs_dir_limit4")
+		})
+	}
+}
+
+// BenchmarkE9Mutex — Section 3 landscape: RMRs per passage for every lock
+// under both models.
+func BenchmarkE9Mutex(b *testing.B) {
+	for _, alg := range mutex.All() {
+		for _, n := range []int{2, 8, 16} {
+			b.Run(fmt.Sprintf("%s/N=%d", alg.Name, n), func(b *testing.B) {
+				var res *mutex.RunResult
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = mutex.Run(mutex.RunConfig{
+						Lock:      alg,
+						N:         n,
+						Passages:  8,
+						Scheduler: sched.NewRandom(1),
+						MaxSteps:  4_000_000,
+					})
+					if err != nil && !errors.Is(err, mutex.ErrBudget) {
+						b.Fatal(err)
+					}
+					if !res.MutualExclusion {
+						b.Fatal("mutual exclusion violated")
+					}
+				}
+				b.ReportMetric(res.PerPassage(model.ModelCC), "rmr_per_passage_cc")
+				b.ReportMetric(res.PerPassage(model.ModelDSM), "rmr_per_passage_dsm")
+			})
+		}
+	}
+}
+
+// jammerInstance is a micro-workload for the cache-rule ablation: process 0
+// repeatedly issues a CAS that always fails on the flag the other processes
+// spin-read. Under the paper's Section 2 rule a failed CAS is trivial (no
+// overwrite) and leaves readers' cached copies valid; under the strict rule
+// every CAS invalidates them.
+type jammerInstance struct {
+	b memsim.Addr
+}
+
+func (in jammerInstance) Program(pid memsim.PID, kind memsim.CallKind) (memsim.Program, error) {
+	switch kind {
+	case memsim.CallPoll:
+		if pid == 0 {
+			return func(p *memsim.Proc) memsim.Value {
+				p.CAS(in.b, 99, 100) // always fails: flag is never 99
+				return 0
+			}, nil
+		}
+		return func(p *memsim.Proc) memsim.Value {
+			return p.Read(in.b)
+		}, nil
+	case memsim.CallSignal:
+		return func(p *memsim.Proc) memsim.Value {
+			p.Write(in.b, 1)
+			return 0
+		}, nil
+	default:
+		return nil, memsim.ErrNoProgram
+	}
+}
+
+// BenchmarkAblationCacheRule — DESIGN.md §5: the Section 2 CC rule
+// (invalidate only on nontrivial operations) vs a strict rule that also
+// invalidates on failed CAS. Spinning readers next to a failing CAS jammer
+// show the gap.
+func BenchmarkAblationCacheRule(b *testing.B) {
+	factory := func(m *memsim.Machine, n int) (memsim.Instance, error) {
+		return jammerInstance{b: m.Alloc(memsim.NoOwner, "B", 1, 0)}, nil
+	}
+	run := func(b *testing.B, cm model.CostModel) float64 {
+		var rep *model.Report
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(core.Config{
+				Algorithm: signal.Algorithm{
+					Name:    "jammer",
+					Variant: signal.Variant{Waiters: -1, Polling: true},
+					New:     factory,
+				},
+				N:           8,
+				MaxPolls:    32,
+				SignalAfter: 200,
+				MaxSteps:    4_000_000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep = res.Score(cm)
+		}
+		return float64(rep.Total)
+	}
+	b.Run("paper-rule", func(b *testing.B) {
+		b.ReportMetric(run(b, model.ModelCC), "rmrs")
+	})
+	b.Run("strict-invalidate", func(b *testing.B) {
+		b.ReportMetric(run(b, model.CC{Msg: model.MsgBus, StrictInvalidate: true}), "rmrs")
+	})
+}
+
+// BenchmarkAblationRollForward — DESIGN.md §5: the ⌊√X⌋ roll-forward
+// threshold vs extreme alternatives, measured by surviving stable waiters
+// (more survivors = stronger Part 2 certificate).
+func BenchmarkAblationRollForward(b *testing.B) {
+	for _, th := range []int{0, 2, 1 << 20} { // 0 = paper's sqrt rule
+		name := "sqrt"
+		switch th {
+		case 2:
+			name = "always-roll"
+		case 1 << 20:
+			name = "never-roll"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cert *lowerbound.Certificate
+			for i := 0; i < b.N; i++ {
+				var err error
+				cert, err = lowerbound.Run(lowerbound.Config{
+					Algorithm:     signal.SingleWaiter(),
+					N:             64,
+					C:             2,
+					RollThreshold: th,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cert.StableWaiters), "stable_waiters")
+			b.ReportMetric(float64(cert.TotalRMRs), "total_rmrs")
+		})
+	}
+}
+
+// BenchmarkAblationRegistry — DESIGN.md §5: F&I registry vs CAS slot-scan
+// registration inside the signaling algorithm (amortized DSM RMRs).
+func BenchmarkAblationRegistry(b *testing.B) {
+	for _, alg := range []signal.Algorithm{signal.QueueSignal(), signal.CASRegister()} {
+		b.Run(alg.Name, func(b *testing.B) {
+			var rep *model.Report
+			for i := 0; i < b.N; i++ {
+				res := runSignaling(b, core.Config{
+					Algorithm:   alg,
+					N:           33,
+					MaxPolls:    6,
+					SignalAfter: 128,
+					MaxSteps:    4_000_000,
+				})
+				rep = res.Score(model.ModelDSM)
+			}
+			b.ReportMetric(rep.Amortized(), "rmr_amortized_dsm")
+			b.ReportMetric(float64(rep.Max()), "rmr_worst")
+		})
+	}
+}
+
+// BenchmarkE10GME — the two-session group-mutual-exclusion substrate (the
+// Hadzilacos–Danek Section 3 setting): RMRs per entry under both models.
+func BenchmarkE10GME(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var res *gme.RunResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = gme.Run(gme.RunConfig{
+					N:         n,
+					Sessions:  2,
+					Entries:   6,
+					Scheduler: sched.NewRandom(2),
+					MaxSteps:  4_000_000,
+				})
+				if err != nil && !errors.Is(err, gme.ErrBudget) {
+					b.Fatal(err)
+				}
+				if !res.SessionSafe {
+					b.Fatal("session safety violated")
+				}
+			}
+			b.ReportMetric(res.PerEntry(model.ModelCC), "rmr_per_entry_cc")
+			b.ReportMetric(res.PerEntry(model.ModelDSM), "rmr_per_entry_dsm")
+		})
+	}
+}
+
+// BenchmarkE11SemiSync — Section 3's semi-synchronous model: Fischer's
+// timed lock stays a correct mutex under Δ-respecting schedules with CC
+// cost roughly flat in Δ (delays are local).
+func BenchmarkE11SemiSync(b *testing.B) {
+	for _, d := range []int{2, 8} {
+		b.Run(fmt.Sprintf("delta=%d", d), func(b *testing.B) {
+			var res *semisync.RunResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = semisync.Run(semisync.RunConfig{
+					N:        6,
+					Delta:    d,
+					Passages: 6,
+					Timed:    true,
+					Seed:     3,
+					MaxSteps: 4_000_000,
+				})
+				if err != nil && !errors.Is(err, semisync.ErrBudget) {
+					b.Fatal(err)
+				}
+				if !res.MutualExclusion {
+					b.Fatal("mutual exclusion violated under timed schedule")
+				}
+			}
+			b.ReportMetric(float64(res.Score(model.ModelCC).Total)/float64(res.Passages), "rmr_per_passage_cc")
+			b.ReportMetric(float64(res.Score(model.ModelDSM).Total)/float64(res.Passages), "rmr_per_passage_dsm")
+		})
+	}
+}
+
+// BenchmarkAblationEviction — Section 8's ideal-cache caveat: the same
+// execution re-priced with periodic spurious evictions (preemption) shows
+// how far theoretical CC RMR counts can underestimate reality.
+func BenchmarkAblationEviction(b *testing.B) {
+	for _, evict := range []int{0, 16, 4} {
+		name := "ideal"
+		if evict > 0 {
+			name = fmt.Sprintf("evict-every-%d", evict)
+		}
+		b.Run(name, func(b *testing.B) {
+			var rep *model.Report
+			for i := 0; i < b.N; i++ {
+				res := runSignaling(b, core.Config{
+					Algorithm:   signal.Flag(),
+					N:           8,
+					MaxPolls:    64,
+					SignalAfter: 200,
+					MaxSteps:    2_000_000,
+				})
+				cm := model.CC{Msg: model.MsgBus, EvictEvery: evict}
+				rep = cm.Score(res.Events, res.OwnerFunc(), res.N())
+			}
+			b.ReportMetric(float64(rep.Total), "rmrs")
+			b.ReportMetric(float64(rep.Max()), "rmr_worst")
+		})
+	}
+}

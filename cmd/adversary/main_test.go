@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"flag", "queue", "cas-register"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("list output missing %q", name)
+		}
+	}
+}
+
+func TestRunAttack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-alg", "fixed-waiters", "-n", "16", "-c", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "verdict:        exceeded") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(out, "regular (6.6):  true") {
+		t.Fatalf("missing regularity audit:\n%s", out)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-alg", "nope"}, &buf); err == nil {
+		t.Fatal("want error for unknown algorithm")
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExplore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-alg", "flag", "-waiters", "2", "-polls", "2", "-depth", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "specification holds on all") {
+		t.Fatalf("unexpected output: %s", buf.String())
+	}
+}
+
+func TestRunExploreRejectsBlockingOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-alg", "leader-blocking"}, &buf); err == nil {
+		t.Fatal("want error for non-polling algorithm")
+	}
+}

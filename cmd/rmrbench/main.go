@@ -1,0 +1,68 @@
+// Command rmrbench regenerates the experiment tables of DESIGN.md §4 (the
+// runnable counterparts of the paper's claims) and prints them as aligned
+// text tables, suitable for pasting into EXPERIMENTS.md.
+//
+// Usage:
+//
+//	rmrbench              # run every experiment
+//	rmrbench -exp E3,E7   # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rmrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rmrbench", flag.ContinueOnError)
+	expFlag := fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*expFlag, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+	tables, err := core.Experiments()
+	if err != nil {
+		return err
+	}
+	printed := 0
+	for _, t := range tables {
+		if len(want) > 0 && !want[t.ID] {
+			continue
+		}
+		printTable(out, t)
+		printed++
+	}
+	if printed == 0 {
+		return fmt.Errorf("no experiment matched %q", *expFlag)
+	}
+	return nil
+}
+
+func printTable(out io.Writer, t *core.Table) {
+	fmt.Fprintf(out, "== %s: %s ==\n", t.ID, t.Title)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	fmt.Fprintln(out)
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSubset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "E5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== E5:") || !strings.Contains(out, "maxRMR(CC)") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "E99"}, &buf); err == nil {
+		t.Fatal("want error for unknown experiment ID")
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-alg", "flag", "-n", "6", "-polls", "16"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CC-WT/bus") || !strings.Contains(out, "DSM") {
+		t.Fatalf("missing model reports:\n%s", out)
+	}
+	if strings.Contains(out, "SPEC VIOLATIONS") {
+		t.Fatalf("demo reported violations:\n%s", out)
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-models"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "DSM model") || !strings.Contains(buf.String(), "CC model") {
+		t.Fatal("Figure 1 sketch missing")
+	}
+}

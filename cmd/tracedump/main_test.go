@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-alg", "flag", "-n", "3", "-polls", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "RMR") || !strings.Contains(out, "totals:") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-alg", "flag", "-n", "3", "-polls", "2", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded trace.JSONTrace
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.N != 3 || len(decoded.Events) == 0 {
+		t.Fatalf("decoded %+v", decoded)
+	}
+}

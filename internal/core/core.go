@@ -1,0 +1,223 @@
+// Package core is the top-level facade of the reproduction: it deploys a
+// signaling algorithm on the simulator, drives waiters and a signaler under
+// a scheduler, scores the resulting trace under the RMR cost models of both
+// architectures, and checks Specification 4.1 — everything needed to
+// regenerate the paper's claims (see DESIGN.md's experiment index).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/signal"
+)
+
+// ErrBudget is returned when a run exhausts its step budget before every
+// process terminates. Callers that intentionally truncate histories (all
+// finite prefixes are valid histories, Definition 6.1) may ignore it.
+var ErrBudget = errors.New("core: step budget exhausted")
+
+// Config describes one simulated history of the signaling problem.
+type Config struct {
+	// Algorithm is the solution under test.
+	Algorithm signal.Algorithm
+	// N is the number of processes (waiters 0..N-2, signaler N-1 unless
+	// Waiters/Signaler override).
+	N int
+	// Waiters lists the waiter processes; nil means 0..N-2.
+	Waiters []memsim.PID
+	// Signaler is the signaling process; 0 value with nil Waiters means
+	// N-1.
+	Signaler memsim.PID
+	// Signalers optionally lists several signaling processes (the final
+	// Section 7 variant); when set it overrides Signaler and each listed
+	// process makes one Signal call.
+	Signalers []memsim.PID
+	// NoSignaler suppresses the Signal call entirely (waiters poll into
+	// the void and terminate by budget).
+	NoSignaler bool
+	// Blocking selects Wait() instead of Poll() for waiters.
+	Blocking bool
+	// MaxPolls bounds how many Poll calls a waiter makes before
+	// terminating even without observing the signal (the spec permits
+	// this; the lower bound exploits it). 0 means poll until true.
+	MaxPolls int
+	// SignalAfter delays the start of the Signal call until this many
+	// shared-memory accesses have occurred globally.
+	SignalAfter int
+	// MaxSteps bounds the total number of shared-memory accesses.
+	MaxSteps int
+	// Scheduler orders the steps; nil means round-robin.
+	Scheduler sched.Scheduler
+}
+
+// normalize fills defaults and validates.
+func (c *Config) normalize() error {
+	if c.Algorithm.New == nil {
+		return errors.New("core: config requires an algorithm")
+	}
+	if c.N < 2 {
+		return fmt.Errorf("core: need at least 2 processes, got %d", c.N)
+	}
+	if c.Waiters == nil {
+		c.Waiters = make([]memsim.PID, 0, c.N-1)
+		for i := 0; i < c.N-1; i++ {
+			c.Waiters = append(c.Waiters, memsim.PID(i))
+		}
+		c.Signaler = memsim.PID(c.N - 1)
+	}
+	if c.Signalers == nil {
+		c.Signalers = []memsim.PID{c.Signaler}
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 200_000
+	}
+	if c.Scheduler == nil {
+		c.Scheduler = sched.NewRoundRobin()
+	}
+	return nil
+}
+
+// Result is the outcome of a simulated history.
+type Result struct {
+	// Events is the full execution trace.
+	Events []memsim.Event
+	// Returns maps each process to the return values of its completed
+	// calls, in order.
+	Returns map[memsim.PID][]memsim.Value
+	// Signaled reports whether the Signal call completed.
+	Signaled bool
+	// Steps is the number of shared-memory accesses performed.
+	Steps int
+	// Truncated reports whether the run stopped on the step budget.
+	Truncated bool
+	// Violations are breaches of Specification 4.1 (empty for correct
+	// algorithms).
+	Violations []signal.SpecViolation
+
+	ownerFn func(memsim.Addr) memsim.PID
+	n       int
+}
+
+// Score prices the trace under the given cost model.
+func (r *Result) Score(cm model.CostModel) *model.Report {
+	return cm.Score(r.Events, r.ownerFn, r.n)
+}
+
+// OwnerFunc exposes the machine's module-ownership mapping, for callers
+// that annotate the trace themselves (e.g. cmd/tracedump).
+func (r *Result) OwnerFunc() func(memsim.Addr) memsim.PID { return r.ownerFn }
+
+// N returns the number of processes in the run.
+func (r *Result) N() int { return r.n }
+
+// Run simulates one history of cfg and returns its result. The trace can
+// then be scored under any cost model. Run returns ErrBudget (wrapped)
+// together with a valid, truncated Result when the step budget is
+// exhausted; all other errors indicate misuse or algorithm bugs.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	exec, err := cfg.Algorithm.Deploy(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	defer exec.Close()
+
+	res := &Result{Returns: make(map[memsim.PID][]memsim.Value, cfg.N)}
+
+	waiterKind := memsim.CallPoll
+	if cfg.Blocking {
+		waiterKind = memsim.CallWait
+	}
+	type wstate struct {
+		polls int
+		done  bool
+	}
+	waiters := make(map[memsim.PID]*wstate, len(cfg.Waiters))
+	for _, w := range cfg.Waiters {
+		waiters[w] = &wstate{}
+	}
+	isSignaler := make(map[memsim.PID]bool, len(cfg.Signalers))
+	for _, s := range cfg.Signalers {
+		isSignaler[s] = true
+	}
+	signalStarted := make(map[memsim.PID]bool, len(cfg.Signalers))
+	signalDone := false
+
+	// advance collects completed calls and starts new ones; it returns
+	// the set of processes with a pending access.
+	advance := func() ([]memsim.PID, error) {
+		var ready []memsim.PID
+		for pid := 0; pid < cfg.N; pid++ {
+			p := memsim.PID(pid)
+			if ret, ended := exec.CallEnded(p); ended {
+				if _, err := exec.Finish(p); err != nil {
+					return nil, err
+				}
+				res.Returns[p] = append(res.Returns[p], ret)
+				if isSignaler[p] && signalStarted[p] {
+					signalDone = true
+				}
+				if ws, ok := waiters[p]; ok {
+					ws.polls++
+					if cfg.Blocking || ret != 0 {
+						ws.done = true
+					} else if cfg.MaxPolls > 0 && ws.polls >= cfg.MaxPolls {
+						ws.done = true
+					}
+				}
+			}
+			if exec.Idle(p) {
+				if ws, ok := waiters[p]; ok && !ws.done {
+					if err := exec.Start(p, waiterKind); err != nil {
+						return nil, err
+					}
+				} else if isSignaler[p] && !cfg.NoSignaler && !signalStarted[p] &&
+					res.Steps >= cfg.SignalAfter {
+					if err := exec.Start(p, memsim.CallSignal); err != nil {
+						return nil, err
+					}
+					signalStarted[p] = true
+				}
+			}
+			if _, ok := exec.Pending(p); ok {
+				ready = append(ready, p)
+			}
+		}
+		return ready, nil
+	}
+
+	for {
+		ready, err := advance()
+		if err != nil {
+			return nil, err
+		}
+		if len(ready) == 0 {
+			break
+		}
+		if res.Steps >= cfg.MaxSteps {
+			res.Truncated = true
+			break
+		}
+		pid := cfg.Scheduler.Next(ready)
+		if _, err := exec.Step(pid); err != nil {
+			return nil, err
+		}
+		res.Steps++
+	}
+
+	res.Signaled = signalDone
+	res.Events = exec.Events()
+	res.ownerFn = exec.Machine().Owner
+	res.n = cfg.N
+	res.Violations = signal.CheckSpec(res.Events)
+	if res.Truncated {
+		return res, fmt.Errorf("%w after %d steps", ErrBudget, res.Steps)
+	}
+	return res, nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/signal"
+)
+
+func TestRunFlagRoundRobin(t *testing.T) {
+	res, err := Run(Config{
+		Algorithm:   signal.Flag(),
+		N:           4,
+		MaxPolls:    100,
+		SignalAfter: 60,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Signaled {
+		t.Fatal("signal never completed")
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("spec violations: %v", res.Violations)
+	}
+	// Every waiter must eventually observe the signal under round-robin:
+	// its last poll returns true.
+	for pid, rets := range res.Returns {
+		if int(pid) == 3 {
+			continue // signaler
+		}
+		if len(rets) == 0 || rets[len(rets)-1] != 1 {
+			t.Errorf("waiter %d never observed the signal: returns %v", pid, rets)
+		}
+	}
+	cc := res.Score(model.ModelCC)
+	dsm := res.Score(model.ModelDSM)
+	if cc.Max() > 3 {
+		t.Errorf("CC worst-case RMRs = %d, want O(1) (<=3)", cc.Max())
+	}
+	if dsm.Total <= cc.Total {
+		t.Errorf("DSM total %d should exceed CC total %d for the flag algorithm", dsm.Total, cc.Total)
+	}
+}
+
+func TestRunAllAlgorithmsRandomSchedules(t *testing.T) {
+	for _, alg := range signal.All() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				n := 6
+				cfg := Config{
+					Algorithm:   alg,
+					N:           n,
+					MaxPolls:    500,
+					SignalAfter: 10,
+					Scheduler:   sched.NewRandom(seed),
+					Blocking:    !alg.Variant.Polling || (alg.Variant.Blocking && seed%2 == 0),
+				}
+				if alg.Variant.Waiters == 1 {
+					cfg.Waiters = []memsim.PID{1}
+					cfg.Signaler = 5
+				}
+				res, err := Run(cfg)
+				if err != nil && !errors.Is(err, ErrBudget) {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if len(res.Violations) > 0 {
+					t.Fatalf("seed %d: spec violations: %v", seed, res.Violations)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiSignalerRace drives the Section 7 multi-signaler algorithm with
+// three racing signalers and verifies Specification 4.1 under random
+// schedules (in particular, a losing Signal call must not complete before
+// delivery).
+func TestMultiSignalerRace(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		res, err := Run(Config{
+			Algorithm:   signal.MultiSignaler(),
+			N:           8,
+			Waiters:     []memsim.PID{0, 1, 2, 3},
+			Signalers:   []memsim.PID{5, 6, 7},
+			MaxPolls:    200,
+			SignalAfter: 12,
+			Scheduler:   sched.NewRandom(seed),
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("seed %d: spec violations: %v", seed, res.Violations)
+		}
+		if !res.Signaled {
+			t.Fatalf("seed %d: no signal completed", seed)
+		}
+		// All three Signal calls must have completed (losers wait for
+		// the winner, then return).
+		for _, s := range []memsim.PID{5, 6, 7} {
+			if len(res.Returns[s]) != 1 {
+				t.Fatalf("seed %d: signaler %d returns %v", seed, s, res.Returns[s])
+			}
+		}
+	}
+}
+
+// TestFlagMultipleSignalers: the base spec allows any number of Signal
+// calls; the flag algorithm trivially supports them.
+func TestFlagMultipleSignalers(t *testing.T) {
+	res, err := Run(Config{
+		Algorithm:   signal.Flag(),
+		N:           6,
+		Waiters:     []memsim.PID{0, 1, 2},
+		Signalers:   []memsim.PID{4, 5},
+		MaxPolls:    100,
+		SignalAfter: 10,
+		Scheduler:   sched.NewRandom(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("spec violations: %v", res.Violations)
+	}
+}
+
+// TestRunDeterminism: identical configurations with identical seeds must
+// produce identical traces — the reproducibility guarantee all experiment
+// tables rest on (property-based across seeds).
+func TestRunDeterminism(t *testing.T) {
+	check := func(seed int64) bool {
+		run := func() []memsim.Event {
+			res, err := Run(Config{
+				Algorithm:   signal.QueueSignal(),
+				N:           6,
+				MaxPolls:    20,
+				SignalAfter: 15,
+				Scheduler:   sched.NewRandom(seed),
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return res.Events
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunConfigValidation covers the config error paths.
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(Config{N: 4}); err == nil {
+		t.Fatal("want error for missing algorithm")
+	}
+	if _, err := Run(Config{Algorithm: signal.Flag(), N: 1}); err == nil {
+		t.Fatal("want error for N < 2")
+	}
+}
+
+// TestRunBudgetTruncation: with no signaler and unbounded polls the run
+// must stop at the step budget and report truncation.
+func TestRunBudgetTruncation(t *testing.T) {
+	res, err := Run(Config{
+		Algorithm:  signal.Flag(),
+		N:          3,
+		NoSignaler: true,
+		MaxPolls:   0, // poll forever
+		MaxSteps:   500,
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if !res.Truncated || res.Steps != 500 {
+		t.Fatalf("truncated=%v steps=%d", res.Truncated, res.Steps)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations on truncated prefix: %v", res.Violations)
+	}
+}

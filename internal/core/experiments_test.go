@@ -1,0 +1,193 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+)
+
+func atoiRow(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("not an int: %q", s)
+	}
+	return v
+}
+
+func atofRow(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("not a float: %q", s)
+	}
+	return v
+}
+
+// TestE1Shape: CC worst-case RMRs per process stay O(1) while N grows 16x.
+func TestE1Shape(t *testing.T) {
+	tab, err := ExperimentE1([]int{4, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if max := atoiRow(t, row[2]); max > 3 {
+			t.Errorf("N=%s: CC max RMR/proc = %d, want O(1)", row[0], max)
+		}
+	}
+}
+
+// TestE2Shape: DSM cost grows linearly with polls while CC stays flat.
+func TestE2Shape(t *testing.T) {
+	tab, err := ExperimentE2([]int{4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := atoiRow(t, tab.Rows[0][2])
+	large := atoiRow(t, tab.Rows[1][2])
+	if large < 8*small {
+		t.Errorf("DSM max RMRs grew only %d -> %d for 16x polls", small, large)
+	}
+	for _, row := range tab.Rows {
+		if cc := atoiRow(t, row[1]); cc > 2 {
+			t.Errorf("polls=%s: CC max RMR = %d, want flat O(1)", row[0], cc)
+		}
+	}
+}
+
+// TestE3Shape: every adversary row against read/write algorithms exceeds.
+func TestE3Shape(t *testing.T) {
+	tab, err := ExperimentE3([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[3] != "exceeded" {
+			t.Errorf("%s c=%s: verdict %s, want exceeded", row[0], row[1], row[3])
+		}
+		if total, ck := atoiRow(t, row[5]), atoiRow(t, row[6]); total <= ck {
+			t.Errorf("%s c=%s: total %d <= c*k %d", row[0], row[1], total, ck)
+		}
+	}
+}
+
+// TestE4Shape: transformed CAS algorithm exceeded; queue evades.
+func TestE4Shape(t *testing.T) {
+	tab, err := ExperimentE4(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row[3]
+	}
+	if byName["cas-register-rw"] != "exceeded" {
+		t.Errorf("cas-register-rw verdict = %s, want exceeded", byName["cas-register-rw"])
+	}
+	if byName["queue"] != "evaded" {
+		t.Errorf("queue verdict = %s, want evaded", byName["queue"])
+	}
+}
+
+// TestE5Shape: single waiter worst-case RMRs flat in both models.
+func TestE5Shape(t *testing.T) {
+	tab, err := ExperimentE5([]int{4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if cc, dsm := atoiRow(t, row[1]), atoiRow(t, row[2]); cc > 8 || dsm > 8 {
+			t.Errorf("polls=%s: maxRMR CC=%d DSM=%d, want O(1)", row[0], cc, dsm)
+		}
+	}
+	// The essential shape is flatness: worst-case cost must not grow with
+	// the number of polls.
+	if tab.Rows[1][1] != tab.Rows[0][1] || tab.Rows[1][2] != tab.Rows[0][2] {
+		t.Errorf("single-waiter cost not flat across polls: %v vs %v", tab.Rows[0], tab.Rows[1])
+	}
+}
+
+// TestE6Shape: broadcast amortized grows with W under sparse participation;
+// terminating variant stays bounded.
+func TestE6Shape(t *testing.T) {
+	tab, err := ExperimentE6([]int{8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bcast, term []float64
+	for _, row := range tab.Rows {
+		a := atofRow(t, row[4])
+		if row[0] == "fixed-waiters" {
+			bcast = append(bcast, a)
+		} else {
+			term = append(term, a)
+		}
+	}
+	if bcast[1] < 2*bcast[0] {
+		t.Errorf("broadcast amortized should grow with W: %v", bcast)
+	}
+	for _, a := range term {
+		if a > 4 {
+			t.Errorf("terminating variant amortized = %f, want O(1)", a)
+		}
+	}
+}
+
+// TestE7Shape: queue algorithm amortized flat, waiter O(1).
+func TestE7Shape(t *testing.T) {
+	tab, err := ExperimentE7([]int{2, 16}) // 8x growth in k
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if w := atoiRow(t, row[1]); w > 4 {
+			t.Errorf("k=%s: waiter max RMR = %d, want O(1)", row[0], w)
+		}
+		if a := atofRow(t, row[3]); a > 6 {
+			t.Errorf("k=%s: amortized = %f, want O(1)", row[0], a)
+		}
+	}
+}
+
+// TestE8Shape: invalidations bounded by RMRs; limited directory sends at
+// least as many messages as the ideal one.
+func TestE8Shape(t *testing.T) {
+	tab, err := ExperimentE8([]int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		rmr := atoiRow(t, row[1])
+		inval := atoiRow(t, row[2])
+		ideal := atoiRow(t, row[4])
+		limited := atoiRow(t, row[5])
+		if inval > rmr {
+			t.Errorf("N=%s: invalidations %d > RMRs %d", row[0], inval, rmr)
+		}
+		if limited < ideal {
+			t.Errorf("N=%s: limited directory sent fewer messages (%d) than ideal (%d)", row[0], limited, ideal)
+		}
+	}
+}
+
+// TestE9Shape: MCS flat in both models; TAS worse than MCS in DSM at high
+// contention; Anderson flat in CC.
+func TestE9Shape(t *testing.T) {
+	tab, err := ExperimentE9([]int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := map[string][2]float64{}
+	for _, row := range tab.Rows {
+		per[row[0]] = [2]float64{atofRow(t, row[2]), atofRow(t, row[3])}
+	}
+	if per["mcs"][0] > 10 || per["mcs"][1] > 10 {
+		t.Errorf("MCS per passage CC=%f DSM=%f, want O(1)", per["mcs"][0], per["mcs"][1])
+	}
+	if per["tas"][1] <= per["mcs"][1] {
+		t.Errorf("TAS (%f) should beat MCS (%f) in DSM RMRs per passage... the other way",
+			per["tas"][1], per["mcs"][1])
+	}
+	if per["anderson"][0] > 10 {
+		t.Errorf("Anderson CC per passage = %f, want O(1)", per["anderson"][0])
+	}
+}

@@ -1,0 +1,82 @@
+// Package election implements the leader-election substrates Section 7
+// invokes: "leader election can be solved ... in one step per process using
+// virtually any read-modify-write primitive", and with reads and writes
+// only via splitter-style constructions. The blocking signaling solution
+// (signal.LeaderBlocking) reduces "many waiters" to "single waiter" through
+// exactly such an election.
+package election
+
+import (
+	"repro/internal/memsim"
+)
+
+// Election is a one-shot leader election: every participant learns the
+// winner's ID (not merely whether it won), the property the paper requires
+// for the blocking reduction.
+type Election struct {
+	leader memsim.Addr
+}
+
+// New allocates an election object on m.
+func New(m *memsim.Machine, name string) *Election {
+	return &Election{leader: m.Alloc(memsim.NoOwner, name+".leader", 1, memsim.Nil)}
+}
+
+// Elect runs the calling process's election step and returns the leader's
+// ID: one CAS, plus one read for losers. O(1) RMRs in both models.
+func (e *Election) Elect(p *memsim.Proc) memsim.PID {
+	me := memsim.Value(p.ID())
+	if p.CAS(e.leader, memsim.Nil, me) {
+		return p.ID()
+	}
+	return memsim.PID(p.Read(e.leader))
+}
+
+// Leader returns the elected leader, or memsim.NoOwner if none yet.
+func (e *Election) Leader(p *memsim.Proc) memsim.PID {
+	return memsim.PID(p.Read(e.leader))
+}
+
+// Splitter is Lamport's read/write splitter: at most one process "wins",
+// but processes may also lose or learn nothing — unlike Election, losers do
+// not learn the winner. It demonstrates what reads and writes alone buy:
+// safety (at most one winner) without the naming guarantee the blocking
+// reduction needs, which is why LeaderBlocking uses the CAS election.
+type Splitter struct {
+	x memsim.Addr // candidate ID
+	y memsim.Addr // door flag
+}
+
+// SplitterOutcome classifies a splitter traversal.
+type SplitterOutcome uint8
+
+// Splitter outcomes.
+const (
+	// SplitWin means the process acquired the splitter exclusively.
+	SplitWin SplitterOutcome = iota + 1
+	// SplitLose means some other process may have won.
+	SplitLose
+)
+
+// NewSplitter allocates a splitter on m.
+func NewSplitter(m *memsim.Machine, name string) *Splitter {
+	return &Splitter{
+		x: m.Alloc(memsim.NoOwner, name+".x", 1, memsim.Nil),
+		y: m.Alloc(memsim.NoOwner, name+".y", 1, 0),
+	}
+}
+
+// Run traverses the splitter: X := me; if Y { lose }; Y := true;
+// if X = me { win } else { lose }. At most one process can win.
+func (s *Splitter) Run(p *memsim.Proc) SplitterOutcome {
+	me := memsim.Value(p.ID())
+	p.Write(s.x, me)
+	if p.Read(s.y) != 0 {
+		return SplitLose
+	}
+	p.Write(s.y, 1)
+	if p.Read(s.x) == me {
+		return SplitWin
+	}
+	return SplitLose
+}

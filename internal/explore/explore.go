@@ -1,0 +1,221 @@
+// Package explore enumerates every interleaving of a small simulated
+// workload up to a depth bound and checks a property on each complete
+// history — bounded model checking for the algorithms in this repository.
+// Randomized schedules (internal/sched) probe large configurations; explore
+// proves exhaustiveness for small ones (two or three processes, a handful
+// of calls), which is where the interesting races of Section 7 live (e.g.
+// "waiters register while the signaler is calling Signal()").
+//
+// Two scheduling decisions are explored: which pending shared-memory access
+// to apply next, and when each process begins its next procedure call.
+// Call-start times matter because Specification 4.1 is stated in terms of
+// call boundaries ("some call to Signal() has already begun"). Completed
+// calls are collected eagerly, so a call's end event carries the earliest
+// sequence number consistent with its last step.
+//
+// Following the problem statement ("a process may call Poll() arbitrarily
+// many times until such a call returns true"), a process abandons the rest
+// of its script once a Poll call returns true.
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// Config describes the workload to explore.
+type Config struct {
+	// Factory deploys the algorithm instance (must be deterministic).
+	Factory memsim.Factory
+	// N is the number of processes on the machine.
+	N int
+	// Scripts assigns each participating process the sequence of calls
+	// it makes. Processes absent from the map take no steps.
+	Scripts map[memsim.PID][]memsim.CallKind
+	// MaxDepth bounds the explored depth in scheduling choices (steps
+	// plus call starts). Histories cut off at the bound are still
+	// checked — every prefix is a valid history.
+	MaxDepth int
+	// Check is invoked on each maximal history; returning an error
+	// aborts the exploration and is reported with the offending
+	// schedule.
+	Check func(events []memsim.Event) error
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Paths is the number of maximal histories checked.
+	Paths int
+	// Truncated counts histories cut off by MaxDepth.
+	Truncated int
+}
+
+// choice is one scheduling decision: apply pid's pending access, or start
+// pid's next scripted call.
+type choice struct {
+	pid   memsim.PID
+	start bool
+}
+
+// String renders the choice compactly, e.g. "p0" or "p1+".
+func (c choice) String() string {
+	if c.start {
+		return fmt.Sprintf("p%d+", c.pid)
+	}
+	return fmt.Sprintf("p%d", c.pid)
+}
+
+// Run exhaustively enumerates schedules in depth-first lexicographic order.
+// To step from one path to the next it replays the shared prefix, which
+// keeps total work near paths × depth.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Factory == nil || cfg.Check == nil {
+		return nil, errors.New("explore: config requires Factory and Check")
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 12
+	}
+	res := &Result{}
+	var path []int // path[i]: index into the choice set at depth i
+	for {
+		exec, choiceSets, truncated, err := replayPath(cfg, path)
+		if err != nil {
+			return nil, err
+		}
+		res.Paths++
+		if truncated {
+			res.Truncated++
+		}
+		if err := cfg.Check(exec.Events()); err != nil {
+			schedule := describeSchedule(choiceSets, path)
+			exec.Close()
+			return res, fmt.Errorf("explore: property failed on schedule %v: %w", schedule, err)
+		}
+		exec.Close()
+		// Advance to the lexicographically next path. The replay extended
+		// the explicit path with implicit first choices, so siblings may
+		// exist at any depth up to len(choiceSets).
+		full := make([]int, len(choiceSets))
+		copy(full, path)
+		next := -1
+		for i := len(full) - 1; i >= 0; i-- {
+			if full[i]+1 < len(choiceSets[i]) {
+				next = i
+				break
+			}
+		}
+		if next < 0 {
+			return res, nil
+		}
+		path = append(full[:next], full[next]+1)
+	}
+}
+
+// replayPath replays the choice sequence, extending it greedily with
+// first-choice decisions until the workload quiesces or the bound trips.
+// It returns the execution, the choice set observed at each depth (for
+// sibling enumeration), and whether the bound cut the history short.
+func replayPath(cfg Config, path []int) (*memsim.Execution, [][]choice, bool, error) {
+	exec, err := memsim.NewExecution(cfg.Factory, cfg.N)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	progress := make(map[memsim.PID]int, len(cfg.Scripts))
+	var choiceSets [][]choice
+	depth := 0
+	for {
+		choices, err := settle(exec, cfg.Scripts, progress)
+		if err != nil {
+			exec.Close()
+			return nil, nil, false, err
+		}
+		if len(choices) == 0 {
+			return exec, choiceSets, false, nil
+		}
+		if depth >= cfg.MaxDepth {
+			return exec, choiceSets, true, nil
+		}
+		idx := 0
+		if depth < len(path) {
+			idx = path[depth]
+		}
+		if idx >= len(choices) {
+			exec.Close()
+			return nil, nil, false, fmt.Errorf("explore: choice %d out of range at depth %d", idx, depth)
+		}
+		choiceSets = append(choiceSets, choices)
+		c := choices[idx]
+		if c.start {
+			if err := exec.Start(c.pid, cfg.Scripts[c.pid][progress[c.pid]]); err != nil {
+				exec.Close()
+				return nil, nil, false, err
+			}
+			progress[c.pid]++
+		} else if _, err := exec.Step(c.pid); err != nil {
+			exec.Close()
+			return nil, nil, false, err
+		}
+		depth++
+	}
+}
+
+// settle collects completed calls (eagerly, so call-end events get the
+// earliest consistent position) and returns the open scheduling choices in
+// deterministic order: for each process, a pending step or a call start.
+func settle(exec *memsim.Execution, scripts map[memsim.PID][]memsim.CallKind, progress map[memsim.PID]int) ([]choice, error) {
+	var choices []choice
+	for pid := 0; pid < exec.N(); pid++ {
+		p := memsim.PID(pid)
+		script, ok := scripts[p]
+		if !ok {
+			continue
+		}
+		if _, done := exec.CallEnded(p); done {
+			wasPoll := lastCallWasPoll(exec, p)
+			ret, err := exec.Finish(p)
+			if err != nil {
+				return nil, err
+			}
+			if wasPoll && ret != 0 {
+				// The waiter observed the signal; the problem statement
+				// says it stops polling.
+				progress[p] = len(script)
+			}
+		}
+		if _, ok := exec.Pending(p); ok {
+			choices = append(choices, choice{pid: p})
+			continue
+		}
+		if exec.Idle(p) && progress[p] < len(script) {
+			choices = append(choices, choice{pid: p, start: true})
+		}
+	}
+	return choices, nil
+}
+
+// lastCallWasPoll reports whether p's just-completed call was a Poll.
+func lastCallWasPoll(exec *memsim.Execution, p memsim.PID) bool {
+	events := exec.Events()
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].PID == p && events[i].Kind == memsim.EvCallStart {
+			return events[i].Proc == "Poll"
+		}
+	}
+	return false
+}
+
+func describeSchedule(choiceSets [][]choice, path []int) []string {
+	var out []string
+	for i := 0; i < len(choiceSets); i++ {
+		idx := 0
+		if i < len(path) {
+			idx = path[i]
+		}
+		if idx < len(choiceSets[i]) {
+			out = append(out, choiceSets[i][idx].String())
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package gme implements a group mutual exclusion substrate. GME [19]
+// generalizes mutual exclusion: requests carry a session ID and processes
+// requesting the *same* session may occupy the resource concurrently. The
+// paper's introduction builds directly on the Hadzilacos–Danek GME result
+// [8] — the first CC/DSM RMR separation, for two-session GME — and its own
+// signaling lower bound strengthens that separation; this package provides
+// the problem, a lock-based solution, and a safety checker so the
+// predecessor setting is runnable in the same framework.
+//
+// The algorithm here is the simple mutex-guarded room (in the spirit of
+// Keane–Moir [20]): a state word holds the current session and an
+// occupancy count, both manipulated under an MCS lock. It is terminating
+// and session-safe but not local-spin-optimal; reproducing [8]'s O(log N)
+// CC algorithm and Ω(N) DSM bound is out of scope (DESIGN.md §2) — the
+// measured CC-vs-DSM contrast of even this simple algorithm illustrates
+// the asymmetry the paper discusses.
+package gme
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/mutex"
+	"repro/internal/sched"
+)
+
+// GME is a deployed group-mutual-exclusion object.
+type GME interface {
+	// Enter blocks (in simulated steps) until the caller may occupy the
+	// resource under the given session.
+	Enter(p *memsim.Proc, session memsim.Value)
+	// Exit relinquishes the caller's occupancy of the session.
+	Exit(p *memsim.Proc, session memsim.Value)
+}
+
+// RoomLock is the mutex-guarded GME: session state and occupancy count are
+// read and updated inside short critical sections of an MCS lock; entry
+// for a conflicting session busy-waits by re-acquiring.
+type RoomLock struct {
+	lock    mutex.Lock
+	session memsim.Addr // current session or Nil
+	count   memsim.Addr // occupants of the current session
+}
+
+var _ GME = (*RoomLock)(nil)
+
+// NewRoomLock deploys the lock-based GME for n processes.
+func NewRoomLock(m *memsim.Machine, n int) (*RoomLock, error) {
+	lk, err := mutex.MCS().New(m, n)
+	if err != nil {
+		return nil, fmt.Errorf("deploy inner lock: %w", err)
+	}
+	return &RoomLock{
+		lock:    lk,
+		session: m.Alloc(memsim.NoOwner, "gme.session", 1, memsim.Nil),
+		count:   m.Alloc(memsim.NoOwner, "gme.count", 1, 0),
+	}, nil
+}
+
+// Enter implements GME.
+func (g *RoomLock) Enter(p *memsim.Proc, session memsim.Value) {
+	for {
+		g.lock.Acquire(p)
+		cur := p.Read(g.session)
+		if cur == memsim.Nil || cur == session {
+			p.Write(g.session, session)
+			p.Write(g.count, p.Read(g.count)+1)
+			g.lock.Release(p)
+			return
+		}
+		g.lock.Release(p)
+		// Conflicting session active: retry (busy-wait through the lock).
+	}
+}
+
+// Exit implements GME.
+func (g *RoomLock) Exit(p *memsim.Proc, session memsim.Value) {
+	g.lock.Acquire(p)
+	c := p.Read(g.count) - 1
+	p.Write(g.count, c)
+	if c == 0 {
+		p.Write(g.session, memsim.Nil)
+	}
+	g.lock.Release(p)
+}
+
+// ErrBudget is returned when a GME run exhausts its step budget.
+var ErrBudget = errors.New("gme: step budget exhausted")
+
+// RunConfig describes a contended GME workload: each process performs
+// Entries critical sections, alternating between Sessions session IDs
+// (process i uses session i mod Sessions).
+type RunConfig struct {
+	N         int
+	Sessions  int
+	Entries   int
+	Scheduler sched.Scheduler
+	MaxSteps  int
+}
+
+// RunResult is the outcome of a GME workload.
+type RunResult struct {
+	// Events is the execution trace.
+	Events []memsim.Event
+	// Entries counts completed critical sections.
+	Entries int
+	// SessionSafe is false if two different sessions were observed
+	// occupying the resource concurrently.
+	SessionSafe bool
+	// MaxConcurrent is the largest same-session occupancy observed —
+	// the concurrency GME exists to permit (ordinary ME caps it at 1).
+	MaxConcurrent int
+	// Truncated reports budget exhaustion.
+	Truncated bool
+
+	ownerFn func(memsim.Addr) memsim.PID
+	n       int
+}
+
+// Score prices the trace under a cost model.
+func (r *RunResult) Score(cm model.CostModel) *model.Report {
+	return cm.Score(r.Events, r.ownerFn, r.n)
+}
+
+// PerEntry returns total RMRs divided by completed entries under cm.
+func (r *RunResult) PerEntry(cm model.CostModel) float64 {
+	if r.Entries == 0 {
+		return 0
+	}
+	return float64(r.Score(cm).Total) / float64(r.Entries)
+}
+
+// Run drives the workload and detects session-safety violations with
+// per-session occupancy probes: on entry each occupant increments its
+// session's probe counter and then checks the other sessions' counters,
+// which must be zero while it is inside.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.N < 1 || cfg.Sessions < 1 {
+		return nil, fmt.Errorf("gme: need processes and sessions, got N=%d S=%d", cfg.N, cfg.Sessions)
+	}
+	if cfg.Entries < 1 {
+		cfg.Entries = 1
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 2_000_000
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = sched.NewRandom(1)
+	}
+
+	m := memsim.NewMachine(cfg.N)
+	g, err := NewRoomLock(m, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	probes := m.Alloc(memsim.NoOwner, "probe", cfg.Sessions, 0)
+
+	ctl := memsim.NewController(m)
+	defer ctl.Close()
+
+	entry := func(pid memsim.PID) memsim.Program {
+		session := memsim.Value(int(pid) % cfg.Sessions)
+		return func(p *memsim.Proc) memsim.Value {
+			g.Enter(p, session)
+			mine := p.FetchAdd(probes+memsim.Addr(session), 1) + 1
+			violation := false
+			for s := 0; s < cfg.Sessions; s++ {
+				if memsim.Value(s) == session {
+					continue
+				}
+				if p.Read(probes+memsim.Addr(s)) != 0 {
+					violation = true
+				}
+			}
+			p.FetchAdd(probes+memsim.Addr(session), -1)
+			g.Exit(p, session)
+			if violation {
+				return -1
+			}
+			return mine // same-session occupancy observed at entry
+		}
+	}
+
+	res := &RunResult{SessionSafe: true, ownerFn: m.Owner, n: cfg.N}
+	remaining := make([]int, cfg.N)
+	for i := range remaining {
+		remaining[i] = cfg.Entries
+	}
+	steps := 0
+	for {
+		var ready []memsim.PID
+		for i := 0; i < cfg.N; i++ {
+			pid := memsim.PID(i)
+			if ret, done := ctl.CallEnded(pid); done {
+				if _, err := ctl.FinishCall(pid); err != nil {
+					return nil, err
+				}
+				res.Entries++
+				if ret < 0 {
+					res.SessionSafe = false
+				} else if int(ret) > res.MaxConcurrent {
+					res.MaxConcurrent = int(ret)
+				}
+			}
+			if ctl.Idle(pid) && remaining[i] > 0 {
+				remaining[i]--
+				if err := ctl.StartCall(pid, "gme", entry(pid)); err != nil {
+					return nil, err
+				}
+			}
+			if _, ok := ctl.Pending(pid); ok {
+				ready = append(ready, pid)
+			}
+		}
+		if len(ready) == 0 {
+			break
+		}
+		if steps >= cfg.MaxSteps {
+			res.Truncated = true
+			break
+		}
+		if _, err := ctl.Step(cfg.Scheduler.Next(ready)); err != nil {
+			return nil, err
+		}
+		steps++
+	}
+	res.Events = ctl.Events()
+	if res.Truncated {
+		return res, fmt.Errorf("%w after %d steps", ErrBudget, steps)
+	}
+	return res, nil
+}

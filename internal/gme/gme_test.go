@@ -1,0 +1,79 @@
+package gme
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func TestSessionSafety(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		res, err := Run(RunConfig{
+			N:         8,
+			Sessions:  2,
+			Entries:   5,
+			Scheduler: sched.NewRandom(seed),
+		})
+		if err != nil && !errors.Is(err, ErrBudget) {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.SessionSafe {
+			t.Fatalf("seed %d: two sessions occupied the resource concurrently", seed)
+		}
+		if !res.Truncated && res.Entries != 8*5 {
+			t.Fatalf("seed %d: %d entries, want 40", seed, res.Entries)
+		}
+	}
+}
+
+// TestConcurrencyWithinSession: GME's reason to exist — same-session
+// processes overlap in the resource, which plain mutual exclusion forbids.
+func TestConcurrencyWithinSession(t *testing.T) {
+	best := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		res, err := Run(RunConfig{
+			N:         6,
+			Sessions:  1, // everyone shares a session: maximal overlap
+			Entries:   4,
+			Scheduler: sched.NewRandom(seed),
+		})
+		if err != nil && !errors.Is(err, ErrBudget) {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.MaxConcurrent > best {
+			best = res.MaxConcurrent
+		}
+	}
+	if best < 2 {
+		t.Fatalf("max same-session occupancy = %d, want >= 2 (no concurrency observed)", best)
+	}
+}
+
+func TestTwoSessionContrast(t *testing.T) {
+	res, err := Run(RunConfig{
+		N:         8,
+		Sessions:  2,
+		Entries:   6,
+		Scheduler: sched.NewRandom(4),
+	})
+	if err != nil && !errors.Is(err, ErrBudget) {
+		t.Fatal(err)
+	}
+	cc := res.PerEntry(model.ModelCC)
+	dsm := res.PerEntry(model.ModelDSM)
+	if cc <= 0 || dsm <= 0 {
+		t.Fatalf("per-entry costs CC=%f DSM=%f", cc, dsm)
+	}
+	t.Logf("two-session GME: %.2f CC vs %.2f DSM RMRs per entry", cc, dsm)
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{N: 0, Sessions: 1}); err == nil {
+		t.Fatal("want error for N=0")
+	}
+	if _, err := Run(RunConfig{N: 2, Sessions: 0}); err == nil {
+		t.Fatal("want error for Sessions=0")
+	}
+}

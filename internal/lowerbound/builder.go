@@ -1,0 +1,331 @@
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memsim"
+)
+
+// opClass partitions operations for the Part 1 write handling.
+type opClass uint8
+
+const (
+	classRead  opClass = iota + 1 // read, LL: no overwrite
+	classWrite                    // plain write: overwrites, reveals nothing
+	classRMW                      // CAS, SC, FAA, FAS, TAS: may overwrite and reveals the old value
+)
+
+func classify(op memsim.Op) opClass {
+	switch op {
+	case memsim.OpRead, memsim.OpLL:
+		return classRead
+	case memsim.OpWrite:
+		return classWrite
+	default:
+		return classRMW
+	}
+}
+
+// advStatus is the outcome of advancing one waiter.
+type advStatus uint8
+
+const (
+	advUnstable advStatus = iota + 1 // parked at a pending remote access
+	advStable                        // certified stable (Definition 6.8)
+	advSafety                        // Poll returned true before any Signal
+	advStuck                         // exceeded the solo budget on local steps
+)
+
+// builder is the adversary's working state: a replayable action history, a
+// live execution positioned at its end, and the Par/Fin/Act bookkeeping of
+// Definition 6.3.
+type builder struct {
+	cfg      Config
+	n        int
+	exec     *memsim.Execution
+	active   map[memsim.PID]bool
+	finished map[memsim.PID]bool
+	stable   map[memsim.PID]bool
+	// zeroRuns counts consecutive completed zero-RMR Poll calls per
+	// process, for the heuristic stability window.
+	zeroRuns map[memsim.PID]int
+	rounds   []RoundReport
+	lastCase string
+	// violation carries the first Specification 4.1 breach encountered.
+	violation string
+}
+
+const stabilityWindow = 6
+
+func newBuilder(cfg Config) (*builder, error) {
+	exec, err := cfg.Algorithm.Deploy(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{
+		cfg:      cfg,
+		n:        cfg.N,
+		exec:     exec,
+		active:   make(map[memsim.PID]bool, cfg.N),
+		finished: make(map[memsim.PID]bool),
+		stable:   make(map[memsim.PID]bool),
+		zeroRuns: make(map[memsim.PID]int),
+	}
+	for i := 0; i < cfg.N; i++ {
+		pid := memsim.PID(i)
+		if cfg.Algorithm.Variant.FixedSignaler && pid == memsim.PID(cfg.N-1) {
+			continue // reserve the designated signaler
+		}
+		b.active[pid] = true
+	}
+	return b, nil
+}
+
+func (b *builder) close() {
+	if b.exec != nil {
+		b.exec.Close()
+	}
+}
+
+func (b *builder) logf(format string, args ...any) {
+	fmt.Fprintf(b.cfg.Log, format+"\n", args...)
+}
+
+// activeSorted returns the active set in ascending PID order.
+func (b *builder) activeSorted() []memsim.PID {
+	out := make([]memsim.PID, 0, len(b.active))
+	for p := range b.active {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// isRemote applies the DSM RMR rule to a pending access.
+func (b *builder) isRemote(pid memsim.PID, a memsim.Addr) bool {
+	return b.exec.Machine().Owner(a) != pid
+}
+
+// rmrs returns per-process DSM RMR counts for the current history.
+func (b *builder) rmrs() []int {
+	_, per := dsmTotal(b.exec.Events(), b.exec.Machine().Owner, b.n)
+	return per
+}
+
+// total returns the current history's total DSM RMRs.
+func (b *builder) total() int {
+	t, _ := dsmTotal(b.exec.Events(), b.exec.Machine().Owner, b.n)
+	return t
+}
+
+// participants returns the set of processes that took at least one step.
+func (b *builder) participants() map[memsim.PID]bool {
+	parts := make(map[memsim.PID]bool)
+	for _, ev := range b.exec.Events() {
+		if ev.Kind == memsim.EvAccess {
+			parts[ev.PID] = true
+		}
+	}
+	return parts
+}
+
+// accessSignature extracts one process's access subsequence (ops, addresses
+// and results) for erasure verification.
+func accessSignature(events []memsim.Event, pid memsim.PID) []memsim.Event {
+	var out []memsim.Event
+	for _, ev := range events {
+		if ev.PID == pid && ev.Kind == memsim.EvAccess {
+			ev.Seq = 0 // sequence numbers legitimately shift
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// erase removes every process in victims from the history (Lemma 6.7): it
+// filters their actions from the schedule and replays the remainder. When
+// VerifyErasures is set, it asserts that each survivor's access sequence is
+// unchanged — the runtime check that nobody had seen the victims.
+func (b *builder) erase(victims ...memsim.PID) error {
+	if len(victims) == 0 {
+		return nil
+	}
+	set := make(map[memsim.PID]bool, len(victims))
+	for _, v := range victims {
+		if b.finished[v] {
+			return fmt.Errorf("lowerbound: cannot erase finished process %d", v)
+		}
+		set[v] = true
+		delete(b.active, v)
+		delete(b.stable, v)
+		delete(b.zeroRuns, v)
+	}
+	oldEvents := b.exec.Events()
+	actions := memsim.FilterActions(b.exec.Actions(), set)
+	replayed, err := memsim.Replay(b.cfg.Algorithm.New, b.n, actions)
+	if err != nil {
+		return fmt.Errorf("erase replay: %w", err)
+	}
+	if b.cfg.VerifyErasures {
+		newEvents := replayed.Events()
+		for p := range b.participantsOf(oldEvents) {
+			if set[p] {
+				continue
+			}
+			before := accessSignature(oldEvents, p)
+			after := accessSignature(newEvents, p)
+			if !sameSignature(before, after) {
+				replayed.Close()
+				return fmt.Errorf("lowerbound: erasing %v changed survivor p%d's trace (algorithm saw an erased process)", victims, p)
+			}
+		}
+	}
+	b.exec.Close()
+	b.exec = replayed
+	return nil
+}
+
+func (b *builder) participantsOf(events []memsim.Event) map[memsim.PID]bool {
+	parts := make(map[memsim.PID]bool)
+	for _, ev := range events {
+		if ev.Kind == memsim.EvAccess {
+			parts[ev.PID] = true
+		}
+	}
+	return parts
+}
+
+func sameSignature(a, b []memsim.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Acc != b[i].Acc || a[i].Res != b[i].Res || a[i].CallSeq != b[i].CallSeq {
+			return false
+		}
+	}
+	return true
+}
+
+// callHadRemote reports whether call callSeq of process p performed any
+// remote (DSM RMR) access in the current history.
+func (b *builder) callHadRemote(p memsim.PID, callSeq int) bool {
+	owner := b.exec.Machine().Owner
+	for _, ev := range b.exec.Events() {
+		if ev.Kind == memsim.EvAccess && ev.PID == p && ev.CallSeq == callSeq &&
+			owner(ev.Acc.Addr) != p {
+			return true
+		}
+	}
+	return false
+}
+
+// advance runs waiter p solo until it is parked at a pending remote access,
+// certified stable, or found to violate the specification. Local steps are
+// applied immediately (in the DSM model they commute with every other
+// process's steps).
+//
+// Stability is certified two ways: provably, when a completed Poll call
+// performed no remote access and left p's module exactly as it found it (a
+// local fixpoint, so every future solo call repeats it — Definition 6.8);
+// and heuristically, after stabilityWindow consecutive zero-RMR calls.
+func (b *builder) advance(p memsim.PID) (advStatus, error) {
+	var moduleAtStart []memsim.Value
+	haveStart := false
+	for steps := 0; steps <= b.cfg.SoloBudget; steps++ {
+		if b.exec.Idle(p) {
+			moduleAtStart = b.exec.Machine().ModuleSnapshot(p)
+			haveStart = true
+			if err := b.exec.Start(p, memsim.CallPoll); err != nil {
+				return 0, err
+			}
+		}
+		if ret, done := b.exec.CallEnded(p); done {
+			callSeq := callSeqOfCurrent(b.exec, p)
+			if _, err := b.exec.Finish(p); err != nil {
+				return 0, err
+			}
+			if ret != 0 {
+				b.violation = fmt.Sprintf("Poll by p%d returned true although no Signal call has begun", p)
+				return advSafety, nil
+			}
+			if b.callHadRemote(p, callSeq) {
+				b.zeroRuns[p] = 0
+				continue
+			}
+			if haveStart && sameValues(moduleAtStart, b.exec.Machine().ModuleSnapshot(p)) {
+				b.stable[p] = true // local fixpoint: provably stable
+				return advStable, nil
+			}
+			b.zeroRuns[p]++
+			if b.zeroRuns[p] >= stabilityWindow {
+				b.stable[p] = true
+				return advStable, nil
+			}
+			continue
+		}
+		acc, ok := b.exec.Pending(p)
+		if !ok {
+			continue
+		}
+		if b.isRemote(p, acc.Addr) {
+			return advUnstable, nil
+		}
+		if _, err := b.exec.Step(p); err != nil {
+			return 0, err
+		}
+	}
+	return advStuck, nil
+}
+
+// callSeqOfCurrent returns the CallSeq of p's just-completed call.
+func callSeqOfCurrent(e *memsim.Execution, p memsim.PID) int {
+	events := e.Events()
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].PID == p && events[i].Kind == memsim.EvCallStart {
+			return events[i].CallSeq
+		}
+	}
+	return 0
+}
+
+func sameValues(a, b []memsim.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pendingTargets returns the active processes p's pending access would see
+// or touch (for regularity condition 1 and 2 edges).
+func (b *builder) pendingTargets(p memsim.PID, acc memsim.Access) []memsim.PID {
+	var out []memsim.PID
+	m := b.exec.Machine()
+	if q := m.Owner(acc.Addr); q != memsim.NoOwner && q != p && b.active[q] {
+		out = append(out, q)
+	}
+	if classify(acc.Op) != classWrite {
+		if w := m.LastWriter(acc.Addr); w != memsim.NoOwner && w != p && b.active[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// isqrt returns floor(sqrt(x)).
+func isqrt(x int) int {
+	if x < 0 {
+		return 0
+	}
+	r := 0
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}

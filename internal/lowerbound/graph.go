@@ -1,0 +1,98 @@
+package lowerbound
+
+import (
+	"sort"
+
+	"repro/internal/memsim"
+)
+
+// conflictGraph is an undirected graph over process IDs, used for the two
+// conflict-resolution steps of the Part 1 construction (Section 6.2). The
+// proof invokes Turán's theorem: a graph with average degree d has an
+// independent set of at least n/(d+1) vertices. The classic constructive
+// witness is the greedy minimum-degree algorithm implemented here, so the
+// code inherits the proof's quantitative guarantee.
+type conflictGraph struct {
+	vertices []memsim.PID
+	adj      map[memsim.PID]map[memsim.PID]bool
+}
+
+func newConflictGraph(vertices []memsim.PID) *conflictGraph {
+	g := &conflictGraph{
+		vertices: append([]memsim.PID(nil), vertices...),
+		adj:      make(map[memsim.PID]map[memsim.PID]bool, len(vertices)),
+	}
+	sort.Slice(g.vertices, func(i, j int) bool { return g.vertices[i] < g.vertices[j] })
+	for _, v := range g.vertices {
+		g.adj[v] = make(map[memsim.PID]bool)
+	}
+	return g
+}
+
+// addEdge inserts an undirected edge; endpoints outside the vertex set are
+// ignored.
+func (g *conflictGraph) addEdge(p, q memsim.PID) {
+	if p == q {
+		return
+	}
+	if _, ok := g.adj[p]; !ok {
+		return
+	}
+	if _, ok := g.adj[q]; !ok {
+		return
+	}
+	g.adj[p][q] = true
+	g.adj[q][p] = true
+}
+
+// edges returns the number of undirected edges.
+func (g *conflictGraph) edges() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// independentSet returns a maximal independent set computed by repeatedly
+// selecting a minimum-degree vertex and deleting its neighbourhood — the
+// greedy procedure achieving Turán's n/(d+1) bound. Ties break toward the
+// smallest PID so the construction stays deterministic.
+func (g *conflictGraph) independentSet() []memsim.PID {
+	deg := make(map[memsim.PID]int, len(g.vertices))
+	alive := make(map[memsim.PID]bool, len(g.vertices))
+	for _, v := range g.vertices {
+		deg[v] = len(g.adj[v])
+		alive[v] = true
+	}
+	var out []memsim.PID
+	for len(alive) > 0 {
+		best := memsim.PID(-1)
+		for _, v := range g.vertices {
+			if !alive[v] {
+				continue
+			}
+			if best == -1 || deg[v] < deg[best] {
+				best = v
+			}
+		}
+		out = append(out, best)
+		// Remove best and its neighbourhood.
+		remove := []memsim.PID{best}
+		for q := range g.adj[best] {
+			if alive[q] {
+				remove = append(remove, q)
+			}
+		}
+		for _, v := range remove {
+			delete(alive, v)
+			for q := range g.adj[v] {
+				if alive[q] {
+					deg[q]--
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,272 @@
+package memsim
+
+import (
+	"fmt"
+)
+
+// Program is the body of one procedure call (e.g. one invocation of Poll or
+// Signal). It runs as a sequential thread of control and performs shared
+// memory accesses through p. It must be deterministic: given the same
+// sequence of access results it must issue the same accesses and return the
+// same value. The returned Value is the call's response (0/1 for Boolean
+// procedures).
+type Program func(p *Proc) Value
+
+// Proc is the handle through which a program accesses shared memory. Every
+// method is a scheduling point: the calling goroutine blocks until the
+// controller grants the step.
+type Proc struct {
+	pid   PID
+	req   chan Access
+	res   chan Result
+	abort chan struct{}
+}
+
+// ID returns the process ID executing the current call.
+func (p *Proc) ID() PID { return p.pid }
+
+type procAborted struct{}
+
+// access submits one atomic operation and waits for the controller.
+func (p *Proc) access(acc Access) Result {
+	select {
+	case p.req <- acc:
+	case <-p.abort:
+		panic(procAborted{})
+	}
+	select {
+	case r := <-p.res:
+		return r
+	case <-p.abort:
+		panic(procAborted{})
+	}
+}
+
+// Read returns the value of a.
+func (p *Proc) Read(a Addr) Value { return p.access(Access{Op: OpRead, Addr: a}).Val }
+
+// Write stores v into a.
+func (p *Proc) Write(a Addr, v Value) { p.access(Access{Op: OpWrite, Addr: a, Arg1: v}) }
+
+// CAS atomically replaces the value of a with new if it equals old,
+// reporting whether it did.
+func (p *Proc) CAS(a Addr, old, new Value) bool {
+	return p.access(Access{Op: OpCAS, Addr: a, Arg1: old, Arg2: new}).OK
+}
+
+// LL load-links a and returns its value.
+func (p *Proc) LL(a Addr) Value { return p.access(Access{Op: OpLL, Addr: a}).Val }
+
+// SC store-conditionally writes v to a, reporting success.
+func (p *Proc) SC(a Addr, v Value) bool {
+	return p.access(Access{Op: OpSC, Addr: a, Arg1: v}).OK
+}
+
+// FetchAdd atomically adds delta to a and returns the previous value.
+func (p *Proc) FetchAdd(a Addr, delta Value) Value {
+	return p.access(Access{Op: OpFetchAdd, Addr: a, Arg1: delta}).Val
+}
+
+// FetchStore atomically stores v into a and returns the previous value.
+func (p *Proc) FetchStore(a Addr, v Value) Value {
+	return p.access(Access{Op: OpFetchStore, Addr: a, Arg1: v}).Val
+}
+
+// TestAndSet atomically sets a to 1 and reports whether it was 0 before.
+func (p *Proc) TestAndSet(a Addr) bool {
+	return p.access(Access{Op: OpTestAndSet, Addr: a}).OK
+}
+
+// procPhase is the controller's view of one process.
+type procPhase uint8
+
+const (
+	phaseIdle    procPhase = iota // no active call
+	phasePending                  // call active, access waiting to be granted
+	phaseDone                     // call finished, return value not yet collected
+)
+
+type procState struct {
+	phase   procPhase
+	proc    *Proc
+	pending Access
+	done    chan Value
+	ret     Value
+	calls   int    // number of calls started
+	name    string // current procedure name
+}
+
+// Controller runs asynchronous processes over a Machine with single-step
+// granularity. It exposes exactly the control an adversarial scheduler
+// needs: start a procedure call on a process, inspect the process's pending
+// access before it is applied, grant one step, and observe call completion.
+//
+// Controller also records the full execution trace (accesses and call
+// boundaries), which cost models score after the fact.
+type Controller struct {
+	mach   *Machine
+	procs  []procState
+	events []Event
+	seq    int
+}
+
+// NewController returns a controller over m with no active calls.
+func NewController(m *Machine) *Controller {
+	return &Controller{
+		mach:  m,
+		procs: make([]procState, m.N()),
+	}
+}
+
+// Machine returns the underlying shared memory.
+func (c *Controller) Machine() *Machine { return c.mach }
+
+// Events returns the execution trace recorded so far. The returned slice
+// aliases the controller's log; callers must not modify it.
+func (c *Controller) Events() []Event { return c.events }
+
+// Idle reports whether pid has no active procedure call.
+func (c *Controller) Idle(pid PID) bool { return c.procs[pid].phase == phaseIdle }
+
+// Calls returns how many procedure calls pid has started.
+func (c *Controller) Calls(pid PID) int { return c.procs[pid].calls }
+
+// StartCall begins an invocation of prog (named name, e.g. "Poll") on
+// process pid and runs the process until it either submits its first
+// shared-memory access or completes. It returns an error if pid already has
+// an active call.
+func (c *Controller) StartCall(pid PID, name string, prog Program) error {
+	st := &c.procs[pid]
+	if st.phase != phaseIdle {
+		return fmt.Errorf("memsim: process %d already has an active %s call", pid, st.name)
+	}
+	p := &Proc{
+		pid:   pid,
+		req:   make(chan Access),
+		res:   make(chan Result),
+		abort: make(chan struct{}),
+	}
+	done := make(chan Value, 1)
+	st.proc = p
+	st.done = done
+	st.name = name
+	callSeq := st.calls
+	st.calls++
+	c.emit(Event{Kind: EvCallStart, PID: pid, CallSeq: callSeq, Proc: name})
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procAborted); ok {
+					return
+				}
+				panic(r)
+			}
+		}()
+		done <- prog(p)
+	}()
+	c.settle(pid)
+	return nil
+}
+
+// settle waits until pid either submits an access or completes its call,
+// and updates the phase accordingly.
+func (c *Controller) settle(pid PID) {
+	st := &c.procs[pid]
+	select {
+	case acc := <-st.proc.req:
+		st.pending = acc
+		st.phase = phasePending
+	case ret := <-st.done:
+		st.ret = ret
+		st.phase = phaseDone
+	}
+}
+
+// Pending returns the access pid will perform on its next step. The second
+// result is false if pid has no pending access (idle, or call completed).
+func (c *Controller) Pending(pid PID) (Access, bool) {
+	st := &c.procs[pid]
+	if st.phase != phasePending {
+		return Access{}, false
+	}
+	return st.pending, true
+}
+
+// CallEnded reports whether pid's current call has finished, and its return
+// value. Collecting the result with FinishCall moves the process back to
+// idle.
+func (c *Controller) CallEnded(pid PID) (Value, bool) {
+	st := &c.procs[pid]
+	if st.phase != phaseDone {
+		return 0, false
+	}
+	return st.ret, true
+}
+
+// FinishCall collects the return value of pid's completed call and marks
+// the process idle. It returns an error if the call has not completed.
+func (c *Controller) FinishCall(pid PID) (Value, error) {
+	st := &c.procs[pid]
+	if st.phase != phaseDone {
+		return 0, fmt.Errorf("memsim: process %d call has not completed", pid)
+	}
+	c.emit(Event{Kind: EvCallEnd, PID: pid, CallSeq: st.calls - 1, Proc: st.name, Ret: st.ret})
+	st.phase = phaseIdle
+	st.proc = nil
+	st.done = nil
+	return st.ret, nil
+}
+
+// Step applies pid's pending access to shared memory, records the event,
+// and runs the process until its next access or call completion. It returns
+// the applied event.
+func (c *Controller) Step(pid PID) (Event, error) {
+	st := &c.procs[pid]
+	if st.phase != phasePending {
+		return Event{}, fmt.Errorf("memsim: process %d has no pending access", pid)
+	}
+	res := c.mach.Apply(pid, st.pending)
+	ev := Event{
+		Kind:    EvAccess,
+		PID:     pid,
+		CallSeq: st.calls - 1,
+		Proc:    st.name,
+		Acc:     st.pending,
+		Res:     res,
+	}
+	c.emit(ev)
+	st.proc.res <- res
+	c.settle(pid)
+	return ev, nil
+}
+
+// Abort kills pid's active call, if any, without applying its pending
+// access. The process returns to idle; no call-end event is recorded. Abort
+// is a runtime cleanup facility (the logical "erasure" of the lower bound
+// is performed by replaying a filtered schedule instead).
+func (c *Controller) Abort(pid PID) {
+	st := &c.procs[pid]
+	if st.phase == phaseIdle {
+		return
+	}
+	if st.phase == phasePending {
+		close(st.proc.abort)
+	}
+	// A phaseDone goroutine has already exited (done is buffered).
+	st.phase = phaseIdle
+	st.proc = nil
+	st.done = nil
+}
+
+// Close aborts all active calls. The controller must not be used afterward.
+func (c *Controller) Close() {
+	for pid := range c.procs {
+		c.Abort(PID(pid))
+	}
+}
+
+func (c *Controller) emit(ev Event) {
+	ev.Seq = c.seq
+	c.seq++
+	c.events = append(c.events, ev)
+}

@@ -1,0 +1,166 @@
+package memsim
+
+import (
+	"testing"
+)
+
+// testProgram increments a shared word twice and returns its final value.
+func testProgram(a Addr) Program {
+	return func(p *Proc) Value {
+		v := p.Read(a)
+		p.Write(a, v+1)
+		v = p.Read(a)
+		p.Write(a, v+1)
+		return p.Read(a)
+	}
+}
+
+func TestControllerStepGranularity(t *testing.T) {
+	m := NewMachine(2)
+	a := m.Alloc(NoOwner, "x", 1, 0)
+	ctl := NewController(m)
+	defer ctl.Close()
+
+	if err := ctl.StartCall(0, "inc", testProgram(a)); err != nil {
+		t.Fatal(err)
+	}
+	acc, ok := ctl.Pending(0)
+	if !ok || acc.Op != OpRead || acc.Addr != a {
+		t.Fatalf("pending = %v %v, want read of a", acc, ok)
+	}
+	steps := 0
+	for {
+		if ret, done := ctl.CallEnded(0); done {
+			if ret != 2 {
+				t.Fatalf("return = %d, want 2", ret)
+			}
+			break
+		}
+		if _, err := ctl.Step(0); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if steps > 10 {
+			t.Fatal("call did not finish")
+		}
+	}
+	if steps != 5 {
+		t.Fatalf("steps = %d, want 5", steps)
+	}
+	if _, err := ctl.FinishCall(0); err != nil {
+		t.Fatal(err)
+	}
+	if !ctl.Idle(0) {
+		t.Fatal("process should be idle after FinishCall")
+	}
+}
+
+func TestControllerInterleaving(t *testing.T) {
+	m := NewMachine(2)
+	a := m.Alloc(NoOwner, "x", 1, 0)
+	ctl := NewController(m)
+	defer ctl.Close()
+
+	// Interleave two increment programs to lose an update: both read 0,
+	// both write 1.
+	read := func(p *Proc) Value { v := p.Read(a); p.Write(a, v+1); return v }
+	if err := ctl.StartCall(0, "inc", read); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.StartCall(1, "inc", read); err != nil {
+		t.Fatal(err)
+	}
+	mustStep := func(pid PID) {
+		t.Helper()
+		if _, err := ctl.Step(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustStep(0) // p0 reads 0
+	mustStep(1) // p1 reads 0
+	mustStep(0) // p0 writes 1
+	mustStep(1) // p1 writes 1 (lost update)
+	if m.Load(a) != 1 {
+		t.Fatalf("Load = %d, want 1 (lost update)", m.Load(a))
+	}
+}
+
+func TestControllerDoubleStartFails(t *testing.T) {
+	m := NewMachine(1)
+	a := m.Alloc(NoOwner, "x", 1, 0)
+	ctl := NewController(m)
+	defer ctl.Close()
+	if err := ctl.StartCall(0, "p", testProgram(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.StartCall(0, "p", testProgram(a)); err == nil {
+		t.Fatal("second StartCall should fail while a call is active")
+	}
+}
+
+func TestControllerAbort(t *testing.T) {
+	m := NewMachine(1)
+	a := m.Alloc(NoOwner, "x", 1, 0)
+	ctl := NewController(m)
+	if err := ctl.StartCall(0, "spin", func(p *Proc) Value {
+		for p.Read(a) == 0 {
+		}
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Abort(0)
+	if !ctl.Idle(0) {
+		t.Fatal("process should be idle after Abort")
+	}
+	// The machine must be reusable.
+	if err := ctl.StartCall(0, "again", testProgram(a)); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Close()
+}
+
+func TestControllerEvents(t *testing.T) {
+	m := NewMachine(1)
+	a := m.Alloc(NoOwner, "x", 1, 0)
+	ctl := NewController(m)
+	defer ctl.Close()
+	if err := ctl.StartCall(0, "inc", testProgram(a)); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, done := ctl.CallEnded(0); done {
+			break
+		}
+		if _, err := ctl.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ctl.FinishCall(0); err != nil {
+		t.Fatal(err)
+	}
+	evs := ctl.Events()
+	if evs[0].Kind != EvCallStart || evs[len(evs)-1].Kind != EvCallEnd {
+		t.Fatal("trace should be bracketed by call start/end")
+	}
+	accesses := 0
+	for _, ev := range evs {
+		if ev.Kind == EvAccess {
+			accesses++
+			if ev.Proc != "inc" || ev.PID != 0 {
+				t.Fatalf("bad event metadata: %+v", ev)
+			}
+		}
+	}
+	if accesses != 5 {
+		t.Fatalf("accesses = %d, want 5", accesses)
+	}
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, ev.Seq)
+		}
+	}
+}

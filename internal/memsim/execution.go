@@ -1,0 +1,235 @@
+package memsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CallKind names the procedures of a signaling-problem instance for the
+// purpose of recorded, replayable schedules.
+type CallKind uint8
+
+// The replayable call kinds.
+const (
+	CallPoll CallKind = iota + 1
+	CallSignal
+	CallWait
+)
+
+// String returns the procedure name of the call kind.
+func (k CallKind) String() string {
+	switch k {
+	case CallPoll:
+		return "Poll"
+	case CallSignal:
+		return "Signal"
+	case CallWait:
+		return "Wait"
+	default:
+		return fmt.Sprintf("call(%d)", uint8(k))
+	}
+}
+
+// ErrNoProgram is returned by Instance implementations for unsupported
+// procedures.
+var ErrNoProgram = errors.New("memsim: no program for this call kind")
+
+// ActionKind classifies schedule actions.
+type ActionKind uint8
+
+// Schedule action kinds: begin a procedure call, apply one step, collect a
+// completed call's result.
+const (
+	ActStart ActionKind = iota + 1
+	ActStep
+	ActFinish
+)
+
+// Action is one deterministic scheduling decision. A sequence of actions,
+// together with a deterministic instance, fully determines an execution —
+// the replayability property the lower-bound construction depends on.
+type Action struct {
+	Kind ActionKind
+	PID  PID
+	Call CallKind // for ActStart
+}
+
+// Instance is a deployed algorithm: its shared variables have been
+// allocated on a machine and its procedures can be invoked by any process.
+// Implementations must be deterministic and must allocate their variables
+// in a deterministic order so that executions can be replayed on a fresh
+// machine.
+type Instance interface {
+	// Program returns the body of one invocation of the given procedure
+	// by pid. It returns an error if the procedure is not supported
+	// (e.g. Wait on a polling-only algorithm).
+	Program(pid PID, kind CallKind) (Program, error)
+}
+
+// Factory builds a fresh instance of an algorithm for n processes on
+// machine m, allocating all shared variables. It must be deterministic.
+type Factory func(m *Machine, n int) (Instance, error)
+
+// Execution binds a machine, controller and instance and keeps the action
+// log that makes the run replayable.
+type Execution struct {
+	mach    *Machine
+	ctl     *Controller
+	inst    Instance
+	n       int
+	actions []Action
+}
+
+// NewExecution deploys factory on a fresh machine for n processes.
+func NewExecution(factory Factory, n int) (*Execution, error) {
+	m := NewMachine(n)
+	inst, err := factory(m, n)
+	if err != nil {
+		return nil, fmt.Errorf("deploy instance: %w", err)
+	}
+	return &Execution{
+		mach: m,
+		ctl:  NewController(m),
+		inst: inst,
+		n:    n,
+	}, nil
+}
+
+// N returns the number of processes.
+func (e *Execution) N() int { return e.n }
+
+// Machine returns the shared memory.
+func (e *Execution) Machine() *Machine { return e.mach }
+
+// Instance returns the deployed algorithm instance.
+func (e *Execution) Instance() Instance { return e.inst }
+
+// Events returns the execution trace recorded so far.
+func (e *Execution) Events() []Event { return e.ctl.Events() }
+
+// Actions returns a copy of the schedule performed so far.
+func (e *Execution) Actions() []Action {
+	out := make([]Action, len(e.actions))
+	copy(out, e.actions)
+	return out
+}
+
+// Idle reports whether pid has no active call.
+func (e *Execution) Idle(pid PID) bool { return e.ctl.Idle(pid) }
+
+// Calls returns how many procedure calls pid has started.
+func (e *Execution) Calls(pid PID) int { return e.ctl.Calls(pid) }
+
+// Pending returns pid's pending access, if any.
+func (e *Execution) Pending(pid PID) (Access, bool) { return e.ctl.Pending(pid) }
+
+// CallEnded reports whether pid's current call has finished and its return
+// value (without collecting it).
+func (e *Execution) CallEnded(pid PID) (Value, bool) { return e.ctl.CallEnded(pid) }
+
+// Start begins a call of the given kind on pid.
+func (e *Execution) Start(pid PID, kind CallKind) error {
+	prog, err := e.inst.Program(pid, kind)
+	if err != nil {
+		return err
+	}
+	if err := e.ctl.StartCall(pid, kind.String(), prog); err != nil {
+		return err
+	}
+	e.actions = append(e.actions, Action{Kind: ActStart, PID: pid, Call: kind})
+	return nil
+}
+
+// Step applies pid's pending access.
+func (e *Execution) Step(pid PID) (Event, error) {
+	ev, err := e.ctl.Step(pid)
+	if err != nil {
+		return Event{}, err
+	}
+	e.actions = append(e.actions, Action{Kind: ActStep, PID: pid})
+	return ev, nil
+}
+
+// Finish collects the return value of pid's completed call.
+func (e *Execution) Finish(pid PID) (Value, error) {
+	ret, err := e.ctl.FinishCall(pid)
+	if err != nil {
+		return 0, err
+	}
+	e.actions = append(e.actions, Action{Kind: ActFinish, PID: pid})
+	return ret, nil
+}
+
+// RunCall drives pid's current call to completion (applying every pending
+// access in program order with no interleaving) and collects its return
+// value. maxSteps guards against non-terminating solo calls; RunCall
+// returns an error if the budget is exhausted.
+func (e *Execution) RunCall(pid PID, maxSteps int) (Value, error) {
+	for steps := 0; ; steps++ {
+		if _, done := e.ctl.CallEnded(pid); done {
+			return e.Finish(pid)
+		}
+		if steps >= maxSteps {
+			return 0, fmt.Errorf("memsim: process %d call exceeded %d solo steps", pid, maxSteps)
+		}
+		if _, err := e.Step(pid); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// Invoke starts a call of the given kind on pid and runs it solo to
+// completion.
+func (e *Execution) Invoke(pid PID, kind CallKind, maxSteps int) (Value, error) {
+	if err := e.Start(pid, kind); err != nil {
+		return 0, err
+	}
+	return e.RunCall(pid, maxSteps)
+}
+
+// Close aborts all active calls.
+func (e *Execution) Close() { e.ctl.Close() }
+
+// Replay deploys a fresh copy of factory and re-applies the given actions.
+// Because instances are deterministic, the resulting execution's trace is a
+// function of the action sequence alone. Replay returns an error if an
+// action is inapplicable (which indicates either nondeterminism in the
+// instance or an ill-formed schedule).
+func Replay(factory Factory, n int, actions []Action) (*Execution, error) {
+	e, err := NewExecution(factory, n)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range actions {
+		switch a.Kind {
+		case ActStart:
+			err = e.Start(a.PID, a.Call)
+		case ActStep:
+			_, err = e.Step(a.PID)
+		case ActFinish:
+			_, err = e.Finish(a.PID)
+		default:
+			err = fmt.Errorf("unknown action kind %d", a.Kind)
+		}
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("replay action %d (%v p%d): %w", i, a.Kind, a.PID, err)
+		}
+	}
+	return e, nil
+}
+
+// FilterActions returns the subsequence of actions that do not belong to
+// any process in erase. It is the concrete counterpart of "erasing" a
+// process from a history (Lemma 6.7): if no surviving process saw an erased
+// process, replaying the filtered schedule leaves the survivors' behaviour
+// unchanged.
+func FilterActions(actions []Action, erase map[PID]bool) []Action {
+	out := make([]Action, 0, len(actions))
+	for _, a := range actions {
+		if !erase[a.PID] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

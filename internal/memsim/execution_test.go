@@ -1,0 +1,156 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// counterFactory deploys a trivial instance: Poll increments a global
+// counter and returns its new value; Signal writes a flag.
+func counterFactory(m *Machine, n int) (Instance, error) {
+	c := m.Alloc(NoOwner, "counter", 1, 0)
+	f := m.Alloc(NoOwner, "flag", 1, 0)
+	return counterInstance{c: c, f: f}, nil
+}
+
+type counterInstance struct{ c, f Addr }
+
+func (in counterInstance) Program(pid PID, kind CallKind) (Program, error) {
+	switch kind {
+	case CallPoll:
+		return func(p *Proc) Value {
+			v := p.Read(in.c)
+			p.Write(in.c, v+1)
+			return v + 1
+		}, nil
+	case CallSignal:
+		return func(p *Proc) Value {
+			p.Write(in.f, 1)
+			return 0
+		}, nil
+	default:
+		return nil, ErrNoProgram
+	}
+}
+
+func TestExecutionInvoke(t *testing.T) {
+	e, err := NewExecution(counterFactory, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 1; i <= 3; i++ {
+		ret, err := e.Invoke(0, CallPoll, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret != Value(i) {
+			t.Fatalf("poll %d returned %d", i, ret)
+		}
+	}
+}
+
+// TestReplayDeterminism drives a random interleaving, then replays the
+// recorded actions on a fresh machine and requires identical traces — the
+// property the lower-bound adversary's erasure mechanics rest on.
+func TestReplayDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e, err := NewExecution(counterFactory, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := e.Start(PID(i), CallPoll); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for steps := 0; steps < 60; steps++ {
+			var ready []PID
+			for i := 0; i < 3; i++ {
+				p := PID(i)
+				if _, done := e.CallEnded(p); done {
+					if _, err := e.Finish(p); err != nil {
+						t.Fatal(err)
+					}
+					if e.Calls(p) < 3 {
+						if err := e.Start(p, CallPoll); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if _, ok := e.Pending(p); ok {
+					ready = append(ready, p)
+				}
+			}
+			if len(ready) == 0 {
+				break
+			}
+			if _, err := e.Step(ready[rng.Intn(len(ready))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		actions := e.Actions()
+		want := e.Events()
+
+		replayed, err := Replay(counterFactory, 3, actions)
+		if err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+		got := replayed.Events()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: replay produced %d events, want %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: event %d differs: %+v vs %+v", seed, i, got[i], want[i])
+			}
+		}
+		replayed.Close()
+		e.Close()
+	}
+}
+
+func TestFilterActions(t *testing.T) {
+	actions := []Action{
+		{Kind: ActStart, PID: 0, Call: CallPoll},
+		{Kind: ActStart, PID: 1, Call: CallPoll},
+		{Kind: ActStep, PID: 0},
+		{Kind: ActStep, PID: 1},
+		{Kind: ActStep, PID: 0},
+	}
+	got := FilterActions(actions, map[PID]bool{1: true})
+	if len(got) != 3 {
+		t.Fatalf("filtered length = %d, want 3", len(got))
+	}
+	for _, a := range got {
+		if a.PID == 1 {
+			t.Fatal("erased process survived the filter")
+		}
+	}
+}
+
+func TestRunCallBudget(t *testing.T) {
+	factory := func(m *Machine, n int) (Instance, error) {
+		a := m.Alloc(NoOwner, "x", 1, 0)
+		return spinInstance{a: a}, nil
+	}
+	e, err := NewExecution(factory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Invoke(0, CallPoll, 10); err == nil {
+		t.Fatal("Invoke should fail when the budget trips")
+	}
+}
+
+type spinInstance struct{ a Addr }
+
+func (in spinInstance) Program(pid PID, kind CallKind) (Program, error) {
+	return func(p *Proc) Value {
+		for p.Read(in.a) == 0 {
+		}
+		return 0
+	}, nil
+}

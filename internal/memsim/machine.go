@@ -1,0 +1,203 @@
+package memsim
+
+import (
+	"fmt"
+)
+
+// word is one shared-memory cell together with the bookkeeping needed for
+// LL/SC validity and for the "sees" relation of Definition 6.4.
+type word struct {
+	val Value
+	// ver counts nontrivial operations applied to this word; LL records
+	// it and SC succeeds only if it is unchanged.
+	ver uint64
+	// lastWriter is the process whose nontrivial operation last
+	// overwrote the word, or NoOwner if the word still holds its initial
+	// value.
+	lastWriter PID
+	// writers counts distinct nontrivial operations (not distinct
+	// processes); used by regularity analysis.
+	writes int
+}
+
+// llink is a process's load-linked reservation.
+type llink struct {
+	addr  Addr
+	ver   uint64
+	valid bool
+}
+
+// Machine is the shared-memory state of a simulated multiprocessor: a
+// growable array of words, each placed in some process's memory module (or
+// in no module), plus per-process LL/SC reservations.
+//
+// Machine is purely sequential state: it applies one atomic operation at a
+// time and performs no scheduling itself. Controller layers asynchronous
+// processes on top.
+type Machine struct {
+	n     int
+	words []word
+	owner []PID
+	names []string
+	links []llink
+}
+
+// NewMachine returns a machine for n processes with an empty address space.
+func NewMachine(n int) *Machine {
+	if n < 1 {
+		n = 1
+	}
+	return &Machine{
+		n:     n,
+		links: make([]llink, n),
+	}
+}
+
+// N returns the number of processes the machine was sized for.
+func (m *Machine) N() int { return m.n }
+
+// Size returns the number of allocated words.
+func (m *Machine) Size() int { return len(m.words) }
+
+// Alloc allocates count consecutive words in owner's memory module (or in
+// no module if owner is NoOwner), initialized to init, and returns the
+// address of the first. The name is used in diagnostics; words get suffixes
+// name[0], name[1], ... when count > 1.
+//
+// Allocation order is deterministic, so replaying a setup procedure yields
+// identical addresses — a property the lower-bound adversary relies on.
+func (m *Machine) Alloc(owner PID, name string, count int, init Value) Addr {
+	if count < 1 {
+		count = 1
+	}
+	base := Addr(len(m.words))
+	for i := 0; i < count; i++ {
+		m.words = append(m.words, word{val: init, lastWriter: NoOwner})
+		m.owner = append(m.owner, owner)
+		if count == 1 {
+			m.names = append(m.names, name)
+		} else {
+			m.names = append(m.names, fmt.Sprintf("%s[%d]", name, i))
+		}
+	}
+	return base
+}
+
+// Init overrides the initial value of a single word during setup. It does
+// not count as a step of any process: the word's writer history is left
+// untouched. Use it for initial conditions that differ between elements of
+// an array allocated with one Alloc call.
+func (m *Machine) Init(a Addr, v Value) {
+	m.words[a].val = v
+}
+
+// Owner returns the module owner of addr (NoOwner for global words).
+func (m *Machine) Owner(a Addr) PID {
+	if int(a) < 0 || int(a) >= len(m.owner) {
+		return NoOwner
+	}
+	return m.owner[a]
+}
+
+// Name returns the debug name of addr.
+func (m *Machine) Name(a Addr) string {
+	if int(a) < 0 || int(a) >= len(m.names) {
+		return fmt.Sprintf("a%d", a)
+	}
+	return m.names[a]
+}
+
+// Load returns the current value of addr without performing a simulated
+// access (no process steps, no RMRs). It is intended for checkers and
+// diagnostics, not for algorithm code.
+func (m *Machine) Load(a Addr) Value { return m.words[a].val }
+
+// LastWriter returns the process whose nontrivial operation most recently
+// overwrote addr, or NoOwner if the word was never overwritten.
+func (m *Machine) LastWriter(a Addr) PID { return m.words[a].lastWriter }
+
+// WriteCount returns how many nontrivial operations have been applied to
+// addr.
+func (m *Machine) WriteCount(a Addr) int { return m.words[a].writes }
+
+// Apply performs the atomic operation acc on behalf of pid and returns its
+// result. It panics on malformed accesses (out-of-range address or unknown
+// op), which indicate bugs in algorithm code rather than runtime errors.
+func (m *Machine) Apply(pid PID, acc Access) Result {
+	if int(acc.Addr) < 0 || int(acc.Addr) >= len(m.words) {
+		panic(fmt.Sprintf("memsim: process %d accessed unallocated address %d", pid, acc.Addr))
+	}
+	w := &m.words[acc.Addr]
+	switch acc.Op {
+	case OpRead:
+		return Result{Val: w.val, OK: true}
+	case OpWrite:
+		m.overwrite(pid, acc.Addr, acc.Arg1)
+		return Result{OK: true, Wrote: true}
+	case OpCAS:
+		old := w.val
+		if old == acc.Arg1 {
+			m.overwrite(pid, acc.Addr, acc.Arg2)
+			return Result{Val: old, OK: true, Wrote: true}
+		}
+		return Result{Val: old, OK: false}
+	case OpLL:
+		m.links[pid] = llink{addr: acc.Addr, ver: w.ver, valid: true}
+		return Result{Val: w.val, OK: true}
+	case OpSC:
+		l := m.links[pid]
+		m.links[pid].valid = false
+		if l.valid && l.addr == acc.Addr && l.ver == w.ver {
+			m.overwrite(pid, acc.Addr, acc.Arg1)
+			return Result{OK: true, Wrote: true}
+		}
+		return Result{OK: false}
+	case OpFetchAdd:
+		old := w.val
+		m.overwrite(pid, acc.Addr, old+acc.Arg1)
+		return Result{Val: old, OK: true, Wrote: true}
+	case OpFetchStore:
+		old := w.val
+		m.overwrite(pid, acc.Addr, acc.Arg1)
+		return Result{Val: old, OK: true, Wrote: true}
+	case OpTestAndSet:
+		old := w.val
+		m.overwrite(pid, acc.Addr, 1)
+		return Result{Val: old, OK: old == 0, Wrote: true}
+	default:
+		panic(fmt.Sprintf("memsim: unknown op %d", acc.Op))
+	}
+}
+
+// overwrite applies a nontrivial operation: it stores v, bumps the version
+// (invalidating LL reservations), and records the writer.
+func (m *Machine) overwrite(pid PID, a Addr, v Value) {
+	w := &m.words[a]
+	w.val = v
+	w.ver++
+	w.lastWriter = pid
+	w.writes++
+}
+
+// Snapshot returns a copy of all word values, for fixpoint detection and
+// test assertions.
+func (m *Machine) Snapshot() []Value {
+	vals := make([]Value, len(m.words))
+	for i := range m.words {
+		vals[i] = m.words[i].val
+	}
+	return vals
+}
+
+// ModuleSnapshot returns the values of all words in pid's module, in
+// address order. The lower-bound adversary uses it to detect that a waiter
+// has reached a local fixpoint (stability, Definition 6.8).
+func (m *Machine) ModuleSnapshot(pid PID) []Value {
+	var vals []Value
+	for i := range m.words {
+		if m.owner[i] == pid {
+			vals = append(vals, m.words[i].val)
+		}
+	}
+	return vals
+}

@@ -1,0 +1,97 @@
+package memsim
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{
+		OpRead:       "read",
+		OpWrite:      "write",
+		OpCAS:        "CAS",
+		OpLL:         "LL",
+		OpSC:         "SC",
+		OpFetchAdd:   "FAA",
+		OpFetchStore: "FAS",
+		OpTestAndSet: "TAS",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+	if got := Op(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestOpIsComparison(t *testing.T) {
+	for _, op := range []Op{OpCAS, OpLL, OpSC} {
+		if !op.IsComparison() {
+			t.Errorf("%v should be a comparison primitive", op)
+		}
+	}
+	for _, op := range []Op{OpRead, OpWrite, OpFetchAdd, OpFetchStore, OpTestAndSet} {
+		if op.IsComparison() {
+			t.Errorf("%v should not be a comparison primitive", op)
+		}
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	cases := map[string]Access{
+		"read a3":       {Op: OpRead, Addr: 3},
+		"write a1 <- 7": {Op: OpWrite, Addr: 1, Arg1: 7},
+		"CAS a2 0->5":   {Op: OpCAS, Addr: 2, Arg1: 0, Arg2: 5},
+		"FAA a4 += 2":   {Op: OpFetchAdd, Addr: 4, Arg1: 2},
+		"FAS a5 <- 9":   {Op: OpFetchStore, Addr: 5, Arg1: 9},
+		"TAS a6":        {Op: OpTestAndSet, Addr: 6},
+	}
+	for want, acc := range cases {
+		if got := acc.String(); got != want {
+			t.Errorf("Access.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCallKindString(t *testing.T) {
+	if CallPoll.String() != "Poll" || CallSignal.String() != "Signal" || CallWait.String() != "Wait" {
+		t.Fatal("call kind names wrong")
+	}
+	if got := CallKind(77).String(); !strings.Contains(got, "77") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+// TestNoGoroutineLeaks: creating and closing many executions (including
+// aborted mid-call spinners) must not leak process goroutines.
+func TestNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		e, err := NewExecution(counterFactory, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid := 0; pid < 4; pid++ {
+			if err := e.Start(PID(pid), CallPoll); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Step(PID(pid)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Close() // aborts all four mid-call
+	}
+	// Give aborted goroutines a moment to unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,327 @@
+// Package model implements the RMR cost models of the paper's Section 2 and
+// the interconnect-message accounting of Section 8.
+//
+// A cost model scores an execution trace after the fact: the same run of
+// the simulator can be priced under the DSM rule (locality of the accessed
+// module), the loose CC rule used for the paper's upper bounds (repeated
+// reads of an uninvalidated location cost one RMR in total), and several
+// coherence-protocol message models (bus broadcast, ideal directory,
+// limited directory) that define Section 8's "exchange rate" between CC
+// RMRs and communication.
+package model
+
+import (
+	"repro/internal/memsim"
+)
+
+// Report is the outcome of scoring a trace under a cost model.
+type Report struct {
+	Model string
+	// PerProc[p] is the number of RMRs process p incurred.
+	PerProc []int
+	// Total is the sum of PerProc.
+	Total int
+	// Messages is the number of interconnect messages generated
+	// (meaningful for CC message models; equals Total for DSM and plain
+	// CC scoring).
+	Messages int
+	// Invalidations counts events where a cached copy was actually
+	// destroyed (Section 8 observes Invalidations <= Total).
+	Invalidations int
+}
+
+// Amortized returns Total divided by the number of participating processes
+// (processes with at least one access), the quantity bounded by the paper's
+// definition of O(1) amortized RMR complexity. It returns 0 when no process
+// participated.
+func (r *Report) Amortized() float64 {
+	parts := 0
+	for _, c := range r.PerProc {
+		if c > 0 {
+			parts++
+		}
+	}
+	if parts == 0 {
+		return 0
+	}
+	return float64(r.Total) / float64(parts)
+}
+
+// Max returns the largest per-process RMR count (worst-case complexity).
+func (r *Report) Max() int {
+	max := 0
+	for _, c := range r.PerProc {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// CostModel scores a trace.
+type CostModel interface {
+	Name() string
+	Score(events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) *Report
+}
+
+// Cost is one event's price under a cost model: whether the access was an
+// RMR, how many interconnect messages it generated, and how many cached
+// copies it destroyed. Non-access events cost nothing.
+type Cost struct {
+	RMR           bool
+	Messages      int
+	Invalidations int
+}
+
+// Annotator is a cost model that can price a trace event by event
+// (implemented by both DSM and CC); cmd/tracedump and fine-grained tests
+// build on it.
+type Annotator interface {
+	CostModel
+	Annotate(events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) []Cost
+}
+
+// DSM is the distributed-shared-memory cost model: an access is an RMR if
+// and only if the address maps to a module tied to another processor
+// (Section 2). Global words (no owner) are remote to everyone.
+type DSM struct{}
+
+var _ CostModel = DSM{}
+
+// Name implements CostModel.
+func (DSM) Name() string { return "DSM" }
+
+// Annotate implements Annotator.
+func (DSM) Annotate(events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) []Cost {
+	costs := make([]Cost, len(events))
+	for i, ev := range events {
+		if ev.Kind != memsim.EvAccess {
+			continue
+		}
+		if IsRemoteDSM(ev.PID, ev.Acc.Addr, owner) {
+			costs[i] = Cost{RMR: true, Messages: 1}
+		}
+	}
+	return costs
+}
+
+// Score implements CostModel.
+func (d DSM) Score(events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) *Report {
+	rep := &Report{Model: "DSM", PerProc: make([]int, n)}
+	for i, c := range d.Annotate(events, owner, n) {
+		if c.RMR {
+			rep.PerProc[events[i].PID]++
+			rep.Total++
+		}
+		rep.Messages += c.Messages
+		rep.Invalidations += c.Invalidations
+	}
+	return rep
+}
+
+// IsRemoteDSM reports whether an access by pid to addr is an RMR under the
+// DSM rule. It is exported because the lower-bound adversary classifies
+// pending (not yet applied) accesses with the same rule.
+func IsRemoteDSM(pid memsim.PID, addr memsim.Addr, owner func(memsim.Addr) memsim.PID) bool {
+	return owner(addr) != pid
+}
+
+// MsgModel selects how a CC write's invalidation traffic is counted
+// (Section 8).
+type MsgModel uint8
+
+// The coherence message accounting variants of Section 8.
+const (
+	// MsgBus models a shared bus: every RMR is one broadcast message, so
+	// CC RMRs are "at par" with DSM RMRs.
+	MsgBus MsgModel = iota + 1
+	// MsgDirectoryIdeal models a directory that knows exactly which
+	// caches hold a copy: one invalidation message per actual copy.
+	MsgDirectoryIdeal
+	// MsgDirectoryLimited models a directory that tracks at most Limit
+	// sharers precisely and otherwise broadcasts to all other
+	// processors, generating superfluous invalidation messages.
+	MsgDirectoryLimited
+)
+
+// CC is the cache-coherent cost model. With WriteBack false it models a
+// write-through protocol: reads hit the local cache until another process
+// performs a nontrivial operation on the location; every non-read
+// operation traverses the interconnect. With WriteBack true, a writer
+// additionally gains an exclusive cached copy, so repeated writes by the
+// same process to an uncontended location cost one RMR in total.
+//
+// This implements the paper's loose Section 2 definition ("if a process
+// reads some memory location several times, the entire sequence of reads
+// incurs only one RMR provided no nontrivial operation by another process
+// intervenes") plus the Section 8 message accounting.
+type CC struct {
+	WriteBack bool
+	Msg       MsgModel
+	// Limit is the precise-sharer capacity for MsgDirectoryLimited.
+	Limit int
+	// StrictInvalidate makes every non-read operation invalidate remote
+	// copies, even trivial ones (failed CAS/SC). The paper's Section 2
+	// definition invalidates only on nontrivial operations; this knob
+	// exists for the cache-rule ablation (DESIGN.md §5).
+	StrictInvalidate bool
+	// EvictEvery, when positive, spuriously evicts a process's entire
+	// cache every EvictEvery of its own accesses — the Section 8 caveat
+	// that the ideal-cache assumption "does not hold in a preemptive
+	// multitasking environment", under which theoretical RMR bounds
+	// underestimate the real count. 0 keeps the paper's ideal cache.
+	EvictEvery int
+}
+
+var _ CostModel = CC{}
+
+// Name implements CostModel.
+func (c CC) Name() string {
+	name := "CC-WT"
+	if c.WriteBack {
+		name = "CC-WB"
+	}
+	switch c.Msg {
+	case MsgBus:
+		name += "/bus"
+	case MsgDirectoryIdeal:
+		name += "/dir-ideal"
+	case MsgDirectoryLimited:
+		name += "/dir-limited"
+	}
+	return name
+}
+
+// Score implements CostModel.
+func (c CC) Score(events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) *Report {
+	rep := &Report{Model: c.Name(), PerProc: make([]int, n)}
+	for i, cost := range c.Annotate(events, owner, n) {
+		if cost.RMR {
+			rep.PerProc[events[i].PID]++
+			rep.Total++
+		}
+		rep.Messages += cost.Messages
+		rep.Invalidations += cost.Invalidations
+	}
+	return rep
+}
+
+// Annotate implements Annotator.
+func (c CC) Annotate(events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) []Cost {
+	costs := make([]Cost, len(events))
+	// shared[a] is the set of processes with a valid cached copy of a;
+	// exclusive[a] is the write-back owner, if any.
+	shared := make(map[memsim.Addr]map[memsim.PID]bool)
+	exclusive := make(map[memsim.Addr]memsim.PID)
+	cachedBy := func(a memsim.Addr, p memsim.PID) bool {
+		if q, ok := exclusive[a]; ok && q == p {
+			return true
+		}
+		return shared[a][p]
+	}
+	cache := func(a memsim.Addr, p memsim.PID) {
+		s := shared[a]
+		if s == nil {
+			s = make(map[memsim.PID]bool)
+			shared[a] = s
+		}
+		s[p] = true
+	}
+	// invalidate destroys all copies held by processes other than p and
+	// returns the number destroyed.
+	invalidate := func(a memsim.Addr, p memsim.PID) int {
+		destroyed := 0
+		for q := range shared[a] {
+			if q != p {
+				delete(shared[a], q)
+				destroyed++
+			}
+		}
+		if q, ok := exclusive[a]; ok && q != p {
+			delete(exclusive, a)
+			destroyed++
+		}
+		return destroyed
+	}
+	accessCount := make(map[memsim.PID]int)
+	for i, ev := range events {
+		if ev.Kind != memsim.EvAccess {
+			continue
+		}
+		p := ev.PID
+		a := ev.Acc.Addr
+		if c.EvictEvery > 0 {
+			accessCount[p]++
+			if accessCount[p]%c.EvictEvery == 0 {
+				// Spurious whole-cache eviction (preemption, Section 8).
+				for addr, s := range shared {
+					delete(s, p)
+					if q, ok := exclusive[addr]; ok && q == p {
+						delete(exclusive, addr)
+					}
+				}
+			}
+		}
+		isRead := ev.Acc.Op == memsim.OpRead || ev.Acc.Op == memsim.OpLL
+		if isRead {
+			if cachedBy(a, p) {
+				continue // local cache hit: no RMR, no messages
+			}
+			costs[i] = Cost{RMR: true, Messages: 1} // fetch message
+			cache(a, p)
+			continue
+		}
+		// Non-read operations engage the interconnect.
+		cost := Cost{RMR: true}
+		copies := len(shared[a])
+		if shared[a][p] {
+			copies-- // own copy is updated, not invalidated
+		}
+		if _, ok := exclusive[a]; ok && exclusive[a] != p {
+			copies++
+		}
+		destroyed := 0
+		if ev.Res.Wrote || c.StrictInvalidate {
+			destroyed = invalidate(a, p)
+		}
+		cost.Invalidations = destroyed
+		switch c.Msg {
+		case MsgDirectoryIdeal:
+			cost.Messages = 1 + destroyed
+		case MsgDirectoryLimited:
+			if ev.Res.Wrote && copies > c.Limit {
+				cost.Messages = 1 + (n - 1) // broadcast invalidation
+			} else {
+				cost.Messages = 1 + destroyed
+			}
+		default: // bus, or unset
+			cost.Messages = 1
+		}
+		if ev.Res.Wrote {
+			if c.WriteBack {
+				exclusive[a] = p
+				delete(shared[a], p)
+			} else {
+				cache(a, p) // write-through: writer keeps a valid copy
+			}
+		}
+		costs[i] = cost
+	}
+	return costs
+}
+
+// Standard model instances used across benchmarks and experiments.
+var (
+	// ModelDSM is the DSM cost model of Section 2.
+	ModelDSM = DSM{}
+	// ModelCC is the paper's loose CC model with bus messaging.
+	ModelCC = CC{Msg: MsgBus}
+	// ModelCCWriteBack is the write-back CC variant.
+	ModelCCWriteBack = CC{WriteBack: true, Msg: MsgBus}
+	// ModelCCDirIdeal counts one invalidation message per destroyed copy.
+	ModelCCDirIdeal = CC{Msg: MsgDirectoryIdeal}
+)
+
+// CCDirLimited returns a limited-directory CC model tracking at most limit
+// sharers precisely.
+func CCDirLimited(limit int) CC { return CC{Msg: MsgDirectoryLimited, Limit: limit} }

@@ -1,0 +1,82 @@
+package mutex
+
+import (
+	"repro/internal/memsim"
+)
+
+// Bakery returns Lamport's bakery lock [24], the classic first-come-first-
+// served mutual exclusion algorithm from atomic reads and writes only —
+// the paper's Section 3 cites the FCFS ME complexity line it founded. Each
+// process's choosing flag and ticket live in its own memory module, so a
+// process's own doorway is local; scanning the other processes' tickets is
+// what costs Θ(N) RMRs per passage in both models (the bakery predates
+// local-spin techniques).
+//
+// Tickets grow without bound over a run, which is fine in simulation (the
+// paper's space discussions are orthogonal).
+func Bakery() Algorithm {
+	return Algorithm{
+		Name:       "bakery",
+		Primitives: "read/write",
+		Comment:    "FCFS; Θ(N) RMRs per passage in both models (no local spinning)",
+		New: func(m *memsim.Machine, n int) (Lock, error) {
+			l := &bakeryLock{
+				n:        n,
+				choosing: make([]memsim.Addr, n),
+				number:   make([]memsim.Addr, n),
+			}
+			for i := 0; i < n; i++ {
+				pid := memsim.PID(i)
+				l.choosing[i] = m.Alloc(pid, "choosing", 1, 0)
+				l.number[i] = m.Alloc(pid, "number", 1, 0)
+			}
+			return l, nil
+		},
+	}
+}
+
+type bakeryLock struct {
+	n        int
+	choosing []memsim.Addr
+	number   []memsim.Addr
+}
+
+var _ Lock = (*bakeryLock)(nil)
+
+// Acquire implements Lock.
+func (l *bakeryLock) Acquire(p *memsim.Proc) {
+	i := int(p.ID())
+	// Doorway: pick a ticket larger than every ticket seen.
+	p.Write(l.choosing[i], 1)
+	max := memsim.Value(0)
+	for j := 0; j < l.n; j++ {
+		if v := p.Read(l.number[j]); v > max {
+			max = v
+		}
+	}
+	p.Write(l.number[i], max+1)
+	p.Write(l.choosing[i], 0)
+	// Wait section: defer to every process with a smaller (ticket, ID).
+	for j := 0; j < l.n; j++ {
+		if j == i {
+			continue
+		}
+		for p.Read(l.choosing[j]) == 1 {
+		}
+		for {
+			nj := p.Read(l.number[j])
+			if nj == 0 {
+				break
+			}
+			ni := p.Read(l.number[i])
+			if nj > ni || (nj == ni && j > i) {
+				break
+			}
+		}
+	}
+}
+
+// Release implements Lock.
+func (l *bakeryLock) Release(p *memsim.Proc) {
+	p.Write(l.number[p.ID()], 0)
+}

@@ -1,0 +1,73 @@
+package mutex
+
+import (
+	"repro/internal/memsim"
+)
+
+// MCS returns the Mellor-Crummey–Scott queue lock [28]: processes enqueue
+// with Fetch-And-Store on a shared tail and spin on a "locked" flag inside
+// their own queue node. Because each node lives in its owner's memory
+// module, spinning is local in both the CC and DSM models: O(1) RMRs per
+// passage in each — the canonical example that bounded-RMR locking is
+// achievable on DSM machines.
+func MCS() Algorithm {
+	return Algorithm{
+		Name:       "mcs",
+		Primitives: "read/write/FAS/CAS",
+		Comment:    "O(1)/passage in both CC and DSM (local spinning)",
+		New: func(m *memsim.Machine, n int) (Lock, error) {
+			l := &mcsLock{
+				tail:   m.Alloc(memsim.NoOwner, "tail", 1, memsim.Nil),
+				next:   make([]memsim.Addr, n),
+				locked: make([]memsim.Addr, n),
+			}
+			for i := 0; i < n; i++ {
+				pid := memsim.PID(i)
+				l.next[i] = m.Alloc(pid, "qnext", 1, memsim.Nil)
+				l.locked[i] = m.Alloc(pid, "qlocked", 1, 0)
+			}
+			return l, nil
+		},
+	}
+}
+
+type mcsLock struct {
+	tail   memsim.Addr
+	next   []memsim.Addr // next[i]: successor of i's queue node (in i's module)
+	locked []memsim.Addr // locked[i]: i's spin flag (in i's module)
+}
+
+var _ Lock = (*mcsLock)(nil)
+
+// Acquire implements Lock.
+func (l *mcsLock) Acquire(p *memsim.Proc) {
+	i := int(p.ID())
+	p.Write(l.next[i], memsim.Nil)
+	p.Write(l.locked[i], 1)
+	pred := p.FetchStore(l.tail, memsim.Value(i))
+	if pred == memsim.Nil {
+		return // lock was free
+	}
+	p.Write(l.next[pred], memsim.Value(i)) // link behind predecessor
+	for p.Read(l.locked[i]) == 1 {         // local spin
+	}
+}
+
+// Release implements Lock.
+func (l *mcsLock) Release(p *memsim.Proc) {
+	i := int(p.ID())
+	succ := p.Read(l.next[i])
+	if succ == memsim.Nil {
+		if p.CAS(l.tail, memsim.Value(i), memsim.Nil) {
+			return // no successor; lock is free
+		}
+		// A successor is enqueueing: wait for the link.
+		for {
+			succ = p.Read(l.next[i]) // local spin in own module
+			if succ != memsim.Nil {
+				break
+			}
+		}
+	}
+	p.Write(l.locked[succ], 0) // hand over
+}

@@ -1,0 +1,68 @@
+// Package mutex implements the mutual-exclusion substrate the paper's
+// related-work positioning (Section 3) builds on, and that the Section 7
+// queue-based signaling solution presupposes: spin locks spanning the known
+// RMR-complexity landscape.
+//
+//   - test-and-set and test-and-test-and-set locks: unbounded RMRs in both
+//     models under contention;
+//   - ticket lock (Fetch-And-Increment): bounded fairness but remote
+//     spinning, so O(contenders) RMRs per passage;
+//   - Anderson's array lock: O(1) RMRs per passage in the CC model, remote
+//     spinning in DSM;
+//   - MCS queue lock: O(1) RMRs per passage in both CC and DSM (each
+//     process spins on a flag in its own memory module);
+//   - Peterson tournament lock: reads/writes only, Θ(log N) RMRs per
+//     passage in the CC model (the read/write bound of [30, 22, 10, 5]).
+//
+// Locks are program fragments over memsim.Proc so they compose with larger
+// simulated programs.
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// Lock is a deployed mutual-exclusion instance. Acquire blocks (busy-waits
+// in simulated steps) until the calling process holds the lock; Release
+// relinquishes it. Both run inside the calling process's program.
+type Lock interface {
+	Acquire(p *memsim.Proc)
+	Release(p *memsim.Proc)
+}
+
+// Algorithm is a named lock construction.
+type Algorithm struct {
+	// Name identifies the lock in reports.
+	Name string
+	// Primitives documents the required synchronization primitives.
+	Primitives string
+	// Comment summarizes the known RMR complexity per passage.
+	Comment string
+	// New deploys a fresh lock for n processes on m.
+	New func(m *memsim.Machine, n int) (Lock, error)
+}
+
+// All returns every lock in the repository.
+func All() []Algorithm {
+	return []Algorithm{
+		TAS(),
+		TTAS(),
+		Ticket(),
+		Anderson(),
+		MCS(),
+		PetersonTournament(),
+		Bakery(),
+	}
+}
+
+// ByName returns the lock algorithm with the given name.
+func ByName(name string) (Algorithm, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Algorithm{}, fmt.Errorf("mutex: unknown lock %q", name)
+}

@@ -1,0 +1,155 @@
+package mutex
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// ErrBudget is returned when a lock run exhausts its step budget.
+var ErrBudget = errors.New("mutex: step budget exhausted")
+
+// RunConfig describes a contended critical-section workload.
+type RunConfig struct {
+	// Lock is the algorithm under test.
+	Lock Algorithm
+	// N is the number of competing processes.
+	N int
+	// Passages is the number of critical-section passages per process.
+	Passages int
+	// Scheduler orders steps; nil means seeded random (seed 1).
+	Scheduler sched.Scheduler
+	// MaxSteps bounds total shared-memory accesses (default 1e6).
+	MaxSteps int
+}
+
+// RunResult is the outcome of a lock workload.
+type RunResult struct {
+	// Events is the execution trace.
+	Events []memsim.Event
+	// Passages is the number of completed critical sections.
+	Passages int
+	// MutualExclusion reports whether every passage observed exclusive
+	// occupancy (owner check and no lost counter updates).
+	MutualExclusion bool
+	// Truncated reports whether the step budget expired first.
+	Truncated bool
+
+	ownerFn func(memsim.Addr) memsim.PID
+	n       int
+}
+
+// Score prices the trace under a cost model.
+func (r *RunResult) Score(cm model.CostModel) *model.Report {
+	return cm.Score(r.Events, r.ownerFn, r.n)
+}
+
+// PerPassage returns total RMRs divided by completed passages under cm.
+func (r *RunResult) PerPassage(cm model.CostModel) float64 {
+	if r.Passages == 0 {
+		return 0
+	}
+	return float64(r.Score(cm).Total) / float64(r.Passages)
+}
+
+// Run drives the contended workload: every process repeatedly acquires the
+// lock, performs a two-step critical section that detects mutual-exclusion
+// violations (owner stamp re-read plus an unprotected counter increment),
+// and releases.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Lock.New == nil {
+		return nil, errors.New("mutex: config requires a lock")
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("mutex: need at least 1 process, got %d", cfg.N)
+	}
+	if cfg.Passages < 1 {
+		cfg.Passages = 1
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 1_000_000
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = sched.NewRandom(1)
+	}
+
+	m := memsim.NewMachine(cfg.N)
+	lock, err := cfg.Lock.New(m, cfg.N)
+	if err != nil {
+		return nil, fmt.Errorf("deploy lock: %w", err)
+	}
+	csOwner := m.Alloc(memsim.NoOwner, "csOwner", 1, memsim.Nil)
+	csCount := m.Alloc(memsim.NoOwner, "csCount", 1, 0)
+
+	ctl := memsim.NewController(m)
+	defer ctl.Close()
+
+	passage := func(pid memsim.PID) memsim.Program {
+		return func(p *memsim.Proc) memsim.Value {
+			lock.Acquire(p)
+			p.Write(csOwner, memsim.Value(pid))
+			ok := p.Read(csOwner) == memsim.Value(pid)
+			c := p.Read(csCount)
+			p.Write(csCount, c+1)
+			lock.Release(p)
+			if ok {
+				return 1
+			}
+			return 0
+		}
+	}
+
+	res := &RunResult{MutualExclusion: true, ownerFn: m.Owner, n: cfg.N}
+	remaining := make([]int, cfg.N)
+	for i := range remaining {
+		remaining[i] = cfg.Passages
+	}
+	steps := 0
+	for {
+		var ready []memsim.PID
+		for i := 0; i < cfg.N; i++ {
+			pid := memsim.PID(i)
+			if ret, ended := ctl.CallEnded(pid); ended {
+				if _, err := ctl.FinishCall(pid); err != nil {
+					return nil, err
+				}
+				res.Passages++
+				if ret == 0 {
+					res.MutualExclusion = false
+				}
+			}
+			if ctl.Idle(pid) && remaining[i] > 0 {
+				remaining[i]--
+				if err := ctl.StartCall(pid, "passage", passage(pid)); err != nil {
+					return nil, err
+				}
+			}
+			if _, ok := ctl.Pending(pid); ok {
+				ready = append(ready, pid)
+			}
+		}
+		if len(ready) == 0 {
+			break
+		}
+		if steps >= cfg.MaxSteps {
+			res.Truncated = true
+			break
+		}
+		if _, err := ctl.Step(cfg.Scheduler.Next(ready)); err != nil {
+			return nil, err
+		}
+		steps++
+	}
+
+	if m.Load(csCount) != memsim.Value(res.Passages) && !res.Truncated {
+		res.MutualExclusion = false // lost update: two processes overlapped
+	}
+	res.Events = ctl.Events()
+	if res.Truncated {
+		return res, fmt.Errorf("%w after %d steps", ErrBudget, steps)
+	}
+	return res, nil
+}

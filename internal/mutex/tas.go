@@ -1,0 +1,75 @@
+package mutex
+
+import (
+	"repro/internal/memsim"
+)
+
+// TAS returns the test-and-set spin lock: processes loop on TAS(flag) until
+// they win. Every retry is an interconnect operation, so RMR complexity per
+// passage is unbounded under contention in both the CC and DSM models —
+// the classic motivation for local-spin algorithms [4, 28].
+func TAS() Algorithm {
+	return Algorithm{
+		Name:       "tas",
+		Primitives: "read/write/TAS",
+		Comment:    "unbounded RMRs under contention in both models",
+		New: func(m *memsim.Machine, n int) (Lock, error) {
+			return &tasLock{flag: m.Alloc(memsim.NoOwner, "lock", 1, 0)}, nil
+		},
+	}
+}
+
+type tasLock struct {
+	flag memsim.Addr
+}
+
+var _ Lock = (*tasLock)(nil)
+
+// Acquire implements Lock.
+func (l *tasLock) Acquire(p *memsim.Proc) {
+	for !p.TestAndSet(l.flag) {
+	}
+}
+
+// Release implements Lock.
+func (l *tasLock) Release(p *memsim.Proc) {
+	p.Write(l.flag, 0)
+}
+
+// TTAS returns the test-and-test-and-set lock: spin reading the flag until
+// it appears free, then attempt TAS. In the CC model the read spin is
+// cached, so steady-state waiting is local and RMRs are incurred only on
+// invalidations (still Θ(contenders) per release); in the DSM model the
+// spin is remote and RMR complexity remains unbounded.
+func TTAS() Algorithm {
+	return Algorithm{
+		Name:       "ttas",
+		Primitives: "read/write/TAS",
+		Comment:    "cached spinning in CC; unbounded RMRs in DSM",
+		New: func(m *memsim.Machine, n int) (Lock, error) {
+			return &ttasLock{flag: m.Alloc(memsim.NoOwner, "lock", 1, 0)}, nil
+		},
+	}
+}
+
+type ttasLock struct {
+	flag memsim.Addr
+}
+
+var _ Lock = (*ttasLock)(nil)
+
+// Acquire implements Lock.
+func (l *ttasLock) Acquire(p *memsim.Proc) {
+	for {
+		for p.Read(l.flag) != 0 {
+		}
+		if p.TestAndSet(l.flag) {
+			return
+		}
+	}
+}
+
+// Release implements Lock.
+func (l *ttasLock) Release(p *memsim.Proc) {
+	p.Write(l.flag, 0)
+}

@@ -1,0 +1,101 @@
+package mutex
+
+import (
+	"repro/internal/memsim"
+)
+
+// Ticket returns the ticket lock: Fetch-And-Increment hands out tickets and
+// processes spin reading a shared now-serving counter. FIFO-fair, but the
+// spin variable is shared by all waiters, so every release invalidates
+// every waiter's cache in CC (Θ(contenders) RMRs amortized per passage) and
+// spinning is always remote in DSM.
+func Ticket() Algorithm {
+	return Algorithm{
+		Name:       "ticket",
+		Primitives: "read/write/FAA",
+		Comment:    "FIFO; shared spin variable: Θ(contenders) per passage in CC, unbounded in DSM",
+		New: func(m *memsim.Machine, n int) (Lock, error) {
+			return &ticketLock{
+				next:    m.Alloc(memsim.NoOwner, "next", 1, 0),
+				serving: m.Alloc(memsim.NoOwner, "serving", 1, 0),
+			}, nil
+		},
+	}
+}
+
+type ticketLock struct {
+	next    memsim.Addr
+	serving memsim.Addr
+}
+
+var _ Lock = (*ticketLock)(nil)
+
+// Acquire implements Lock.
+func (l *ticketLock) Acquire(p *memsim.Proc) {
+	t := p.FetchAdd(l.next, 1)
+	for p.Read(l.serving) != t {
+	}
+}
+
+// Release implements Lock.
+func (l *ticketLock) Release(p *memsim.Proc) {
+	// Only the lock holder advances the counter, so read-then-write is
+	// atomic enough.
+	s := p.Read(l.serving)
+	p.Write(l.serving, s+1)
+}
+
+// Anderson returns Anderson's array-based queue lock [4]: Fetch-And-
+// Increment assigns each process a distinct slot of a Boolean array and
+// each process spins on its own slot, so a release invalidates exactly one
+// cache: O(1) RMRs per passage in the CC model. The array is shared, so in
+// the DSM model a process's slot is generally remote and spinning is
+// unbounded — the lock is CC-local-spin only, a concrete instance of the
+// paper's point that RMR-efficient techniques are model-specific.
+func Anderson() Algorithm {
+	return Algorithm{
+		Name:       "anderson",
+		Primitives: "read/write/FAA",
+		Comment:    "O(1)/passage in CC; remote spinning in DSM",
+		New: func(m *memsim.Machine, n int) (Lock, error) {
+			l := &andersonLock{
+				n:     n,
+				next:  m.Alloc(memsim.NoOwner, "next", 1, 0),
+				slots: m.Alloc(memsim.NoOwner, "slots", n, 0),
+				mine:  make([]memsim.Addr, n),
+			}
+			for i := 0; i < n; i++ {
+				// Per-process remembered slot index (private state).
+				l.mine[i] = m.Alloc(memsim.PID(i), "mySlot", 1, 0)
+			}
+			m.Init(l.slots, 1) // slot 0 starts granted
+			return l, nil
+		},
+	}
+}
+
+type andersonLock struct {
+	n     int
+	next  memsim.Addr
+	slots memsim.Addr
+	mine  []memsim.Addr
+}
+
+var _ Lock = (*andersonLock)(nil)
+
+// Acquire implements Lock.
+func (l *andersonLock) Acquire(p *memsim.Proc) {
+	t := p.FetchAdd(l.next, 1)
+	slot := memsim.Addr(int(t) % l.n)
+	p.Write(l.mine[p.ID()], memsim.Value(slot))
+	for p.Read(l.slots+slot) == 0 {
+	}
+	p.Write(l.slots+slot, 0) // consume the grant for reuse
+}
+
+// Release implements Lock.
+func (l *andersonLock) Release(p *memsim.Proc) {
+	slot := p.Read(l.mine[p.ID()])
+	nextSlot := memsim.Addr((int(slot) + 1) % l.n)
+	p.Write(l.slots+nextSlot, 1)
+}

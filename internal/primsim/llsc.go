@@ -1,0 +1,103 @@
+package primsim
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// EmuLLSC is a shared word supporting Load-Linked/Store-Conditional,
+// implemented from atomic reads and writes only (plus the read/write
+// tournament lock), completing the Corollary 6.14 primitive set alongside
+// EmuCAS. A version counter serializes nontrivial operations: LL snapshots
+// (value, version) under the lock and parks the version in the calling
+// process's own memory module; SC succeeds only if the version is
+// unchanged.
+type EmuLLSC struct {
+	lock lockFragment
+	val  memsim.Addr
+	ver  memsim.Addr
+	// link[i] holds process i's linked version (in i's module); Nil
+	// means no outstanding reservation.
+	link []memsim.Addr
+}
+
+// lockFragment is the subset of mutex.Lock primsim needs; declared locally
+// to keep this file's dependencies explicit.
+type lockFragment interface {
+	Acquire(p *memsim.Proc)
+	Release(p *memsim.Proc)
+}
+
+// NewEmuLLSC allocates an emulated LL/SC word initialized to init.
+func NewEmuLLSC(m *memsim.Machine, n int, name string, init memsim.Value) (*EmuLLSC, error) {
+	lk, err := newEmulationLock(m, n)
+	if err != nil {
+		return nil, err
+	}
+	e := &EmuLLSC{
+		lock: lk,
+		val:  m.Alloc(memsim.NoOwner, name, 1, init),
+		ver:  m.Alloc(memsim.NoOwner, name+".ver", 1, 0),
+		link: make([]memsim.Addr, n),
+	}
+	for i := 0; i < n; i++ {
+		e.link[i] = m.Alloc(memsim.PID(i), name+".link", 1, memsim.Nil)
+	}
+	return e, nil
+}
+
+// LL load-links the word: it returns the current value and records the
+// version for the calling process.
+func (e *EmuLLSC) LL(p *memsim.Proc) memsim.Value {
+	e.lock.Acquire(p)
+	v := p.Read(e.val)
+	ver := p.Read(e.ver)
+	e.lock.Release(p)
+	p.Write(e.link[p.ID()], ver)
+	return v
+}
+
+// SC store-conditionally writes v, succeeding only if no nontrivial
+// operation intervened since the calling process's last LL. The
+// reservation is consumed either way.
+func (e *EmuLLSC) SC(p *memsim.Proc, v memsim.Value) bool {
+	linked := p.Read(e.link[p.ID()])
+	p.Write(e.link[p.ID()], memsim.Nil)
+	if linked == memsim.Nil {
+		return false
+	}
+	e.lock.Acquire(p)
+	ok := p.Read(e.ver) == linked
+	if ok {
+		p.Write(e.val, v)
+		p.Write(e.ver, linked+1)
+	}
+	e.lock.Release(p)
+	return ok
+}
+
+// Write stores v unconditionally (a nontrivial operation: it bumps the
+// version, invalidating outstanding reservations).
+func (e *EmuLLSC) Write(p *memsim.Proc, v memsim.Value) {
+	e.lock.Acquire(p)
+	p.Write(e.val, v)
+	p.Write(e.ver, p.Read(e.ver)+1)
+	e.lock.Release(p)
+}
+
+// Read returns the current value (linearizable without the lock: values
+// are single atomic words).
+func (e *EmuLLSC) Read(p *memsim.Proc) memsim.Value {
+	return p.Read(e.val)
+}
+
+// newEmulationLock deploys the read/write tournament lock used by all
+// emulations in this package.
+func newEmulationLock(m *memsim.Machine, n int) (lockFragment, error) {
+	lk, err := tournamentFactory(m, n)
+	if err != nil {
+		return nil, fmt.Errorf("deploy emulation lock: %w", err)
+	}
+	return lk, nil
+}

@@ -1,0 +1,147 @@
+package queue
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+)
+
+// runConcurrentRegistrations drives n processes registering their IDs under
+// a random schedule and returns the trace plus the snapshot one extra
+// process reads afterward.
+func runConcurrentRegistrations(t *testing.T, n int, seed int64) ([]memsim.Value, []memsim.Event, func(memsim.Addr) memsim.PID) {
+	t.Helper()
+	m := memsim.NewMachine(n + 1)
+	reg := NewRegistry(m, n, "R")
+	ctl := memsim.NewController(m)
+	defer ctl.Close()
+
+	for i := 0; i < n; i++ {
+		pid := memsim.PID(i)
+		if err := ctl.StartCall(pid, "register", func(p *memsim.Proc) memsim.Value {
+			reg.Register(p, memsim.Value(p.ID()))
+			return 0
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		var ready []memsim.PID
+		for i := 0; i < n; i++ {
+			pid := memsim.PID(i)
+			if _, done := ctl.CallEnded(pid); done {
+				if _, err := ctl.FinishCall(pid); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, ok := ctl.Pending(pid); ok {
+				ready = append(ready, pid)
+			}
+		}
+		if len(ready) == 0 {
+			break
+		}
+		if _, err := ctl.Step(ready[rng.Intn(len(ready))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reader := memsim.PID(n)
+	var snap []memsim.Value
+	if err := ctl.StartCall(reader, "snapshot", func(p *memsim.Proc) memsim.Value {
+		snap = reg.Snapshot(p)
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, done := ctl.CallEnded(reader); done {
+			if _, err := ctl.FinishCall(reader); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if _, err := ctl.Step(reader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return snap, ctl.Events(), m.Owner
+}
+
+func TestRegistryAllRegistrantsVisible(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		snap, _, _ := runConcurrentRegistrations(t, 6, seed)
+		if len(snap) != 6 {
+			t.Fatalf("seed %d: snapshot has %d entries, want 6", seed, len(snap))
+		}
+		seen := make(map[memsim.Value]bool)
+		for _, v := range snap {
+			if seen[v] {
+				t.Fatalf("seed %d: duplicate registrant %d", seed, v)
+			}
+			seen[v] = true
+		}
+		for i := 0; i < 6; i++ {
+			if !seen[memsim.Value(i)] {
+				t.Fatalf("seed %d: registrant %d missing from %v", seed, i, snap)
+			}
+		}
+	}
+}
+
+// TestRegistryO1RMRInsertion verifies the complexity claim the signaling
+// algorithm relies on: registration costs exactly two interconnect
+// operations per process in both cost models.
+func TestRegistryO1RMRInsertion(t *testing.T) {
+	_, events, owner := runConcurrentRegistrations(t, 8, 3)
+	dsm := model.ModelDSM.Score(events, owner, 9)
+	for pid := 0; pid < 8; pid++ {
+		if dsm.PerProc[pid] != 2 {
+			t.Fatalf("registrant %d paid %d DSM RMRs, want 2", pid, dsm.PerProc[pid])
+		}
+	}
+}
+
+func TestTryRegisterFull(t *testing.T) {
+	m := memsim.NewMachine(2)
+	reg := NewRegistry(m, 1, "R")
+	ctl := memsim.NewController(m)
+	defer ctl.Close()
+
+	var err1, err2 error
+	if err := ctl.StartCall(0, "r", func(p *memsim.Proc) memsim.Value {
+		err1 = reg.TryRegister(p, 10)
+		err2 = reg.TryRegister(p, 11)
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, done := ctl.CallEnded(0); done {
+			break
+		}
+		if _, err := ctl.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err1 != nil {
+		t.Fatalf("first TryRegister: %v", err1)
+	}
+	if !errors.Is(err2, ErrFull) {
+		t.Fatalf("second TryRegister = %v, want ErrFull", err2)
+	}
+}
+
+func TestRegistryCap(t *testing.T) {
+	m := memsim.NewMachine(1)
+	if got := NewRegistry(m, 0, "R").Cap(); got != 1 {
+		t.Fatalf("Cap = %d, want clamped 1", got)
+	}
+	if got := NewRegistry(m, 7, "S").Cap(); got != 7 {
+		t.Fatalf("Cap = %d, want 7", got)
+	}
+}

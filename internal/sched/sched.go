@@ -1,0 +1,116 @@
+// Package sched provides schedulers for driving simulated executions:
+// deterministic round-robin, seeded pseudo-random (the workhorse for
+// randomized safety testing), and scripted schedules. Fairness in the
+// paper's sense — every participating process keeps taking steps — holds
+// for both round-robin and random scheduling over non-terminated processes.
+package sched
+
+import (
+	"math/rand"
+
+	"repro/internal/memsim"
+)
+
+// Scheduler picks the next process to step among those that are ready.
+// ready is never empty and is sorted by PID.
+type Scheduler interface {
+	Next(ready []memsim.PID) memsim.PID
+}
+
+// RoundRobin steps processes in cyclic PID order.
+type RoundRobin struct {
+	last memsim.PID
+}
+
+var _ Scheduler = (*RoundRobin)(nil)
+
+// NewRoundRobin returns a round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+
+// Next implements Scheduler.
+func (s *RoundRobin) Next(ready []memsim.PID) memsim.PID {
+	for _, pid := range ready {
+		if pid > s.last {
+			s.last = pid
+			return pid
+		}
+	}
+	s.last = ready[0]
+	return ready[0]
+}
+
+// Random picks uniformly at random with a fixed seed, yielding
+// deterministic yet adversarially unstructured interleavings.
+type Random struct {
+	rng *rand.Rand
+}
+
+var _ Scheduler = (*Random)(nil)
+
+// NewRandom returns a seeded random scheduler.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (s *Random) Next(ready []memsim.PID) memsim.PID {
+	return ready[s.rng.Intn(len(ready))]
+}
+
+// Scripted replays a fixed PID sequence, falling back to the first ready
+// process when the scripted PID is not ready or the script is exhausted.
+// It is used to reproduce specific interleavings found by search.
+type Scripted struct {
+	seq []memsim.PID
+	pos int
+}
+
+var _ Scheduler = (*Scripted)(nil)
+
+// NewScripted returns a scheduler that follows seq.
+func NewScripted(seq []memsim.PID) *Scripted {
+	cp := make([]memsim.PID, len(seq))
+	copy(cp, seq)
+	return &Scripted{seq: cp}
+}
+
+// Next implements Scheduler.
+func (s *Scripted) Next(ready []memsim.PID) memsim.PID {
+	for s.pos < len(s.seq) {
+		pid := s.seq[s.pos]
+		s.pos++
+		for _, r := range ready {
+			if r == pid {
+				return pid
+			}
+		}
+	}
+	return ready[0]
+}
+
+// Biased favours one process with the given probability and otherwise
+// defers to the random scheduler. It is useful for stressing races such as
+// "waiters register while the signaler is signaling" (Section 7).
+type Biased struct {
+	pid  memsim.PID
+	prob float64
+	rng  *rand.Rand
+}
+
+var _ Scheduler = (*Biased)(nil)
+
+// NewBiased returns a scheduler that steps pid with probability prob
+// whenever it is ready.
+func NewBiased(pid memsim.PID, prob float64, seed int64) *Biased {
+	return &Biased{pid: pid, prob: prob, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (s *Biased) Next(ready []memsim.PID) memsim.PID {
+	for _, r := range ready {
+		if r == s.pid && s.rng.Float64() < s.prob {
+			return r
+		}
+	}
+	return ready[s.rng.Intn(len(ready))]
+}

@@ -1,0 +1,77 @@
+package semisync
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/mutex"
+)
+
+// Fischer is Fischer's timed mutual-exclusion lock, the canonical use of
+// knowing Δ: O(1) writes per acquisition and a single shared word.
+//
+//	repeat:
+//	  await X = NIL
+//	  X := i
+//	  delay(Δ+1)          // longer than any rival's read-to-write gap
+//	  until X = i
+//	critical section
+//	X := NIL
+//
+// The delay guarantees that every process that read X = NIL before our
+// write has already performed its own write by the time we re-read X, so
+// the last writer wins unambiguously. Under unrestricted asynchrony the
+// argument collapses — a suspended rival can write X after our re-read —
+// and the lock is incorrect, which TestFischerAsyncViolation demonstrates.
+//
+// Delay is implemented as Δ+1 reads of a scratch word in the caller's own
+// memory module: each is one step, each step is one clock tick, and the
+// runner's Δ-gap discipline makes every rival's pending write due within
+// the delay window. The scratch reads are local in the DSM model (cached
+// in CC), so delaying is RMR-free.
+type Fischer struct {
+	x       memsim.Addr
+	scratch []memsim.Addr
+	delta   int
+}
+
+var _ mutex.Lock = (*Fischer)(nil)
+
+// NewFischer allocates the lock for n processes with the given Δ.
+func NewFischer(m *memsim.Machine, n, delta int) *Fischer {
+	l := &Fischer{
+		x:       m.Alloc(memsim.NoOwner, "fischer.X", 1, memsim.Nil),
+		scratch: make([]memsim.Addr, n),
+		delta:   delta,
+	}
+	for i := 0; i < n; i++ {
+		l.scratch[i] = m.Alloc(memsim.PID(i), "fischer.scratch", 1, 0)
+	}
+	return l
+}
+
+// delay performs Δ+1 local steps, advancing the global clock past every
+// rival's deadline.
+func (l *Fischer) delay(p *memsim.Proc) {
+	s := l.scratch[p.ID()]
+	for k := 0; k <= l.delta; k++ {
+		p.Read(s)
+	}
+}
+
+// Acquire implements mutex.Lock.
+func (l *Fischer) Acquire(p *memsim.Proc) {
+	me := memsim.Value(p.ID())
+	for {
+		for p.Read(l.x) != memsim.Nil {
+		}
+		p.Write(l.x, me)
+		l.delay(p)
+		if p.Read(l.x) == me {
+			return
+		}
+	}
+}
+
+// Release implements mutex.Lock.
+func (l *Fischer) Release(p *memsim.Proc) {
+	p.Write(l.x, memsim.Nil)
+}

@@ -1,0 +1,236 @@
+// Package semisync models the semi-synchronous systems of the paper's
+// Section 3: consecutive steps of the same process are at most Δ time
+// units apart, every process knows Δ, and a process may delay its own
+// execution to force others to make progress. In such systems mutual
+// exclusion is solvable with O(1) RMRs in the DSM model while the CC model
+// needs Ω(log log N) [23] — the one known separation in the *opposite*
+// direction to this paper's, which is why Section 3 discusses it.
+//
+// The package provides a timed execution driver over internal/memsim (a
+// global clock plus the Δ-gap guarantee that a ready process is scheduled
+// before its deadline expires) and Fischer's timed lock, the canonical
+// knowledge-of-Δ mutex: correct in every Δ-respecting schedule and
+// incorrect under unrestricted asynchrony, which the tests demonstrate in
+// both directions. The O(1)-RMR DSM construction of [23] proper is out of
+// scope (DESIGN.md §2); the runnable content here is the timing *model*
+// and the correctness boundary it creates.
+package semisync
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Runner drives processes over a controller under the semi-synchronous
+// contract: time advances one tick per applied step, and any process with
+// a pending access is scheduled at most Delta ticks after its previous
+// step (or after becoming pending). Subject to that constraint, the
+// tie-break scheduler chooses freely — so schedules remain adversarial
+// within the timing model.
+type Runner struct {
+	ctl   *memsim.Controller
+	delta int
+	clock int
+	due   map[memsim.PID]int
+	pick  sched.Scheduler
+}
+
+// NewRunner wraps ctl with the Δ-gap discipline.
+func NewRunner(ctl *memsim.Controller, delta int, pick sched.Scheduler) *Runner {
+	if pick == nil {
+		pick = sched.NewRandom(1)
+	}
+	if delta < 1 {
+		delta = 1
+	}
+	return &Runner{
+		ctl:   ctl,
+		delta: delta,
+		due:   make(map[memsim.PID]int),
+		pick:  pick,
+	}
+}
+
+// Clock returns the current tick count.
+func (r *Runner) Clock() int { return r.clock }
+
+// Step schedules and applies one access among the ready processes,
+// honouring Δ-deadlines first. It reports whether any process was ready.
+func (r *Runner) Step(ready []memsim.PID) (bool, error) {
+	if len(ready) == 0 {
+		return false, nil
+	}
+	// Register deadlines for newly pending processes.
+	readySet := make(map[memsim.PID]bool, len(ready))
+	for _, p := range ready {
+		readySet[p] = true
+		if _, ok := r.due[p]; !ok {
+			r.due[p] = r.clock + r.delta
+		}
+	}
+	for p := range r.due {
+		if !readySet[p] {
+			delete(r.due, p) // no longer pending
+		}
+	}
+	// Most overdue process first; otherwise free choice.
+	chosen := memsim.PID(-1)
+	bestDue := 0
+	for _, p := range ready {
+		if d := r.due[p]; d <= r.clock && (chosen == -1 || d < bestDue) {
+			chosen = p
+			bestDue = d
+		}
+	}
+	if chosen == -1 {
+		chosen = r.pick.Next(ready)
+	}
+	if _, err := r.ctl.Step(chosen); err != nil {
+		return false, err
+	}
+	r.due[chosen] = r.clock + r.delta
+	r.clock++
+	return true, nil
+}
+
+// ErrBudget is returned when a semisync run exhausts its step budget.
+var ErrBudget = errors.New("semisync: step budget exhausted")
+
+// RunConfig describes a timed mutual-exclusion workload using Fischer's
+// lock.
+type RunConfig struct {
+	// N is the number of competing processes.
+	N int
+	// Delta is the known step-gap bound.
+	Delta int
+	// Passages per process.
+	Passages int
+	// Timed selects the Δ-respecting runner; false runs the same
+	// workload under an unrestricted random scheduler (Fischer's
+	// correctness assumption removed).
+	Timed bool
+	// Seed feeds the tie-break scheduler.
+	Seed int64
+	// MaxSteps bounds total accesses (default 2e6).
+	MaxSteps int
+}
+
+// RunResult reports a timed workload's outcome.
+type RunResult struct {
+	// Events is the trace.
+	Events []memsim.Event
+	// Passages completed.
+	Passages int
+	// MutualExclusion is false if two processes overlapped in the
+	// critical section.
+	MutualExclusion bool
+	// Truncated reports budget exhaustion.
+	Truncated bool
+
+	ownerFn func(memsim.Addr) memsim.PID
+	n       int
+}
+
+// Score prices the trace under a cost model.
+func (r *RunResult) Score(cm model.CostModel) *model.Report {
+	return cm.Score(r.Events, r.ownerFn, r.n)
+}
+
+// Run drives N processes through Fischer-guarded critical sections.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("semisync: need processes, got %d", cfg.N)
+	}
+	if cfg.Delta < 1 {
+		cfg.Delta = 4
+	}
+	if cfg.Passages < 1 {
+		cfg.Passages = 1
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 2_000_000
+	}
+
+	m := memsim.NewMachine(cfg.N)
+	lock := NewFischer(m, cfg.N, cfg.Delta)
+	csOwner := m.Alloc(memsim.NoOwner, "csOwner", 1, memsim.Nil)
+	csCount := m.Alloc(memsim.NoOwner, "csCount", 1, 0)
+
+	ctl := memsim.NewController(m)
+	defer ctl.Close()
+	runner := NewRunner(ctl, cfg.Delta, sched.NewRandom(cfg.Seed))
+	free := sched.NewRandom(cfg.Seed)
+
+	passage := func(pid memsim.PID) memsim.Program {
+		return func(p *memsim.Proc) memsim.Value {
+			lock.Acquire(p)
+			p.Write(csOwner, memsim.Value(pid))
+			ok := p.Read(csOwner) == memsim.Value(pid)
+			c := p.Read(csCount)
+			p.Write(csCount, c+1)
+			lock.Release(p)
+			if ok {
+				return 1
+			}
+			return 0
+		}
+	}
+
+	res := &RunResult{MutualExclusion: true, ownerFn: m.Owner, n: cfg.N}
+	remaining := make([]int, cfg.N)
+	for i := range remaining {
+		remaining[i] = cfg.Passages
+	}
+	steps := 0
+	for {
+		var ready []memsim.PID
+		for i := 0; i < cfg.N; i++ {
+			pid := memsim.PID(i)
+			if ret, done := ctl.CallEnded(pid); done {
+				if _, err := ctl.FinishCall(pid); err != nil {
+					return nil, err
+				}
+				res.Passages++
+				if ret == 0 {
+					res.MutualExclusion = false
+				}
+			}
+			if ctl.Idle(pid) && remaining[i] > 0 {
+				remaining[i]--
+				if err := ctl.StartCall(pid, "passage", passage(pid)); err != nil {
+					return nil, err
+				}
+			}
+			if _, ok := ctl.Pending(pid); ok {
+				ready = append(ready, pid)
+			}
+		}
+		if len(ready) == 0 {
+			break
+		}
+		if steps >= cfg.MaxSteps {
+			res.Truncated = true
+			break
+		}
+		if cfg.Timed {
+			if _, err := runner.Step(ready); err != nil {
+				return nil, err
+			}
+		} else if _, err := ctl.Step(free.Next(ready)); err != nil {
+			return nil, err
+		}
+		steps++
+	}
+	if m.Load(csCount) != memsim.Value(res.Passages) && !res.Truncated {
+		res.MutualExclusion = false
+	}
+	res.Events = ctl.Events()
+	if res.Truncated {
+		return res, fmt.Errorf("%w after %d steps", ErrBudget, steps)
+	}
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package semisync
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+)
+
+// TestFischerTimedMutualExclusion: under Δ-respecting schedules Fischer's
+// lock is a correct mutex, across seeds and Δ values.
+func TestFischerTimedMutualExclusion(t *testing.T) {
+	for _, delta := range []int{2, 4, 8} {
+		for seed := int64(1); seed <= 8; seed++ {
+			res, err := Run(RunConfig{
+				N:        5,
+				Delta:    delta,
+				Passages: 5,
+				Timed:    true,
+				Seed:     seed,
+			})
+			if err != nil && !errors.Is(err, ErrBudget) {
+				t.Fatalf("delta=%d seed=%d: %v", delta, seed, err)
+			}
+			if !res.MutualExclusion {
+				t.Fatalf("delta=%d seed=%d: mutual exclusion violated under timed schedule", delta, seed)
+			}
+			if !res.Truncated && res.Passages != 25 {
+				t.Fatalf("delta=%d seed=%d: %d passages, want 25", delta, seed, res.Passages)
+			}
+		}
+	}
+}
+
+// TestFischerAsyncViolation hand-builds the classic asynchronous
+// counterexample: p1 reads X = NIL and is suspended before its write; p0
+// writes, delays, re-reads X = 0 and enters; then p1 wakes, writes X := 1,
+// delays, re-reads X = 1 and enters too — two processes in the critical
+// section, because without the Δ guarantee the delay proves nothing.
+func TestFischerAsyncViolation(t *testing.T) {
+	const delta = 3
+	m := memsim.NewMachine(2)
+	lock := NewFischer(m, 2, delta)
+	inCS := m.Alloc(memsim.NoOwner, "inCS", 1, 0)
+
+	ctl := memsim.NewController(m)
+	defer ctl.Close()
+
+	prog := func(p *memsim.Proc) memsim.Value {
+		lock.Acquire(p)
+		c := p.Read(inCS)
+		p.Write(inCS, c+1)
+		// Stay in the CS: read the occupancy once more before leaving.
+		occ := p.Read(inCS)
+		p.Write(inCS, p.Read(inCS)-1)
+		lock.Release(p)
+		return occ
+	}
+	for pid := 0; pid < 2; pid++ {
+		if err := ctl.StartCall(memsim.PID(pid), "cs", prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step := func(pid memsim.PID) {
+		t.Helper()
+		if _, err := ctl.Step(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// p1: read X=NIL (now about to write X).
+	step(1)
+	// p0: runs alone through its whole entry: read X, write X:=0, delay,
+	// re-read X=0 -> enters CS and increments occupancy.
+	occupied := false
+	for i := 0; i < 3+delta+4 && !occupied; i++ {
+		step(0)
+		if m.Load(inCS) == 1 {
+			occupied = true
+		}
+	}
+	if !occupied {
+		t.Fatal("p0 failed to enter the critical section solo")
+	}
+	// p1 wakes: write X:=1, delay, re-read X=1 -> enters as well.
+	for i := 0; i < 3+delta+4; i++ {
+		if _, ok := ctl.Pending(1); !ok {
+			break
+		}
+		step(1)
+		if m.Load(inCS) == 2 {
+			// Both processes are in the critical section.
+			return
+		}
+	}
+	t.Fatal("expected an asynchronous mutual-exclusion violation, none occurred")
+}
+
+// TestFischerO1Writes: the lock issues a constant number of writes per
+// uncontended acquisition (the property the semi-synchronous literature
+// optimizes), and the delay itself is RMR-free in the DSM model.
+func TestFischerO1Writes(t *testing.T) {
+	res, err := Run(RunConfig{N: 1, Delta: 6, Passages: 4, Timed: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsm := res.Score(model.ModelDSM)
+	perPassage := float64(dsm.Total) / float64(res.Passages)
+	// Solo passage: read X, write X, re-read X, CS accesses, release = a
+	// small constant; crucially independent of Delta's delay length.
+	if perPassage > 10 {
+		t.Fatalf("DSM RMRs per solo passage = %.1f, want small constant", perPassage)
+	}
+	resBig, err := Run(RunConfig{N: 1, Delta: 60, Passages: 4, Timed: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resBig.Score(model.ModelDSM).Total; got != dsm.Total {
+		t.Fatalf("DSM RMRs changed with Delta (%d vs %d): delay is not RMR-free", got, dsm.Total)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{N: 0}); err == nil {
+		t.Fatal("want error for N=0")
+	}
+}

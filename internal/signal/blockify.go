@@ -1,0 +1,62 @@
+package signal
+
+import (
+	"repro/internal/memsim"
+)
+
+// Blockified derives a blocking-semantics solution from a polling one,
+// exactly as Section 7 prescribes: "the blocking solution can be achieved
+// easily by implementing Wait() via repeated execution of the code for
+// Poll()". The wrapper leaves Poll and Signal untouched and synthesizes
+// Wait as an unbounded sequence of poll bodies executed within one call.
+//
+// The derived Wait inherits the polling algorithm's RMR behaviour per
+// poll; for local-spin algorithms (e.g. queue after registration) the
+// busy-wait is local, for the flag algorithm under the DSM rule it is the
+// unbounded remote spin the paper's contrast highlights.
+func Blockified(alg Algorithm) Algorithm {
+	out := alg
+	out.Name = alg.Name + "+wait"
+	out.Comment = alg.Comment + "; Wait derived by repeated Poll (Section 7)"
+	out.Variant.Blocking = true
+	inner := alg.New
+	out.New = func(m *memsim.Machine, n int) (memsim.Instance, error) {
+		in, err := inner(m, n)
+		if err != nil {
+			return nil, err
+		}
+		return &blockifiedInstance{inner: in}, nil
+	}
+	return out
+}
+
+type blockifiedInstance struct {
+	inner memsim.Instance
+}
+
+var _ memsim.Instance = (*blockifiedInstance)(nil)
+
+// Program implements memsim.Instance.
+func (b *blockifiedInstance) Program(pid memsim.PID, kind memsim.CallKind) (memsim.Program, error) {
+	if kind != memsim.CallWait {
+		return b.inner.Program(pid, kind)
+	}
+	// Wait: repeat the poll body until it reports the signal. Each
+	// iteration re-derives the poll program so per-call state transitions
+	// (e.g. "first call" registration) occur exactly once overall — the
+	// instance, not the call, carries that state.
+	return func(p *memsim.Proc) memsim.Value {
+		for {
+			poll, err := b.inner.Program(pid, memsim.CallPoll)
+			if err != nil {
+				// Unsupported Poll cannot be blockified; surface as a
+				// no-step immediate return. Callers guard with
+				// Variant.Polling.
+				return 0
+			}
+			if poll(p) != 0 {
+				return 0
+			}
+		}
+	}, nil
+}

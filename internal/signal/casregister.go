@@ -1,0 +1,169 @@
+package signal
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/primsim"
+)
+
+// CASRegister returns a signaling algorithm for the hardest variant (many
+// waiters and signaler, none fixed in advance) that uses reads, writes and
+// CAS only — the primitive set of Corollary 6.14. Waiters register by
+// CAS-claiming the first free slot of a global array; the signaler scans
+// the registered prefix.
+//
+//	Poll() by p_i, first call:  j := min j with CAS(Q[j], NIL, i); return S
+//	Poll() by p_i, later calls: return V[i] (local)
+//	Signal():                   S := true; for j until Q[j] = NIL: V[Q[j]] := true
+//
+// The k-th registrant pays O(k) RMRs, so the algorithm is correct and
+// terminating but — as Theorem 6.2/Corollary 6.14 mandates — not O(1)
+// amortized. The direct adversary is conservative on same-variable CAS
+// pile-ups and may fail to exhibit the blow-up; the corollary's own route
+// is CASRegisterRW, the read/write transformation of this algorithm, which
+// the adversary defeats (experiment E4).
+func CASRegister() Algorithm {
+	return Algorithm{
+		Name:       "cas-register",
+		Primitives: "read/write/CAS",
+		Variant:    Variant{Waiters: -1, Polling: true},
+		Comment:    "Corollary 6.14 subject: CAS slot registration; O(k) registrant cost",
+		New: func(m *memsim.Machine, n int) (memsim.Instance, error) {
+			in := &casRegisterInstance{
+				s:   m.Alloc(memsim.NoOwner, "S", 1, 0),
+				q:   m.Alloc(memsim.NoOwner, "Q", n, memsim.Nil),
+				n:   n,
+				v:   make([]memsim.Addr, n),
+				fst: make([]memsim.Addr, n),
+			}
+			for i := 0; i < n; i++ {
+				pid := memsim.PID(i)
+				in.v[i] = m.Alloc(pid, "V", 1, 0)
+				in.fst[i] = m.Alloc(pid, "first", 1, 1)
+			}
+			return in, nil
+		},
+	}
+}
+
+type casRegisterInstance struct {
+	s   memsim.Addr
+	q   memsim.Addr
+	n   int
+	v   []memsim.Addr
+	fst []memsim.Addr
+}
+
+var _ memsim.Instance = (*casRegisterInstance)(nil)
+
+// Program implements memsim.Instance.
+func (in *casRegisterInstance) Program(pid memsim.PID, kind memsim.CallKind) (memsim.Program, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return func(p *memsim.Proc) memsim.Value {
+			if p.Read(in.fst[i]) == 1 {
+				p.Write(in.fst[i], 0)
+				for j := 0; j < in.n; j++ {
+					if p.CAS(in.q+memsim.Addr(j), memsim.Nil, memsim.Value(i)) {
+						break
+					}
+				}
+				return p.Read(in.s)
+			}
+			return p.Read(in.v[i])
+		}, nil
+	case memsim.CallSignal:
+		return func(p *memsim.Proc) memsim.Value {
+			p.Write(in.s, 1)
+			for j := 0; j < in.n; j++ {
+				q := p.Read(in.q + memsim.Addr(j))
+				if q == memsim.Nil {
+					break
+				}
+				p.Write(in.v[q], 1)
+			}
+			return 0
+		}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}
+
+// CASRegisterRW returns the Corollary 6.14 transformation of CASRegister:
+// every CAS is replaced by the read/write emulation of internal/primsim,
+// so the whole algorithm uses atomic reads and writes only. Every emulated
+// operation incurs RMRs (lock traffic), which restores the leverage the
+// lower-bound adversary needs: the per-round counting argument defeats
+// this algorithm even though it conservatively spares the native-CAS
+// version.
+func CASRegisterRW() Algorithm {
+	return Algorithm{
+		Name:       "cas-register-rw",
+		Primitives: "read/write",
+		Variant:    Variant{Waiters: -1, Polling: true},
+		Comment:    "Corollary 6.14 transformation: CASRegister with CAS emulated from reads/writes",
+		New: func(m *memsim.Machine, n int) (memsim.Instance, error) {
+			q, err := primsim.NewEmuCASArray(m, n, n, "Q", memsim.Nil)
+			if err != nil {
+				return nil, err
+			}
+			in := &casRegisterRWInstance{
+				s:   m.Alloc(memsim.NoOwner, "S", 1, 0),
+				q:   q,
+				n:   n,
+				v:   make([]memsim.Addr, n),
+				fst: make([]memsim.Addr, n),
+			}
+			for i := 0; i < n; i++ {
+				pid := memsim.PID(i)
+				in.v[i] = m.Alloc(pid, "V", 1, 0)
+				in.fst[i] = m.Alloc(pid, "first", 1, 1)
+			}
+			return in, nil
+		},
+	}
+}
+
+type casRegisterRWInstance struct {
+	s   memsim.Addr
+	q   *primsim.EmuCASArray
+	n   int
+	v   []memsim.Addr
+	fst []memsim.Addr
+}
+
+var _ memsim.Instance = (*casRegisterRWInstance)(nil)
+
+// Program implements memsim.Instance.
+func (in *casRegisterRWInstance) Program(pid memsim.PID, kind memsim.CallKind) (memsim.Program, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return func(p *memsim.Proc) memsim.Value {
+			if p.Read(in.fst[i]) == 1 {
+				p.Write(in.fst[i], 0)
+				for j := 0; j < in.n; j++ {
+					if in.q.CAS(p, j, memsim.Nil, memsim.Value(i)) {
+						break
+					}
+				}
+				return p.Read(in.s)
+			}
+			return p.Read(in.v[i])
+		}, nil
+	case memsim.CallSignal:
+		return func(p *memsim.Proc) memsim.Value {
+			p.Write(in.s, 1)
+			for j := 0; j < in.n; j++ {
+				q := in.q.Read(p, j)
+				if q == memsim.Nil {
+					break
+				}
+				p.Write(in.v[q], 1)
+			}
+			return 0
+		}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}

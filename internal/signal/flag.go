@@ -1,0 +1,56 @@
+package signal
+
+import (
+	"repro/internal/memsim"
+)
+
+// Flag returns the Section 5 algorithm: a single global Boolean B.
+// Signal() writes B := true; Poll() reads and returns B; Wait() busy-waits
+// until B = true.
+//
+// In the CC model this is wait-free with O(1) RMRs per process using only
+// atomic reads and writes. Scored under the DSM model the very same
+// algorithm has unbounded RMR complexity — every access to B is remote —
+// which is the other half of the paper's headline contrast (experiments E1
+// and E2).
+func Flag() Algorithm {
+	return Algorithm{
+		Name:       "flag",
+		Primitives: "read/write",
+		Variant:    Variant{Waiters: -1, Polling: true, Blocking: true},
+		Comment:    "Section 5: O(1) RMR/process wait-free in CC; unbounded RMRs in DSM",
+		New: func(m *memsim.Machine, n int) (memsim.Instance, error) {
+			b := m.Alloc(memsim.NoOwner, "B", 1, 0)
+			return &flagInstance{b: b}, nil
+		},
+	}
+}
+
+type flagInstance struct {
+	b memsim.Addr
+}
+
+var _ memsim.Instance = (*flagInstance)(nil)
+
+// Program implements memsim.Instance.
+func (in *flagInstance) Program(pid memsim.PID, kind memsim.CallKind) (memsim.Program, error) {
+	switch kind {
+	case memsim.CallPoll:
+		return func(p *memsim.Proc) memsim.Value {
+			return p.Read(in.b)
+		}, nil
+	case memsim.CallSignal:
+		return func(p *memsim.Proc) memsim.Value {
+			p.Write(in.b, 1)
+			return 0
+		}, nil
+	case memsim.CallWait:
+		return func(p *memsim.Proc) memsim.Value {
+			for p.Read(in.b) == 0 {
+			}
+			return 0
+		}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}

@@ -1,0 +1,113 @@
+package signal
+
+import (
+	"repro/internal/election"
+	"repro/internal/memsim"
+)
+
+// LeaderBlocking returns the Section 7 blocking-semantics solution for
+// "many waiters not fixed in advance, one signaler not fixed in advance":
+// the waiters elect a leader; the leader runs the single-waiter protocol
+// against the signaler and then propagates the signal to every registered
+// follower. Followers spin only on a flag in their own memory module.
+//
+//	Wait() by p_i:
+//	  if CAS(L, NIL, i) succeeded or L = i:            // leader
+//	    W := i; if !S { spin on V[i] (local) }         // single-waiter wait
+//	    Done := true
+//	    for each j: if Reg[j] { F[j] := true }         // propagate
+//	  else:                                            // follower
+//	    Reg[i] := true
+//	    if Done { return }
+//	    spin on F[i] (local)
+//	Signal():
+//	  S := true; w := W; if w != NIL { V[w] := true }
+//
+// Setting Done before scanning the registrations closes the race with
+// followers that register during propagation: a follower that the scan
+// misses necessarily reads Done = true. Followers and signalers incur O(1)
+// RMRs worst-case; the leader incurs O(N) (the paper's read/write-only
+// O(1)-per-process construction via [12] is out of scope; see DESIGN.md).
+func LeaderBlocking() Algorithm {
+	return Algorithm{
+		Name:       "leader-blocking",
+		Primitives: "read/write/CAS",
+		Variant:    Variant{Waiters: -1, Blocking: true},
+		Comment:    "Section 7 blocking: follower O(1), leader O(N); reduction to single waiter",
+		New: func(m *memsim.Machine, n int) (memsim.Instance, error) {
+			in := &leaderInstance{
+				elect: election.New(m, "L"),
+				w:     m.Alloc(memsim.NoOwner, "W", 1, memsim.Nil),
+				s:     m.Alloc(memsim.NoOwner, "S", 1, 0),
+				done:  m.Alloc(memsim.NoOwner, "Done", 1, 0),
+				reg:   m.Alloc(memsim.NoOwner, "Reg", n, 0),
+				v:     make([]memsim.Addr, n),
+				f:     make([]memsim.Addr, n),
+			}
+			for i := 0; i < n; i++ {
+				pid := memsim.PID(i)
+				in.v[i] = m.Alloc(pid, "V", 1, 0)
+				in.f[i] = m.Alloc(pid, "F", 1, 0)
+			}
+			return in, nil
+		},
+	}
+}
+
+type leaderInstance struct {
+	elect *election.Election
+	w     memsim.Addr
+	s     memsim.Addr
+	done  memsim.Addr
+	reg   memsim.Addr
+	v     []memsim.Addr
+	f     []memsim.Addr
+}
+
+var _ memsim.Instance = (*leaderInstance)(nil)
+
+// Program implements memsim.Instance.
+func (in *leaderInstance) Program(pid memsim.PID, kind memsim.CallKind) (memsim.Program, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallWait:
+		return func(p *memsim.Proc) memsim.Value {
+			leader := in.elect.Elect(p) == p.ID()
+			if leader {
+				p.Write(in.w, memsim.Value(i))
+				if p.Read(in.s) == 0 {
+					for p.Read(in.v[i]) == 0 { // local spin
+					}
+				}
+				p.Write(in.done, 1)
+				for j := range in.f {
+					if j == i {
+						continue
+					}
+					if p.Read(in.reg+memsim.Addr(j)) == 1 {
+						p.Write(in.f[j], 1)
+					}
+				}
+				return 0
+			}
+			p.Write(in.reg+memsim.Addr(i), 1)
+			if p.Read(in.done) == 1 {
+				return 0
+			}
+			for p.Read(in.f[i]) == 0 { // local spin
+			}
+			return 0
+		}, nil
+	case memsim.CallSignal:
+		return func(p *memsim.Proc) memsim.Value {
+			p.Write(in.s, 1)
+			w := p.Read(in.w)
+			if w != memsim.Nil {
+				p.Write(in.v[w], 1)
+			}
+			return 0
+		}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}

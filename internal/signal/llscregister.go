@@ -1,0 +1,177 @@
+package signal
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/primsim"
+)
+
+// LLSCRegister returns a signaling algorithm for the hardest variant that
+// uses reads, writes and LL/SC — the other primitive pair Corollary 6.14
+// covers. Waiters claim the first free slot of a global array with an
+// LL/SC pair; the signaler scans the registered prefix.
+//
+//	Poll() by p_i, first call:  find min j with LL(Q[j]) = NIL and
+//	                            SC(Q[j], i) successful; return S
+//	Poll() by p_i, later calls: return V[i] (local)
+//	Signal():                   S := true; for j until Q[j] = NIL: V[Q[j]] := true
+//
+// A failed SC means another registrant claimed the slot between the LL and
+// the SC; the waiter retries the same slot (it may now be occupied, in
+// which case the LL sees non-NIL and the scan advances). Like CASRegister,
+// the k-th registrant pays O(k) RMRs — consistent with the theorem denying
+// read/write/LL-SC algorithms O(1) amortized cost.
+func LLSCRegister() Algorithm {
+	return Algorithm{
+		Name:       "llsc-register",
+		Primitives: "read/write/LL-SC",
+		Variant:    Variant{Waiters: -1, Polling: true},
+		Comment:    "Corollary 6.14 subject: LL/SC slot registration; O(k) registrant cost",
+		New: func(m *memsim.Machine, n int) (memsim.Instance, error) {
+			in := &llscRegisterInstance{
+				s:   m.Alloc(memsim.NoOwner, "S", 1, 0),
+				q:   m.Alloc(memsim.NoOwner, "Q", n, memsim.Nil),
+				n:   n,
+				v:   make([]memsim.Addr, n),
+				fst: make([]memsim.Addr, n),
+			}
+			for i := 0; i < n; i++ {
+				pid := memsim.PID(i)
+				in.v[i] = m.Alloc(pid, "V", 1, 0)
+				in.fst[i] = m.Alloc(pid, "first", 1, 1)
+			}
+			return in, nil
+		},
+	}
+}
+
+type llscRegisterInstance struct {
+	s   memsim.Addr
+	q   memsim.Addr
+	n   int
+	v   []memsim.Addr
+	fst []memsim.Addr
+}
+
+var _ memsim.Instance = (*llscRegisterInstance)(nil)
+
+// Program implements memsim.Instance.
+func (in *llscRegisterInstance) Program(pid memsim.PID, kind memsim.CallKind) (memsim.Program, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return func(p *memsim.Proc) memsim.Value {
+			if p.Read(in.fst[i]) == 1 {
+				p.Write(in.fst[i], 0)
+				for j := 0; j < in.n; {
+					if p.LL(in.q+memsim.Addr(j)) != memsim.Nil {
+						j++ // slot taken: advance
+						continue
+					}
+					if p.SC(in.q+memsim.Addr(j), memsim.Value(i)) {
+						break // claimed
+					}
+					// SC lost a race: re-examine the same slot.
+				}
+				return p.Read(in.s)
+			}
+			return p.Read(in.v[i])
+		}, nil
+	case memsim.CallSignal:
+		return func(p *memsim.Proc) memsim.Value {
+			p.Write(in.s, 1)
+			for j := 0; j < in.n; j++ {
+				q := p.Read(in.q + memsim.Addr(j))
+				if q == memsim.Nil {
+					break
+				}
+				p.Write(in.v[q], 1)
+			}
+			return 0
+		}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}
+
+// LLSCRegisterRW returns the Corollary 6.14 transformation of LLSCRegister:
+// LL/SC replaced by the read/write emulation of internal/primsim. Every
+// emulated operation incurs lock-traffic RMRs, so the lower-bound adversary
+// defeats this version (experiment E4's LL/SC leg).
+func LLSCRegisterRW() Algorithm {
+	return Algorithm{
+		Name:       "llsc-register-rw",
+		Primitives: "read/write",
+		Variant:    Variant{Waiters: -1, Polling: true},
+		Comment:    "Corollary 6.14 transformation: LLSCRegister with LL/SC emulated from reads/writes",
+		New: func(m *memsim.Machine, n int) (memsim.Instance, error) {
+			in := &llscRegisterRWInstance{
+				s:   m.Alloc(memsim.NoOwner, "S", 1, 0),
+				q:   make([]*primsim.EmuLLSC, n),
+				n:   n,
+				v:   make([]memsim.Addr, n),
+				fst: make([]memsim.Addr, n),
+			}
+			for j := 0; j < n; j++ {
+				w, err := primsim.NewEmuLLSC(m, n, "Q", memsim.Nil)
+				if err != nil {
+					return nil, err
+				}
+				in.q[j] = w
+			}
+			for i := 0; i < n; i++ {
+				pid := memsim.PID(i)
+				in.v[i] = m.Alloc(pid, "V", 1, 0)
+				in.fst[i] = m.Alloc(pid, "first", 1, 1)
+			}
+			return in, nil
+		},
+	}
+}
+
+type llscRegisterRWInstance struct {
+	s   memsim.Addr
+	q   []*primsim.EmuLLSC
+	n   int
+	v   []memsim.Addr
+	fst []memsim.Addr
+}
+
+var _ memsim.Instance = (*llscRegisterRWInstance)(nil)
+
+// Program implements memsim.Instance.
+func (in *llscRegisterRWInstance) Program(pid memsim.PID, kind memsim.CallKind) (memsim.Program, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return func(p *memsim.Proc) memsim.Value {
+			if p.Read(in.fst[i]) == 1 {
+				p.Write(in.fst[i], 0)
+				for j := 0; j < in.n; {
+					if in.q[j].LL(p) != memsim.Nil {
+						j++
+						continue
+					}
+					if in.q[j].SC(p, memsim.Value(i)) {
+						break
+					}
+				}
+				return p.Read(in.s)
+			}
+			return p.Read(in.v[i])
+		}, nil
+	case memsim.CallSignal:
+		return func(p *memsim.Proc) memsim.Value {
+			p.Write(in.s, 1)
+			for j := 0; j < in.n; j++ {
+				q := in.q[j].Read(p)
+				if q == memsim.Nil {
+					break
+				}
+				p.Write(in.v[q], 1)
+			}
+			return 0
+		}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}

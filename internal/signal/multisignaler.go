@@ -1,0 +1,93 @@
+package signal
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/queue"
+)
+
+// MultiSignaler returns the final Section 7 variant: many waiters AND many
+// signalers, none fixed in advance. Signalers elect a leader with one
+// Test-And-Set step ("virtually any read-modify-write primitive" suffices,
+// §7); the winner runs the F&I queue protocol and then raises a Done flag;
+// losing signalers busy-wait on Done so that any *completed* Signal call —
+// winner or loser — guarantees delivery, as clause 2 of Specification 4.1
+// requires.
+//
+//	Poll() by p_i, first call:  register in the F&I queue; return S
+//	Poll() by p_i, later calls: return V[i] (local)
+//	Signal():                   if TAS(E) { S := true; flag every
+//	                            registered waiter; Done := true }
+//	                            else { await Done }
+//
+// Waiters pay O(1) RMRs worst-case; the elected signaler O(k); losing
+// signalers are terminating (not wait-free: they wait for the winner).
+func MultiSignaler() Algorithm {
+	return Algorithm{
+		Name:       "multi-signaler",
+		Primitives: "read/write/TAS/FAA",
+		Variant:    Variant{Waiters: -1, Polling: true},
+		Comment:    "Section 7: many signalers reduced to one by TAS election",
+		New: func(m *memsim.Machine, n int) (memsim.Instance, error) {
+			in := &multiSignalerInstance{
+				elect: m.Alloc(memsim.NoOwner, "E", 1, 0),
+				done:  m.Alloc(memsim.NoOwner, "Done", 1, 0),
+				s:     m.Alloc(memsim.NoOwner, "S", 1, 0),
+				reg:   queue.NewRegistry(m, n, "Q"),
+				v:     make([]memsim.Addr, n),
+				fst:   make([]memsim.Addr, n),
+			}
+			for i := 0; i < n; i++ {
+				pid := memsim.PID(i)
+				in.v[i] = m.Alloc(pid, "V", 1, 0)
+				in.fst[i] = m.Alloc(pid, "first", 1, 1)
+			}
+			return in, nil
+		},
+	}
+}
+
+type multiSignalerInstance struct {
+	elect memsim.Addr
+	done  memsim.Addr
+	s     memsim.Addr
+	reg   *queue.Registry
+	v     []memsim.Addr
+	fst   []memsim.Addr
+}
+
+var _ memsim.Instance = (*multiSignalerInstance)(nil)
+
+// Program implements memsim.Instance.
+func (in *multiSignalerInstance) Program(pid memsim.PID, kind memsim.CallKind) (memsim.Program, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return func(p *memsim.Proc) memsim.Value {
+			if p.Read(in.fst[i]) == 1 {
+				p.Write(in.fst[i], 0)
+				in.reg.Register(p, memsim.Value(i))
+				return p.Read(in.s)
+			}
+			return p.Read(in.v[i])
+		}, nil
+	case memsim.CallSignal:
+		return func(p *memsim.Proc) memsim.Value {
+			if p.TestAndSet(in.elect) {
+				// Elected: perform the actual signal.
+				p.Write(in.s, 1)
+				for _, q := range in.reg.Snapshot(p) {
+					p.Write(in.v[q], 1)
+				}
+				p.Write(in.done, 1)
+				return 0
+			}
+			// Lost the election: wait until the winner's signal is
+			// fully delivered before completing this call.
+			for p.Read(in.done) == 0 {
+			}
+			return 0
+		}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}

@@ -1,0 +1,97 @@
+// Package signal specifies the paper's signaling problem (Section 4) and
+// implements every solution the paper states or sketches: the O(1)-RMR
+// cache-coherent flag algorithm of Section 5 and the five DSM-oriented
+// algorithms of Section 7. A trace-level safety checker verifies
+// Specification 4.1 on arbitrary interleavings.
+//
+// Conventions. Processes are numbered 0..N-1. Algorithms whose problem
+// variant fixes the signaler in advance use process N-1 as the designated
+// signaler. Booleans are encoded as 0 (false) and 1 (true).
+package signal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// ErrUnsupported is returned by Program when an algorithm does not provide
+// the requested procedure (e.g. Wait on a polling-only algorithm).
+var ErrUnsupported = errors.New("signal: procedure not supported by this algorithm")
+
+// ErrWrongSignaler is returned when Signal is invoked by a process other
+// than the algorithm's designated signaler.
+var ErrWrongSignaler = errors.New("signal: algorithm fixes the signaler in advance")
+
+// Variant describes which formulation of the signaling problem (Section 4
+// and Section 7) an algorithm solves.
+type Variant struct {
+	// Waiters is the number of waiters supported, or -1 for "many, not
+	// fixed in advance".
+	Waiters int
+	// FixedWaiters reports whether waiter IDs are known in advance.
+	FixedWaiters bool
+	// FixedSignaler reports whether the signaler ID is known in advance.
+	FixedSignaler bool
+	// Polling reports whether the algorithm provides Poll.
+	Polling bool
+	// Blocking reports whether the algorithm provides Wait.
+	Blocking bool
+}
+
+// Algorithm is a named solution to (a variant of) the signaling problem.
+type Algorithm struct {
+	// Name identifies the algorithm in reports and CLIs.
+	Name string
+	// Primitives documents the synchronization primitives used, e.g.
+	// "read/write" or "read/write/FAA".
+	Primitives string
+	// Variant records the problem formulation solved.
+	Variant Variant
+	// Comment summarizes the complexity claims from the paper.
+	Comment string
+	// New deploys a fresh instance for n processes.
+	New memsim.Factory
+}
+
+// Deploy instantiates the algorithm on a fresh execution.
+func (a Algorithm) Deploy(n int) (*memsim.Execution, error) {
+	return memsim.NewExecution(a.New, n)
+}
+
+// All returns every algorithm in the repository, in presentation order.
+func All() []Algorithm {
+	return []Algorithm{
+		Flag(),
+		SingleWaiter(),
+		FixedWaiters(),
+		FixedWaitersTerminating(),
+		RegisteredWaiters(),
+		QueueSignal(),
+		CASRegister(),
+		CASRegisterRW(),
+		LLSCRegister(),
+		LLSCRegisterRW(),
+		MultiSignaler(),
+		LeaderBlocking(),
+	}
+}
+
+// ByName returns the algorithm with the given name.
+func ByName(name string) (Algorithm, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Algorithm{}, fmt.Errorf("signal: unknown algorithm %q", name)
+}
+
+// boolVal converts a Go bool to the simulator's value encoding.
+func boolVal(b bool) memsim.Value {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+package signal
+
+import (
+	"repro/internal/memsim"
+)
+
+// SingleWaiter returns the Section 7 "single waiter" algorithm. At most one
+// process acts as a waiter, but its identity is not fixed in advance. Two
+// global variables W (waiter ID, initially NIL) and S (Boolean) plus an
+// array V[0..N-1] with V[i] local to process i yield O(1) RMRs per process
+// worst-case in the DSM model, matching the CC upper bound.
+//
+//	Poll() by p_i, first call:  W := i; return S
+//	Poll() by p_i, later calls: return V[i]
+//	Signal():                   S := true; w := W; if w != NIL { V[w] := true }
+//	Wait() by p_i:              first Poll logic, then spin on V[i] (local)
+func SingleWaiter() Algorithm {
+	return Algorithm{
+		Name:       "single-waiter",
+		Primitives: "read/write",
+		Variant:    Variant{Waiters: 1, Polling: true, Blocking: true},
+		Comment:    "Section 7: O(1) RMR/process worst-case in DSM",
+		New: func(m *memsim.Machine, n int) (memsim.Instance, error) {
+			in := &singleWaiterInstance{
+				w: m.Alloc(memsim.NoOwner, "W", 1, memsim.Nil),
+				s: m.Alloc(memsim.NoOwner, "S", 1, 0),
+			}
+			in.v = make([]memsim.Addr, n)
+			in.first = make([]memsim.Addr, n)
+			for i := 0; i < n; i++ {
+				pid := memsim.PID(i)
+				in.v[i] = m.Alloc(pid, "V", 1, 0)
+				in.first[i] = m.Alloc(pid, "first", 1, 1)
+			}
+			return in, nil
+		},
+	}
+}
+
+type singleWaiterInstance struct {
+	w     memsim.Addr
+	s     memsim.Addr
+	v     []memsim.Addr
+	first []memsim.Addr
+}
+
+var _ memsim.Instance = (*singleWaiterInstance)(nil)
+
+// Program implements memsim.Instance.
+func (in *singleWaiterInstance) Program(pid memsim.PID, kind memsim.CallKind) (memsim.Program, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return func(p *memsim.Proc) memsim.Value {
+			if p.Read(in.first[i]) == 1 {
+				p.Write(in.first[i], 0)
+				p.Write(in.w, memsim.Value(i))
+				return p.Read(in.s)
+			}
+			return p.Read(in.v[i])
+		}, nil
+	case memsim.CallSignal:
+		return func(p *memsim.Proc) memsim.Value {
+			p.Write(in.s, 1)
+			w := p.Read(in.w)
+			if w != memsim.Nil {
+				p.Write(in.v[w], 1)
+			}
+			return 0
+		}, nil
+	case memsim.CallWait:
+		return func(p *memsim.Proc) memsim.Value {
+			if p.Read(in.first[i]) == 1 {
+				p.Write(in.first[i], 0)
+				p.Write(in.w, memsim.Value(i))
+				if p.Read(in.s) == 1 {
+					return 0
+				}
+			} else if p.Read(in.v[i]) == 1 {
+				return 0
+			}
+			for p.Read(in.v[i]) == 0 { // local spin
+			}
+			return 0
+		}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}

@@ -1,0 +1,87 @@
+package signal
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// SpecViolation describes one breach of Specification 4.1 (or of the
+// blocking-semantics requirement) detected in a trace.
+type SpecViolation struct {
+	// Rule identifies the violated clause.
+	Rule string
+	// PID and CallSeq identify the offending call.
+	PID     memsim.PID
+	CallSeq int
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Error renders the violation.
+func (v SpecViolation) Error() string {
+	return fmt.Sprintf("spec violation (%s) by p%d call %d: %s", v.Rule, v.PID, v.CallSeq, v.Detail)
+}
+
+// CheckSpec verifies Specification 4.1 against a trace:
+//
+//  1. if some call to Poll() returns true, then some call to Signal() has
+//     already begun, and
+//  2. if some call to Poll() returns false, then no call to Signal()
+//     completed before this call to Poll() began.
+//
+// For blocking algorithms it additionally checks that every completed
+// Wait() returned only after some Signal() began. It returns all
+// violations found; nil means the trace satisfies the specification.
+func CheckSpec(events []memsim.Event) []SpecViolation {
+	var out []SpecViolation
+
+	firstSignalStart := -1 // Seq of earliest Signal EvCallStart
+	firstSignalEnd := -1   // Seq of earliest Signal EvCallEnd
+
+	type openCall struct{ startSeq int }
+	open := make(map[memsim.PID]openCall)
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case memsim.EvCallStart:
+			open[ev.PID] = openCall{startSeq: ev.Seq}
+			if ev.Proc == "Signal" && firstSignalStart < 0 {
+				firstSignalStart = ev.Seq
+			}
+		case memsim.EvCallEnd:
+			oc := open[ev.PID]
+			delete(open, ev.PID)
+			switch ev.Proc {
+			case "Signal":
+				if firstSignalEnd < 0 {
+					firstSignalEnd = ev.Seq
+				}
+			case "Poll":
+				if ev.Ret != 0 {
+					if firstSignalStart < 0 || firstSignalStart > ev.Seq {
+						out = append(out, SpecViolation{
+							Rule: "poll-true", PID: ev.PID, CallSeq: ev.CallSeq,
+							Detail: "Poll returned true but no Signal call had begun",
+						})
+					}
+				} else {
+					if firstSignalEnd >= 0 && firstSignalEnd < oc.startSeq {
+						out = append(out, SpecViolation{
+							Rule: "poll-false", PID: ev.PID, CallSeq: ev.CallSeq,
+							Detail: fmt.Sprintf("Poll returned false but a Signal call completed at seq %d before the poll began at seq %d", firstSignalEnd, oc.startSeq),
+						})
+					}
+				}
+			case "Wait":
+				if firstSignalStart < 0 || firstSignalStart > ev.Seq {
+					out = append(out, SpecViolation{
+						Rule: "wait-return", PID: ev.PID, CallSeq: ev.CallSeq,
+						Detail: "Wait returned but no Signal call had begun",
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package signal
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func callStart(seq int, pid memsim.PID, proc string) memsim.Event {
+	return memsim.Event{Seq: seq, Kind: memsim.EvCallStart, PID: pid, Proc: proc}
+}
+
+func callEnd(seq int, pid memsim.PID, proc string, ret memsim.Value) memsim.Event {
+	return memsim.Event{Seq: seq, Kind: memsim.EvCallEnd, PID: pid, Proc: proc, Ret: ret}
+}
+
+func TestCheckSpecCleanHistory(t *testing.T) {
+	events := []memsim.Event{
+		callStart(0, 0, "Poll"),
+		callEnd(1, 0, "Poll", 0),
+		callStart(2, 1, "Signal"),
+		callEnd(3, 1, "Signal", 0),
+		callStart(4, 0, "Poll"),
+		callEnd(5, 0, "Poll", 1),
+	}
+	if vs := CheckSpec(events); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+}
+
+func TestCheckSpecPollTrueWithoutSignal(t *testing.T) {
+	events := []memsim.Event{
+		callStart(0, 0, "Poll"),
+		callEnd(1, 0, "Poll", 1),
+	}
+	vs := CheckSpec(events)
+	if len(vs) != 1 || vs[0].Rule != "poll-true" {
+		t.Fatalf("violations = %v, want one poll-true", vs)
+	}
+}
+
+func TestCheckSpecPollTrueDuringSignalOK(t *testing.T) {
+	// The signal need only have BEGUN, not completed.
+	events := []memsim.Event{
+		callStart(0, 1, "Signal"),
+		callStart(1, 0, "Poll"),
+		callEnd(2, 0, "Poll", 1),
+		callEnd(3, 1, "Signal", 0),
+	}
+	if vs := CheckSpec(events); len(vs) != 0 {
+		t.Fatalf("violations = %v, want none", vs)
+	}
+}
+
+func TestCheckSpecPollFalseAfterSignalCompleted(t *testing.T) {
+	events := []memsim.Event{
+		callStart(0, 1, "Signal"),
+		callEnd(1, 1, "Signal", 0),
+		callStart(2, 0, "Poll"),
+		callEnd(3, 0, "Poll", 0),
+	}
+	vs := CheckSpec(events)
+	if len(vs) != 1 || vs[0].Rule != "poll-false" {
+		t.Fatalf("violations = %v, want one poll-false", vs)
+	}
+}
+
+func TestCheckSpecPollFalseOverlappingSignalOK(t *testing.T) {
+	// Poll began before Signal completed: false is allowed.
+	events := []memsim.Event{
+		callStart(0, 1, "Signal"),
+		callStart(1, 0, "Poll"),
+		callEnd(2, 1, "Signal", 0),
+		callEnd(3, 0, "Poll", 0),
+	}
+	if vs := CheckSpec(events); len(vs) != 0 {
+		t.Fatalf("violations = %v, want none", vs)
+	}
+}
+
+func TestCheckSpecWaitReturnWithoutSignal(t *testing.T) {
+	events := []memsim.Event{
+		callStart(0, 0, "Wait"),
+		callEnd(1, 0, "Wait", 0),
+	}
+	vs := CheckSpec(events)
+	if len(vs) != 1 || vs[0].Rule != "wait-return" {
+		t.Fatalf("violations = %v, want one wait-return", vs)
+	}
+}
+
+func TestSpecViolationError(t *testing.T) {
+	v := SpecViolation{Rule: "poll-true", PID: 3, CallSeq: 2, Detail: "boom"}
+	if v.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}

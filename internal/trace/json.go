@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+)
+
+// JSONEvent is the serialized form of one trace event, annotated with both
+// models' costs — a stable interchange format for external tooling
+// (plotting, diffing histories, archiving adversary certificates).
+type JSONEvent struct {
+	Seq     int    `json:"seq"`
+	Kind    string `json:"kind"`
+	PID     int    `json:"pid"`
+	CallSeq int    `json:"callSeq"`
+	Proc    string `json:"proc"`
+	Op      string `json:"op,omitempty"`
+	Addr    int    `json:"addr,omitempty"`
+	AddrOwn int    `json:"addrOwner,omitempty"`
+	Value   int64  `json:"value,omitempty"`
+	Wrote   bool   `json:"wrote,omitempty"`
+	Ret     int64  `json:"ret,omitempty"`
+	RMRCC   bool   `json:"rmrCC,omitempty"`
+	RMRDSM  bool   `json:"rmrDSM,omitempty"`
+	Inval   int    `json:"invalidations,omitempty"`
+}
+
+// JSONTrace is the top-level serialized history.
+type JSONTrace struct {
+	N      int         `json:"n"`
+	Events []JSONEvent `json:"events"`
+}
+
+// WriteJSON serializes the trace with per-event CC and DSM annotations.
+func WriteJSON(w io.Writer, events []memsim.Event, owner OwnerFunc, n int) error {
+	ccCosts := model.ModelCC.Annotate(events, owner, n)
+	dsmCosts := model.DSM{}.Annotate(events, owner, n)
+	out := JSONTrace{N: n, Events: make([]JSONEvent, 0, len(events))}
+	for i, ev := range events {
+		je := JSONEvent{
+			Seq:     ev.Seq,
+			PID:     int(ev.PID),
+			CallSeq: ev.CallSeq,
+			Proc:    ev.Proc,
+		}
+		switch ev.Kind {
+		case memsim.EvCallStart:
+			je.Kind = "callStart"
+		case memsim.EvCallEnd:
+			je.Kind = "callEnd"
+			je.Ret = ev.Ret
+		case memsim.EvAccess:
+			je.Kind = "access"
+			je.Op = ev.Acc.Op.String()
+			je.Addr = int(ev.Acc.Addr)
+			je.AddrOwn = int(owner(ev.Acc.Addr))
+			je.Value = ev.Res.Val
+			je.Wrote = ev.Res.Wrote
+			je.RMRCC = ccCosts[i].RMR
+			je.RMRDSM = dsmCosts[i].RMR
+			je.Inval = ccCosts[i].Invalidations
+		default:
+			return fmt.Errorf("trace: unknown event kind %d at seq %d", ev.Kind, ev.Seq)
+		}
+		out.Events = append(out.Events, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

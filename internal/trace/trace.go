@@ -1,0 +1,197 @@
+// Package trace analyzes execution traces produced by internal/memsim: it
+// computes the inter-process information-flow relations of Definitions
+// 6.4–6.5 ("sees" and "touches"), checks the regularity conditions of
+// Definition 6.6, and summarizes procedure calls. The lower-bound adversary
+// uses these analyses both to drive its construction and to *verify*, at
+// run time, that every history it builds is regular.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// OwnerFunc maps an address to the process whose memory module holds it
+// (memsim.NoOwner for global words).
+type OwnerFunc func(memsim.Addr) memsim.PID
+
+// Relations captures who communicated with whom in a trace.
+type Relations struct {
+	// Sees[p][q] holds if p read a value last written by q (Def. 6.4).
+	Sees map[memsim.PID]map[memsim.PID]bool
+	// Touches[p][q] holds if p accessed a word in q's module (Def. 6.5).
+	Touches map[memsim.PID]map[memsim.PID]bool
+	// LastWriter maps each written address to the process whose
+	// nontrivial operation wrote it last.
+	LastWriter map[memsim.Addr]memsim.PID
+	// Writers maps each written address to the set of processes that
+	// overwrote it.
+	Writers map[memsim.Addr]map[memsim.PID]bool
+	// Participants is the set of processes that took at least one step.
+	Participants map[memsim.PID]bool
+}
+
+// Compute scans events and returns the communication relations.
+func Compute(events []memsim.Event, owner OwnerFunc) *Relations {
+	r := &Relations{
+		Sees:         make(map[memsim.PID]map[memsim.PID]bool),
+		Touches:      make(map[memsim.PID]map[memsim.PID]bool),
+		LastWriter:   make(map[memsim.Addr]memsim.PID),
+		Writers:      make(map[memsim.Addr]map[memsim.PID]bool),
+		Participants: make(map[memsim.PID]bool),
+	}
+	for _, ev := range events {
+		if ev.Kind != memsim.EvAccess {
+			continue
+		}
+		p := ev.PID
+		r.Participants[p] = true
+		a := ev.Acc.Addr
+		if own := owner(a); own != memsim.NoOwner && own != p {
+			addRel(r.Touches, p, own)
+		}
+		// Reads observe the last writer; RMW operations also return the
+		// old value, hence also "see" its writer.
+		if readsValue(ev.Acc.Op) {
+			if w, ok := r.LastWriter[a]; ok && w != p {
+				addRel(r.Sees, p, w)
+			}
+		}
+		if ev.Res.Wrote {
+			r.LastWriter[a] = p
+			ws := r.Writers[a]
+			if ws == nil {
+				ws = make(map[memsim.PID]bool)
+				r.Writers[a] = ws
+			}
+			ws[p] = true
+		}
+	}
+	return r
+}
+
+// readsValue reports whether the op's semantics expose the previous value
+// of the word to the caller (and hence can transfer information).
+func readsValue(op memsim.Op) bool {
+	switch op {
+	case memsim.OpRead, memsim.OpLL, memsim.OpCAS, memsim.OpFetchAdd,
+		memsim.OpFetchStore, memsim.OpTestAndSet:
+		return true
+	case memsim.OpWrite, memsim.OpSC:
+		// SC exposes only success/failure; for regularity analysis we
+		// treat a successful SC as seeing the linked word's writer via
+		// the preceding LL, which is already a read.
+		return false
+	default:
+		return false
+	}
+}
+
+func addRel(m map[memsim.PID]map[memsim.PID]bool, p, q memsim.PID) {
+	s := m[p]
+	if s == nil {
+		s = make(map[memsim.PID]bool)
+		m[p] = s
+	}
+	s[q] = true
+}
+
+// Violation describes one failed regularity condition of Definition 6.6.
+type Violation struct {
+	Cond int // 1 = sees, 2 = touches, 3 = multi-writer last write
+	P, Q memsim.PID
+	Addr memsim.Addr
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	switch v.Cond {
+	case 1:
+		return fmt.Sprintf("regularity(1): p%d sees active p%d", v.P, v.Q)
+	case 2:
+		return fmt.Sprintf("regularity(2): p%d touches active p%d", v.P, v.Q)
+	default:
+		return fmt.Sprintf("regularity(3): a%d multi-writer, last writer p%d active", v.Addr, v.P)
+	}
+}
+
+// CheckRegular verifies the three conditions of Definition 6.6 against the
+// relations of a trace, given the set of finished processes. All three
+// conditions quantify over participating processes only ("for any distinct
+// p, q ∈ Par(H)"), so accessing the memory module of a process that never
+// took a step is not a violation. It returns all violations found (nil
+// means the history is regular).
+func CheckRegular(r *Relations, finished map[memsim.PID]bool) []Violation {
+	var out []Violation
+	for p, qs := range r.Sees {
+		for q := range qs {
+			if p != q && r.Participants[q] && !finished[q] {
+				out = append(out, Violation{Cond: 1, P: p, Q: q})
+			}
+		}
+	}
+	for p, qs := range r.Touches {
+		for q := range qs {
+			if p != q && r.Participants[q] && !finished[q] {
+				out = append(out, Violation{Cond: 2, P: p, Q: q})
+			}
+		}
+	}
+	for a, ws := range r.Writers {
+		if len(ws) <= 1 {
+			continue
+		}
+		last := r.LastWriter[a]
+		if !finished[last] {
+			out = append(out, Violation{Cond: 3, P: last, Addr: a})
+		}
+	}
+	return out
+}
+
+// Call summarizes one completed or partial procedure call.
+type Call struct {
+	PID      memsim.PID
+	CallSeq  int
+	Proc     string
+	Steps    int
+	Ret      memsim.Value
+	Complete bool
+}
+
+// Calls extracts per-call summaries from a trace, in call-start order.
+func Calls(events []memsim.Event) []Call {
+	var out []Call
+	open := make(map[memsim.PID]int) // pid -> index into out
+	for _, ev := range events {
+		switch ev.Kind {
+		case memsim.EvCallStart:
+			open[ev.PID] = len(out)
+			out = append(out, Call{PID: ev.PID, CallSeq: ev.CallSeq, Proc: ev.Proc})
+		case memsim.EvAccess:
+			if i, ok := open[ev.PID]; ok {
+				out[i].Steps++
+			}
+		case memsim.EvCallEnd:
+			if i, ok := open[ev.PID]; ok {
+				out[i].Ret = ev.Ret
+				out[i].Complete = true
+				delete(open, ev.PID)
+			}
+		}
+	}
+	return out
+}
+
+// StepsByProcess returns the number of shared-memory accesses each process
+// performed.
+func StepsByProcess(events []memsim.Event, n int) []int {
+	steps := make([]int, n)
+	for _, ev := range events {
+		if ev.Kind == memsim.EvAccess && int(ev.PID) < n {
+			steps[ev.PID]++
+		}
+	}
+	return steps
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func access(pid memsim.PID, op memsim.Op, addr memsim.Addr, wrote bool) memsim.Event {
+	return memsim.Event{
+		Kind: memsim.EvAccess,
+		PID:  pid,
+		Acc:  memsim.Access{Op: op, Addr: addr},
+		Res:  memsim.Result{Wrote: wrote, OK: true},
+	}
+}
+
+func ownerFixed(m map[memsim.Addr]memsim.PID) OwnerFunc {
+	return func(a memsim.Addr) memsim.PID {
+		if o, ok := m[a]; ok {
+			return o
+		}
+		return memsim.NoOwner
+	}
+}
+
+func TestSeesRelation(t *testing.T) {
+	events := []memsim.Event{
+		access(0, memsim.OpWrite, 5, true),
+		access(1, memsim.OpRead, 5, false), // p1 sees p0
+		access(2, memsim.OpRead, 6, false), // reads initial value: sees nobody
+	}
+	r := Compute(events, ownerFixed(nil))
+	if !r.Sees[1][0] {
+		t.Fatal("p1 should see p0")
+	}
+	if len(r.Sees[2]) != 0 {
+		t.Fatal("p2 should see nobody")
+	}
+	if len(r.Sees[0]) != 0 {
+		t.Fatal("p0 should see nobody")
+	}
+}
+
+func TestSeesThroughRMW(t *testing.T) {
+	events := []memsim.Event{
+		access(0, memsim.OpWrite, 3, true),
+		access(1, memsim.OpFetchAdd, 3, true), // FAA returns p0's value: sees p0
+		access(2, memsim.OpFetchAdd, 3, true), // sees p1
+	}
+	r := Compute(events, ownerFixed(nil))
+	if !r.Sees[1][0] || !r.Sees[2][1] {
+		t.Fatalf("RMW chain sees: %v", r.Sees)
+	}
+	if r.Sees[2][0] {
+		t.Fatal("p2 should not see p0 directly (p1 overwrote)")
+	}
+}
+
+func TestTouchesRelation(t *testing.T) {
+	owner := ownerFixed(map[memsim.Addr]memsim.PID{7: 2})
+	events := []memsim.Event{
+		access(0, memsim.OpRead, 7, false), // p0 touches p2
+		access(2, memsim.OpWrite, 7, true), // own module: no touch
+		access(1, memsim.OpRead, 9, false), // global: no touch
+	}
+	r := Compute(events, owner)
+	if !r.Touches[0][2] {
+		t.Fatal("p0 should touch p2")
+	}
+	if len(r.Touches[2]) != 0 || len(r.Touches[1]) != 0 {
+		t.Fatalf("unexpected touches: %v", r.Touches)
+	}
+}
+
+func TestCheckRegular(t *testing.T) {
+	owner := ownerFixed(map[memsim.Addr]memsim.PID{7: 2})
+	events := []memsim.Event{
+		access(0, memsim.OpWrite, 5, true),
+		access(1, memsim.OpRead, 5, false), // p1 sees p0
+		access(1, memsim.OpRead, 7, false), // p1 touches p2
+		access(3, memsim.OpWrite, 8, true),
+		access(4, memsim.OpWrite, 8, true), // multi-writer, p4 last
+	}
+	// Definition 6.6 quantifies over Par(H): while p2 takes no step,
+	// touching its module is legal, so only conditions 1 and 3 trip.
+	r := Compute(events, owner)
+	vs := CheckRegular(r, map[memsim.PID]bool{})
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v, want 2 (touching a non-participant is legal)", vs)
+	}
+
+	// Once p2 participates, the touch becomes a violation too.
+	events = append(events, access(2, memsim.OpWrite, 9, true))
+	r = Compute(events, owner)
+	vs = CheckRegular(r, map[memsim.PID]bool{})
+	if len(vs) != 3 {
+		t.Fatalf("violations = %v, want 3", vs)
+	}
+
+	// Finishing p0, p2 and p4 restores regularity.
+	vs = CheckRegular(r, map[memsim.PID]bool{0: true, 2: true, 4: true})
+	if len(vs) != 0 {
+		t.Fatalf("violations after finishing = %v, want none", vs)
+	}
+}
+
+func TestCalls(t *testing.T) {
+	events := []memsim.Event{
+		{Kind: memsim.EvCallStart, PID: 0, CallSeq: 0, Proc: "Poll"},
+		access(0, memsim.OpRead, 1, false),
+		{Kind: memsim.EvCallStart, PID: 1, CallSeq: 0, Proc: "Signal"},
+		access(1, memsim.OpWrite, 1, true),
+		{Kind: memsim.EvCallEnd, PID: 0, CallSeq: 0, Proc: "Poll", Ret: 0},
+		{Kind: memsim.EvCallEnd, PID: 1, CallSeq: 0, Proc: "Signal"},
+		{Kind: memsim.EvCallStart, PID: 0, CallSeq: 1, Proc: "Poll"},
+		access(0, memsim.OpRead, 1, false),
+	}
+	calls := Calls(events)
+	if len(calls) != 3 {
+		t.Fatalf("calls = %d, want 3", len(calls))
+	}
+	if !calls[0].Complete || calls[0].Steps != 1 || calls[0].Proc != "Poll" {
+		t.Fatalf("call 0: %+v", calls[0])
+	}
+	if calls[2].Complete {
+		t.Fatal("call 2 should be incomplete")
+	}
+}
+
+func TestStepsByProcess(t *testing.T) {
+	events := []memsim.Event{
+		access(0, memsim.OpRead, 1, false),
+		access(0, memsim.OpRead, 1, false),
+		access(2, memsim.OpWrite, 1, true),
+	}
+	steps := StepsByProcess(events, 3)
+	if steps[0] != 2 || steps[1] != 0 || steps[2] != 1 {
+		t.Fatalf("steps = %v", steps)
+	}
+}
+
+func TestParticipants(t *testing.T) {
+	events := []memsim.Event{
+		access(0, memsim.OpRead, 1, false),
+		{Kind: memsim.EvCallStart, PID: 3, Proc: "Poll"}, // call start alone is not a step
+	}
+	r := Compute(events, ownerFixed(nil))
+	if !r.Participants[0] || r.Participants[3] {
+		t.Fatalf("participants = %v", r.Participants)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	owner := ownerFixed(map[memsim.Addr]memsim.PID{1: 0})
+	events := []memsim.Event{
+		{Kind: memsim.EvCallStart, PID: 0, Proc: "Poll"},
+		access(0, memsim.OpRead, 1, false),
+		{Kind: memsim.EvCallEnd, PID: 0, Proc: "Poll", Ret: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events, owner, 2); err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONTrace
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if decoded.N != 2 || len(decoded.Events) != 3 {
+		t.Fatalf("decoded %+v", decoded)
+	}
+	acc := decoded.Events[1]
+	if acc.Kind != "access" || acc.Op != "read" || acc.RMRDSM {
+		t.Fatalf("access event %+v (read of own module must not be a DSM RMR)", acc)
+	}
+	if !acc.RMRCC {
+		t.Fatalf("first CC read must be an RMR: %+v", acc)
+	}
+}

@@ -1,0 +1,77 @@
+// Package repro is the public facade of the reproduction of Golab,
+// "A Complexity Separation Between the Cache-Coherent and Distributed
+// Shared Memory Models" (PODC 2011, arXiv:1109.5153).
+//
+// The implementation lives in internal packages (see README.md for the
+// map); this package re-exports the entry points a downstream user needs:
+//
+//   - Run simulates a signaling-problem history (internal/core) and Score
+//     prices it under a cost model;
+//   - Adversary runs the Section 6 lower-bound construction
+//     (internal/lowerbound) against any algorithm;
+//   - Algorithms lists every signaling algorithm in the repository
+//     (internal/signal), and Locks every mutual-exclusion lock
+//     (internal/mutex).
+//
+// For fine-grained control (custom algorithms, schedulers, exhaustive
+// exploration, progress checking) import the internal packages directly
+// from within this module, or start from the runnable examples under
+// examples/.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/model"
+	"repro/internal/mutex"
+	"repro/internal/signal"
+)
+
+// Re-exported core types: a Config describes one simulated history of the
+// signaling problem; Run executes it; the Result scores under any
+// CostModel.
+type (
+	// Config describes one simulated signaling history.
+	Config = core.Config
+	// Result is the outcome of a simulated history.
+	Result = core.Result
+	// Table is one regenerated experiment table.
+	Table = core.Table
+	// Algorithm is a named signaling-problem solution.
+	Algorithm = signal.Algorithm
+	// CostModel prices a trace in RMRs.
+	CostModel = model.CostModel
+	// Report is a cost model's verdict on a trace.
+	Report = model.Report
+	// AdversaryConfig parameterizes the Section 6 lower-bound adversary.
+	AdversaryConfig = lowerbound.Config
+	// Certificate is the adversary's evidence.
+	Certificate = lowerbound.Certificate
+)
+
+// Cost models for the two architectures of Figure 1.
+var (
+	// DSM is the distributed-shared-memory cost model (Section 2).
+	DSM CostModel = model.ModelDSM
+	// CC is the cache-coherent cost model (Section 2, loose definition).
+	CC CostModel = model.ModelCC
+)
+
+// Run simulates one history of the signaling problem.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Adversary executes the Section 6 lower-bound construction and returns
+// its certificate.
+func Adversary(cfg AdversaryConfig) (*Certificate, error) { return lowerbound.Run(cfg) }
+
+// Algorithms returns every signaling algorithm in the repository.
+func Algorithms() []Algorithm { return signal.All() }
+
+// AlgorithmByName returns the named signaling algorithm.
+func AlgorithmByName(name string) (Algorithm, error) { return signal.ByName(name) }
+
+// Locks returns every mutual-exclusion lock in the repository.
+func Locks() []mutex.Algorithm { return mutex.All() }
+
+// Experiments regenerates the full experiment table suite of DESIGN.md §4.
+func Experiments() ([]*Table, error) { return core.Experiments() }
