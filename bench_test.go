@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -48,6 +49,7 @@ func BenchmarkE1CCFlag(b *testing.B) {
 					MaxPolls:    64,
 					SignalAfter: 4 * n,
 					MaxSteps:    2_000_000,
+					Scorers:     []model.Scorer{model.ModelCC},
 				})
 				rep = res.Score(model.ModelCC)
 			}
@@ -71,6 +73,7 @@ func BenchmarkE2NaiveDSM(b *testing.B) {
 					MaxPolls:   polls,
 					NoSignaler: true,
 					MaxSteps:   2_000_000,
+					Scorers:    []model.Scorer{model.ModelCC, model.ModelDSM},
 				})
 				cc = res.Score(model.ModelCC)
 				dsm = res.Score(model.ModelDSM)
@@ -145,6 +148,7 @@ func BenchmarkE5SingleWaiter(b *testing.B) {
 					MaxPolls:    polls,
 					SignalAfter: 2 * polls,
 					MaxSteps:    1_000_000,
+					Scorers:     []model.Scorer{model.ModelCC, model.ModelDSM},
 				})
 				cc = res.Score(model.ModelCC)
 				dsm = res.Score(model.ModelDSM)
@@ -170,6 +174,7 @@ func BenchmarkE6FixedWaiters(b *testing.B) {
 					Signaler:  memsim.PID(w),
 					MaxPolls:  4,
 					MaxSteps:  4_000_000,
+					Scorers:   []model.Scorer{model.ModelDSM},
 				})
 				rep = res.Score(model.ModelDSM)
 			}
@@ -182,6 +187,7 @@ func BenchmarkE6FixedWaiters(b *testing.B) {
 					Algorithm: signal.FixedWaitersTerminating(),
 					N:         w + 1,
 					MaxSteps:  8_000_000,
+					Scorers:   []model.Scorer{model.ModelDSM},
 				})
 				rep = res.Score(model.ModelDSM)
 			}
@@ -204,6 +210,7 @@ func BenchmarkE7QueueSignal(b *testing.B) {
 					MaxPolls:    6,
 					SignalAfter: 6 * k,
 					MaxSteps:    4_000_000,
+					Scorers:     []model.Scorer{model.ModelDSM},
 				})
 				rep = res.Score(model.ModelDSM)
 			}
@@ -239,6 +246,9 @@ func BenchmarkE8Messages(b *testing.B) {
 					MaxPolls:    32,
 					SignalAfter: 6 * n,
 					MaxSteps:    4_000_000,
+					Scorers: []model.Scorer{
+						model.ModelCC, model.ModelCCDirIdeal, model.CCDirLimited(4),
+					},
 				})
 				bus = res.Score(model.ModelCC)
 				ideal = res.Score(model.ModelCCDirIdeal)
@@ -322,7 +332,7 @@ func BenchmarkAblationCacheRule(b *testing.B) {
 	factory := func(m *memsim.Machine, n int) (memsim.Instance, error) {
 		return jammerInstance{b: m.Alloc(memsim.NoOwner, "B", 1, 0)}, nil
 	}
-	run := func(b *testing.B, cm model.CostModel) float64 {
+	run := func(b *testing.B, cm model.Scorer) float64 {
 		var rep *model.Report
 		for i := 0; i < b.N; i++ {
 			res, err := core.Run(core.Config{
@@ -335,11 +345,12 @@ func BenchmarkAblationCacheRule(b *testing.B) {
 				MaxPolls:    32,
 				SignalAfter: 200,
 				MaxSteps:    4_000_000,
+				Scorers:     []model.Scorer{cm},
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
-			rep = res.Score(cm)
+			rep = res.Reports[0]
 		}
 		return float64(rep.Total)
 	}
@@ -396,6 +407,7 @@ func BenchmarkAblationRegistry(b *testing.B) {
 					MaxPolls:    6,
 					SignalAfter: 128,
 					MaxSteps:    4_000_000,
+					Scorers:     []model.Scorer{model.ModelDSM},
 				})
 				rep = res.Score(model.ModelDSM)
 			}
@@ -481,12 +493,94 @@ func BenchmarkAblationEviction(b *testing.B) {
 					MaxPolls:    64,
 					SignalAfter: 200,
 					MaxSteps:    2_000_000,
+					Scorers: []model.Scorer{
+						model.CC{Msg: model.MsgBus, EvictEvery: evict},
+					},
 				})
-				cm := model.CC{Msg: model.MsgBus, EvictEvery: evict}
-				rep = cm.Score(res.Events, res.OwnerFunc(), res.N())
+				rep = res.Reports[0]
 			}
 			b.ReportMetric(float64(rep.Total), "rmrs")
 			b.ReportMetric(float64(rep.Max()), "rmr_worst")
+		})
+	}
+}
+
+// BenchmarkScoringAllocs contrasts the two scoring paths on an identical
+// workload priced under all four standard models: "streaming" attaches
+// accumulators and retains no trace (a single pass, O(1) retained events);
+// "retained" keeps the full []Event and batch-scores it four times, the
+// pre-redesign pipeline. allocs/op and B/op are the paper-relevant
+// metrics; streaming must allocate strictly less.
+func BenchmarkScoringAllocs(b *testing.B) {
+	base := core.Config{
+		Algorithm:   signal.Flag(),
+		N:           16,
+		MaxPolls:    512,
+		SignalAfter: 6_000,
+		MaxSteps:    2_000_000,
+	}
+	standard := model.StandardScorers()
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.Scorers = standard
+			res := runSignaling(b, cfg)
+			if res.Events != nil {
+				b.Fatal("streaming run retained events")
+			}
+			if len(res.Reports) != len(standard) {
+				b.Fatal("missing streaming reports")
+			}
+		}
+	})
+	b.Run("retained", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.KeepEvents = true
+			res := runSignaling(b, cfg)
+			for _, cm := range standard {
+				if res.Score(cm) == nil {
+					b.Fatal("batch score failed")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkRunManyWorkers measures batch throughput of the Runner facade
+// across worker counts: 24 independent histories priced under both
+// architecture models, streaming.
+func BenchmarkRunManyWorkers(b *testing.B) {
+	alg := signal.Flag()
+	cfgs := make([]core.Config, 24)
+	for i := range cfgs {
+		cfgs[i] = core.Config{
+			Algorithm:   alg,
+			N:           8 + 4*(i%4),
+			MaxPolls:    64,
+			SignalAfter: 40,
+			MaxSteps:    2_000_000,
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := NewRunner(WithModels(CC, DSM), WithWorkers(workers))
+			for i := 0; i < b.N; i++ {
+				// Fresh scheduler state per run: configs leave Scheduler
+				// nil, so each run gets its own round-robin.
+				results, err := r.RunMany(context.Background(), cfgs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if res == nil || len(res.Reports) != 2 {
+						b.Fatal("missing batch result")
+					}
+				}
+			}
+			b.ReportMetric(float64(len(cfgs)*b.N)/b.Elapsed().Seconds(), "runs/s")
 		})
 	}
 }

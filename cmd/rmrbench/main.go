@@ -4,15 +4,23 @@
 //
 // Usage:
 //
-//	rmrbench              # run every experiment
-//	rmrbench -exp E3,E7   # run a subset
+//	rmrbench                  # run every experiment
+//	rmrbench -exp E3,E7       # run a subset
+//	rmrbench -workers 4       # run experiments on 4 workers
+//
+// Each experiment is an independent deterministic simulation, so the
+// tables are identical whatever the worker count; only wall-clock time
+// changes. Ctrl-C cancels between experiments.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -29,6 +37,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rmrbench", flag.ContinueOnError)
 	expFlag := fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "experiments run concurrently")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,10 +47,11 @@ func run(args []string, out io.Writer) error {
 			want[id] = true
 		}
 	}
-	tables, err := core.Experiments()
-	if err != nil {
-		return err
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// On error or Ctrl-C, ExperimentsContext still hands back every table
+	// that completed: print those before reporting the failure.
+	tables, err := core.ExperimentsContext(ctx, *workers)
 	printed := 0
 	for _, t := range tables {
 		if len(want) > 0 && !want[t.ID] {
@@ -49,6 +59,9 @@ func run(args []string, out io.Writer) error {
 		}
 		printTable(out, t)
 		printed++
+	}
+	if err != nil {
+		return err
 	}
 	if printed == 0 {
 		return fmt.Errorf("no experiment matched %q", *expFlag)

@@ -48,6 +48,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Trace inspection is exactly the workload full retention exists for:
+	// KeepEvents opts back into the materialized []Event that streaming
+	// consumers do without.
 	res, err := core.Run(core.Config{
 		Algorithm:   alg,
 		N:           *n,
@@ -55,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		SignalAfter: *n,
 		Scheduler:   sched.NewRandom(*seed),
 		Blocking:    !alg.Variant.Polling,
+		KeepEvents:  true,
 	})
 	if err != nil {
 		return err

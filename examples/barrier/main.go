@@ -34,6 +34,7 @@ func main() {
 			MaxPolls:    48,
 			SignalAfter: 3 * workers, // workers reach the barrier first
 			Scheduler:   sched.NewRandom(11),
+			Scorers:     []model.Scorer{model.ModelCC, model.ModelDSM},
 		})
 		if err != nil {
 			log.Fatalf("%s: %v", alg.Name, err)
@@ -41,10 +42,9 @@ func main() {
 		if len(res.Violations) > 0 {
 			log.Fatalf("%s: spec violations: %v", alg.Name, res.Violations)
 		}
-		for _, cm := range []model.CostModel{model.ModelCC, model.ModelDSM} {
-			rep := res.Score(cm)
+		for _, rep := range res.Reports {
 			fmt.Printf("%-12s %-10s %10d %10d %10.2f\n",
-				alg.Name, cm.Name(), rep.Total, rep.Max(), rep.Amortized())
+				alg.Name, rep.Model, rep.Total, rep.Max(), rep.Amortized())
 		}
 	}
 

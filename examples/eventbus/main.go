@@ -43,6 +43,7 @@ func main() {
 		MaxPolls:    200,
 		SignalAfter: 3 * consumers,
 		Scheduler:   sched.NewRandom(42),
+		Scorers:     []model.Scorer{model.ModelDSM},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -3,6 +3,10 @@
 // price the very same execution under the cache-coherent and distributed
 // shared memory cost models.
 //
+// This uses the streaming facade: a Runner with both architecture models
+// attached prices each shared-memory event as it happens, so the run is
+// scored in a single pass and no trace is retained.
+//
 //	go run ./examples/quickstart
 package main
 
@@ -10,20 +14,23 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/model"
+	"repro"
 	"repro/internal/sched"
 	"repro/internal/signal"
 )
 
 func main() {
+	runner := repro.NewRunner(
+		repro.WithModels(repro.CC, repro.DSM),
+		repro.WithScheduler(func() repro.Scheduler { return sched.NewRandom(7) }),
+	)
+
 	// One signaler (process 7) and seven waiters polling a shared flag.
-	res, err := core.Run(core.Config{
+	res, err := runner.Run(repro.Config{
 		Algorithm:   signal.Flag(),
 		N:           8,
 		MaxPolls:    64, // waiters may give up after 64 polls (spec allows it)
 		SignalAfter: 40, // let the waiters spin a while first
-		Scheduler:   sched.NewRandom(7),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -35,10 +42,9 @@ func main() {
 		log.Fatalf("specification violated: %v", res.Violations)
 	}
 
-	// The execution is a sequence of atomic events; cost models price it
-	// after the fact, so the comparison is apples-to-apples.
-	cc := res.Score(model.ModelCC)
-	dsm := res.Score(model.ModelDSM)
+	// Both models priced the identical event stream as it was generated,
+	// so the comparison is apples-to-apples — and res.Events is nil.
+	cc, dsm := res.Reports[0], res.Reports[1]
 
 	fmt.Printf("CC  model: total %3d RMRs, worst process %2d, amortized %.2f\n",
 		cc.Total, cc.Max(), cc.Amortized())

@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"reflect"
 
 	"repro/internal/memsim"
 	"repro/internal/model"
@@ -19,6 +20,11 @@ import (
 // process terminates. Callers that intentionally truncate histories (all
 // finite prefixes are valid histories, Definition 6.1) may ignore it.
 var ErrBudget = errors.New("core: step budget exhausted")
+
+// ErrInterrupted is returned when a run stops because Config.Interrupt
+// fired. Like ErrBudget it accompanies a valid truncated Result (every
+// finite prefix is a history).
+var ErrInterrupted = errors.New("core: run interrupted")
 
 // Config describes one simulated history of the signaling problem.
 type Config struct {
@@ -52,6 +58,25 @@ type Config struct {
 	MaxSteps int
 	// Scheduler orders the steps; nil means round-robin.
 	Scheduler sched.Scheduler
+	// Scorers attaches streaming cost models: each accumulator prices
+	// every event as it is generated, and the finished reports land in
+	// Result.Reports (in Scorers order). This is the single-pass scoring
+	// path — with KeepEvents off, a run under any number of models
+	// retains no trace at all.
+	Scorers []model.Scorer
+	// KeepEvents retains the full execution trace in Result.Events. It is
+	// off by default: scoring-only workloads should attach Scorers
+	// instead and let the trace stream away. Tools that inspect
+	// individual events (tracedump, replay debugging) switch it on.
+	KeepEvents bool
+	// Sink, when non-nil, additionally observes every trace event as it
+	// is generated (after any attached scorers).
+	Sink memsim.EventSink
+	// Interrupt, when non-nil, is polled between steps; once it is closed
+	// (or receives), the run stops and returns ErrInterrupted with the
+	// truncated Result. Runner wires a context.Context's Done channel
+	// here.
+	Interrupt <-chan struct{}
 }
 
 // normalize fills defaults and validates.
@@ -83,8 +108,12 @@ func (c *Config) normalize() error {
 
 // Result is the outcome of a simulated history.
 type Result struct {
-	// Events is the full execution trace.
+	// Events is the full execution trace; nil unless Config.KeepEvents
+	// was set.
 	Events []memsim.Event
+	// Reports are the streaming reports of the attached Config.Scorers,
+	// in the same order.
+	Reports []*model.Report
 	// Returns maps each process to the return values of its completed
 	// calls, in order.
 	Returns map[memsim.PID][]memsim.Value
@@ -94,17 +123,66 @@ type Result struct {
 	Steps int
 	// Truncated reports whether the run stopped on the step budget.
 	Truncated bool
+	// Interrupted reports whether the run stopped on Config.Interrupt.
+	Interrupted bool
 	// Violations are breaches of Specification 4.1 (empty for correct
 	// algorithms).
 	Violations []signal.SpecViolation
 
 	ownerFn func(memsim.Addr) memsim.PID
 	n       int
+	// scorers mirrors Reports: the attached scorer that produced each
+	// report, for exact model matching in Score.
+	scorers []model.Scorer
 }
 
-// Score prices the trace under the given cost model.
+// Report returns the streaming report whose model name matches name, or
+// nil if no such scorer was attached. Note that a CC model's name does not
+// encode its Limit, EvictEvery or StrictInvalidate knobs; attach at most
+// one variant per name if you look reports up this way (Score matches by
+// model value instead and has no such ambiguity).
+func (r *Result) Report(name string) *model.Report {
+	for _, rep := range r.Reports {
+		if rep.Model == name {
+			return rep
+		}
+	}
+	return nil
+}
+
+// Score prices the run under the given cost model. If the trace was
+// retained (Config.KeepEvents) it is scored in a batch pass; otherwise
+// Score falls back to the streaming report of the attached scorer that is
+// exactly this model (value equality, so two CC variants differing only
+// in Limit or EvictEvery never answer for each other), and returns nil if
+// there is none. New code should attach Scorers and read Result.Reports
+// directly; Score is kept for the trace-retaining path and for
+// compatibility.
 func (r *Result) Score(cm model.CostModel) *model.Report {
-	return cm.Score(r.Events, r.ownerFn, r.n)
+	if r.Events != nil {
+		return cm.Score(r.Events, r.ownerFn, r.n)
+	}
+	for i, s := range r.scorers {
+		if scorerIs(s, cm) {
+			return r.Reports[i]
+		}
+	}
+	return nil
+}
+
+// scorerIs reports whether the attached scorer s is exactly the model cm:
+// value equality for comparable model types (every model in this
+// repository), name equality as a fallback for custom non-comparable
+// scorer types.
+func scorerIs(s model.Scorer, cm model.CostModel) bool {
+	ts, tc := reflect.TypeOf(s), reflect.TypeOf(cm)
+	if ts != tc {
+		return false
+	}
+	if ts.Comparable() {
+		return any(s) == any(cm)
+	}
+	return s.Name() == cm.Name()
 }
 
 // OwnerFunc exposes the machine's module-ownership mapping, for callers
@@ -114,10 +192,13 @@ func (r *Result) OwnerFunc() func(memsim.Addr) memsim.PID { return r.ownerFn }
 // N returns the number of processes in the run.
 func (r *Result) N() int { return r.n }
 
-// Run simulates one history of cfg and returns its result. The trace can
-// then be scored under any cost model. Run returns ErrBudget (wrapped)
-// together with a valid, truncated Result when the step budget is
-// exhausted; all other errors indicate misuse or algorithm bugs.
+// Run simulates one history of cfg and returns its result. Attached
+// Scorers price every event as it is generated (one pass, no retained
+// trace); with KeepEvents set the full trace is additionally retained and
+// can be scored after the fact. Run returns ErrBudget or ErrInterrupted
+// (wrapped) together with a valid, truncated Result when the step budget
+// is exhausted or Config.Interrupt fires; all other errors indicate misuse
+// or algorithm bugs.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -129,6 +210,26 @@ func Run(cfg Config) (*Result, error) {
 	defer exec.Close()
 
 	res := &Result{Returns: make(map[memsim.PID][]memsim.Value, cfg.N)}
+
+	// Streaming consumers: attached scorers, the online spec checker, and
+	// any extra sink observe each event as it is emitted; the trace
+	// itself is retained only on request.
+	exec.RetainEvents(cfg.KeepEvents)
+	owner := exec.Machine().Owner
+	accs := make([]model.Accumulator, len(cfg.Scorers))
+	for i, s := range cfg.Scorers {
+		accs[i] = s.Begin(cfg.N, owner)
+	}
+	spec := signal.NewSpecChecker()
+	exec.Attach(func(ev memsim.Event) {
+		for _, a := range accs {
+			a.Add(ev)
+		}
+		spec.Observe(ev)
+		if cfg.Sink != nil {
+			cfg.Sink(ev)
+		}
+	})
 
 	waiterKind := memsim.CallPoll
 	if cfg.Blocking {
@@ -193,6 +294,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for {
+		if cfg.Interrupt != nil {
+			select {
+			case <-cfg.Interrupt:
+				res.Interrupted = true
+			default:
+			}
+			if res.Interrupted {
+				break
+			}
+		}
 		ready, err := advance()
 		if err != nil {
 			return nil, err
@@ -212,10 +323,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res.Signaled = signalDone
-	res.Events = exec.Events()
-	res.ownerFn = exec.Machine().Owner
+	if cfg.KeepEvents {
+		res.Events = exec.Events()
+	}
+	res.Reports = make([]*model.Report, len(accs))
+	for i, a := range accs {
+		res.Reports[i] = model.FinalReport(a)
+	}
+	res.scorers = cfg.Scorers
+	res.ownerFn = owner
 	res.n = cfg.N
-	res.Violations = signal.CheckSpec(res.Events)
+	res.Violations = spec.Violations()
+	if res.Interrupted {
+		return res, fmt.Errorf("%w after %d steps", ErrInterrupted, res.Steps)
+	}
 	if res.Truncated {
 		return res, fmt.Errorf("%w after %d steps", ErrBudget, res.Steps)
 	}

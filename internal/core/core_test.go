@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -17,6 +18,7 @@ func TestRunFlagRoundRobin(t *testing.T) {
 		N:           4,
 		MaxPolls:    100,
 		SignalAfter: 60,
+		Scorers:     []model.Scorer{model.ModelCC, model.ModelDSM},
 	})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -143,6 +145,7 @@ func TestRunDeterminism(t *testing.T) {
 				MaxPolls:    20,
 				SignalAfter: 15,
 				Scheduler:   sched.NewRandom(seed),
+				KeepEvents:  true,
 			})
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
@@ -193,5 +196,85 @@ func TestRunBudgetTruncation(t *testing.T) {
 	}
 	if len(res.Violations) > 0 {
 		t.Fatalf("violations on truncated prefix: %v", res.Violations)
+	}
+}
+
+// TestRunStreamingReports: attached scorers must produce exactly the
+// reports a batch Score of the retained trace yields, and runs without
+// KeepEvents must retain no trace at all.
+func TestRunStreamingReports(t *testing.T) {
+	scorers := []model.Scorer{
+		model.ModelDSM, model.ModelCC, model.ModelCCWriteBack,
+		model.ModelCCDirIdeal, model.CCDirLimited(2),
+	}
+	cfg := Config{
+		Algorithm:   signal.QueueSignal(),
+		N:           6,
+		MaxPolls:    12,
+		SignalAfter: 20,
+		Scheduler:   sched.NewRandom(9),
+		Scorers:     scorers,
+		KeepEvents:  true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != len(scorers) {
+		t.Fatalf("got %d reports, want %d", len(res.Reports), len(scorers))
+	}
+	for i, s := range scorers {
+		batch := s.Score(res.Events, res.OwnerFunc(), res.N())
+		if !reflect.DeepEqual(res.Reports[i], batch) {
+			t.Errorf("%s: streaming %+v != batch %+v", s.Name(), res.Reports[i], batch)
+		}
+	}
+
+	cfg.KeepEvents = false
+	cfg.Scheduler = sched.NewRandom(9)
+	lean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lean.Events != nil {
+		t.Fatalf("KeepEvents off but %d events retained", len(lean.Events))
+	}
+	for i := range scorers {
+		if !reflect.DeepEqual(lean.Reports[i], res.Reports[i]) {
+			t.Errorf("%s: report differs without trace retention", scorers[i].Name())
+		}
+	}
+	// Score falls back to the streaming report of the exact attached model.
+	if got := lean.Score(model.ModelCC); !reflect.DeepEqual(got, res.Reports[1]) {
+		t.Errorf("Score fallback = %+v, want %+v", got, res.Reports[1])
+	}
+	if lean.Score(model.CCDirLimited(2)) == nil {
+		t.Error("Score should value-match the attached dir-limited scorer")
+	}
+	// A same-named CC variant with different knobs must NOT answer: its
+	// report would be wrong.
+	if got := lean.Score(model.CCDirLimited(7)); got != nil {
+		t.Errorf("Score returned %+v for a dir-limited variant that was never attached", got)
+	}
+}
+
+// TestRunInterrupt: a closed Interrupt channel stops the run promptly with
+// ErrInterrupted and a valid truncated result.
+func TestRunInterrupt(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	res, err := Run(Config{
+		Algorithm:  signal.Flag(),
+		N:          3,
+		NoSignaler: true,
+		MaxPolls:   0, // poll forever: only the interrupt can stop this
+		MaxSteps:   1 << 30,
+		Interrupt:  stop,
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !res.Interrupted || res.Steps != 0 {
+		t.Fatalf("interrupted=%v steps=%d, want immediate stop", res.Interrupted, res.Steps)
 	}
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/gme"
 	"repro/internal/lowerbound"
@@ -47,6 +50,7 @@ func ExperimentE1(ns []int) (*Table, error) {
 			MaxPolls:    64,
 			SignalAfter: 4 * n,
 			MaxSteps:    2_000_000,
+			Scorers:     []model.Scorer{model.ModelCC},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E1 n=%d: %w", n, err)
@@ -74,6 +78,7 @@ func ExperimentE2(polls []int) (*Table, error) {
 			MaxPolls:   p,
 			NoSignaler: true,
 			MaxSteps:   2_000_000,
+			Scorers:    []model.Scorer{model.ModelCC, model.ModelDSM},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E2 polls=%d: %w", p, err)
@@ -156,6 +161,7 @@ func ExperimentE5(polls []int) (*Table, error) {
 			MaxPolls:    p,
 			SignalAfter: 2 * p,
 			MaxSteps:    1_000_000,
+			Scorers:     []model.Scorer{model.ModelCC, model.ModelDSM},
 		})
 		if err != nil && !errors.Is(err, ErrBudget) {
 			return nil, fmt.Errorf("E5 polls=%d: %w", p, err)
@@ -188,6 +194,7 @@ func ExperimentE6(ws []int) (*Table, error) {
 			Signaler:  memsim.PID(n - 1),
 			MaxPolls:  4,
 			MaxSteps:  4_000_000,
+			Scorers:   []model.Scorer{model.ModelDSM},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E6 broadcast w=%d: %w", w, err)
@@ -202,6 +209,7 @@ func ExperimentE6(ws []int) (*Table, error) {
 			N:         n,
 			MaxPolls:  0, // poll until true: all fixed waiters participate
 			MaxSteps:  8_000_000,
+			Scorers:   []model.Scorer{model.ModelDSM},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E6 terminating w=%d: %w", w, err)
@@ -229,6 +237,7 @@ func ExperimentE7(ks []int) (*Table, error) {
 			MaxPolls:    6,
 			SignalAfter: 6 * k,
 			MaxSteps:    4_000_000,
+			Scorers:     []model.Scorer{model.ModelDSM},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E7 k=%d: %w", k, err)
@@ -270,6 +279,9 @@ func ExperimentE8(ns []int) (*Table, error) {
 			MaxPolls:    32,
 			SignalAfter: 6 * n,
 			MaxSteps:    4_000_000,
+			Scorers: []model.Scorer{
+				model.ModelCC, model.ModelCCDirIdeal, model.CCDirLimited(4),
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E8 n=%d: %w", n, err)
@@ -318,8 +330,72 @@ func ExperimentE9(ns []int) (*Table, error) {
 
 // Experiments runs the whole suite with default parameters, in order.
 func Experiments() ([]*Table, error) {
+	return ExperimentsContext(context.Background(), 1)
+}
+
+// ExperimentsContext runs the suite on up to workers goroutines (each
+// experiment is an independent deterministic simulation, so the tables are
+// identical whatever the worker count) and honors ctx cancellation between
+// experiments. It returns the completed tables in suite order; on error or
+// cancellation the successfully completed prefix-independent tables are
+// still returned together with the first error.
+func ExperimentsContext(ctx context.Context, workers int) ([]*Table, error) {
+	steps := experimentSteps()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(steps) {
+		workers = len(steps)
+	}
+	tables := make([]*Table, len(steps))
+	errs := make([]error, len(steps))
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				tables[i], errs[i] = steps[i]()
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := range steps {
+		if failed.Load() {
+			break // like the sequential suite, stop at the first error
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
 	var out []*Table
-	steps := []func() (*Table, error){
+	var firstErr error
+	for i := range steps {
+		if tables[i] != nil {
+			out = append(out, tables[i])
+		}
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
+		}
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return out, firstErr
+}
+
+func experimentSteps() []func() (*Table, error) {
+	return []func() (*Table, error){
 		func() (*Table, error) { return ExperimentE1([]int{4, 8, 16, 32, 64, 128, 256}) },
 		func() (*Table, error) { return ExperimentE2([]int{4, 16, 64, 256}) },
 		func() (*Table, error) { return ExperimentE3([]int{1, 2, 3, 4}) },
@@ -334,14 +410,6 @@ func Experiments() ([]*Table, error) {
 		func() (*Table, error) { return ExperimentE11([]int{2, 4, 8, 16}) },
 		func() (*Table, error) { return ExperimentE12() },
 	}
-	for _, f := range steps {
-		t, err := f()
-		if err != nil {
-			return out, err
-		}
-		out = append(out, t)
-	}
-	return out, nil
 }
 
 // ExperimentE10 measures the two-session group-mutual-exclusion substrate

@@ -96,21 +96,35 @@ type procState struct {
 	name    string // current procedure name
 }
 
+// EventSink observes each trace event as it is emitted, before control
+// returns to the scheduler. Sinks are the streaming counterpart of the
+// retained event log: attached cost accumulators and online checkers price
+// or verify the execution without the trace ever being materialized. A sink
+// must not call back into the Controller.
+type EventSink func(Event)
+
 // Controller runs asynchronous processes over a Machine with single-step
 // granularity. It exposes exactly the control an adversarial scheduler
 // needs: start a procedure call on a process, inspect the process's pending
 // access before it is applied, grant one step, and observe call completion.
 //
-// Controller also records the full execution trace (accesses and call
-// boundaries), which cost models score after the fact.
+// Controller records the full execution trace (accesses and call
+// boundaries) by default, for cost models that score after the fact;
+// streaming consumers attach EventSinks instead and may switch retention
+// off with RetainEvents(false), making the controller's memory O(1) in the
+// number of steps.
 type Controller struct {
-	mach   *Machine
-	procs  []procState
-	events []Event
-	seq    int
+	mach    *Machine
+	procs   []procState
+	events  []Event
+	seq     int
+	sinks   []EventSink
+	discard bool
 }
 
-// NewController returns a controller over m with no active calls.
+// NewController returns a controller over m with no active calls. Event
+// retention is on: switch it off with RetainEvents(false) when attached
+// sinks are the only consumers.
 func NewController(m *Machine) *Controller {
 	return &Controller{
 		mach:  m,
@@ -120,6 +134,15 @@ func NewController(m *Machine) *Controller {
 
 // Machine returns the underlying shared memory.
 func (c *Controller) Machine() *Machine { return c.mach }
+
+// Attach registers a sink that observes every subsequent event.
+func (c *Controller) Attach(s EventSink) { c.sinks = append(c.sinks, s) }
+
+// RetainEvents switches trace retention on or off. With retention off,
+// Events returns only what was recorded while retention was on; attached
+// sinks still observe everything. Switch retention off before the first
+// event if the run should retain nothing.
+func (c *Controller) RetainEvents(keep bool) { c.discard = !keep }
 
 // Events returns the execution trace recorded so far. The returned slice
 // aliases the controller's log; callers must not modify it.
@@ -268,5 +291,10 @@ func (c *Controller) Close() {
 func (c *Controller) emit(ev Event) {
 	ev.Seq = c.seq
 	c.seq++
-	c.events = append(c.events, ev)
+	if !c.discard {
+		c.events = append(c.events, ev)
+	}
+	for _, s := range c.sinks {
+		s(ev)
+	}
 }

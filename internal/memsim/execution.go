@@ -107,6 +107,15 @@ func (e *Execution) Instance() Instance { return e.inst }
 // Events returns the execution trace recorded so far.
 func (e *Execution) Events() []Event { return e.ctl.Events() }
 
+// Attach registers a sink that observes every subsequent trace event (see
+// Controller.Attach).
+func (e *Execution) Attach(s EventSink) { e.ctl.Attach(s) }
+
+// RetainEvents switches trace retention on or off (see
+// Controller.RetainEvents). The action log that makes runs replayable is
+// unaffected.
+func (e *Execution) RetainEvents(keep bool) { e.ctl.RetainEvents(keep) }
+
 // Actions returns a copy of the schedule performed so far.
 func (e *Execution) Actions() []Action {
 	out := make([]Action, len(e.actions))

@@ -91,32 +91,16 @@ var _ CostModel = DSM{}
 // Name implements CostModel.
 func (DSM) Name() string { return "DSM" }
 
-// Annotate implements Annotator.
-func (DSM) Annotate(events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) []Cost {
-	costs := make([]Cost, len(events))
-	for i, ev := range events {
-		if ev.Kind != memsim.EvAccess {
-			continue
-		}
-		if IsRemoteDSM(ev.PID, ev.Acc.Addr, owner) {
-			costs[i] = Cost{RMR: true, Messages: 1}
-		}
-	}
-	return costs
+// Annotate implements Annotator. It is the batch form of the streaming
+// accumulator (see stream.go), which holds the single copy of the pricing
+// rules.
+func (d DSM) Annotate(events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) []Cost {
+	return annotate(d, events, owner, n)
 }
 
 // Score implements CostModel.
 func (d DSM) Score(events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) *Report {
-	rep := &Report{Model: "DSM", PerProc: make([]int, n)}
-	for i, c := range d.Annotate(events, owner, n) {
-		if c.RMR {
-			rep.PerProc[events[i].PID]++
-			rep.Total++
-		}
-		rep.Messages += c.Messages
-		rep.Invalidations += c.Invalidations
-	}
-	return rep
+	return score(d, events, owner, n)
 }
 
 // IsRemoteDSM reports whether an access by pid to addr is an RMR under the
@@ -194,118 +178,31 @@ func (c CC) Name() string {
 
 // Score implements CostModel.
 func (c CC) Score(events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) *Report {
-	rep := &Report{Model: c.Name(), PerProc: make([]int, n)}
-	for i, cost := range c.Annotate(events, owner, n) {
-		if cost.RMR {
-			rep.PerProc[events[i].PID]++
-			rep.Total++
-		}
-		rep.Messages += cost.Messages
-		rep.Invalidations += cost.Invalidations
-	}
-	return rep
+	return score(c, events, owner, n)
 }
 
-// Annotate implements Annotator.
+// Annotate implements Annotator. It is the batch form of the streaming
+// accumulator (see stream.go), which holds the single copy of the cache
+// simulation and pricing rules.
 func (c CC) Annotate(events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) []Cost {
+	return annotate(c, events, owner, n)
+}
+
+// score runs a whole trace through one accumulator.
+func score(s Scorer, events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) *Report {
+	acc := s.Begin(n, owner)
+	for _, ev := range events {
+		acc.Add(ev)
+	}
+	return FinalReport(acc)
+}
+
+// annotate collects per-event costs from one accumulator.
+func annotate(s Scorer, events []memsim.Event, owner func(memsim.Addr) memsim.PID, n int) []Cost {
 	costs := make([]Cost, len(events))
-	// shared[a] is the set of processes with a valid cached copy of a;
-	// exclusive[a] is the write-back owner, if any.
-	shared := make(map[memsim.Addr]map[memsim.PID]bool)
-	exclusive := make(map[memsim.Addr]memsim.PID)
-	cachedBy := func(a memsim.Addr, p memsim.PID) bool {
-		if q, ok := exclusive[a]; ok && q == p {
-			return true
-		}
-		return shared[a][p]
-	}
-	cache := func(a memsim.Addr, p memsim.PID) {
-		s := shared[a]
-		if s == nil {
-			s = make(map[memsim.PID]bool)
-			shared[a] = s
-		}
-		s[p] = true
-	}
-	// invalidate destroys all copies held by processes other than p and
-	// returns the number destroyed.
-	invalidate := func(a memsim.Addr, p memsim.PID) int {
-		destroyed := 0
-		for q := range shared[a] {
-			if q != p {
-				delete(shared[a], q)
-				destroyed++
-			}
-		}
-		if q, ok := exclusive[a]; ok && q != p {
-			delete(exclusive, a)
-			destroyed++
-		}
-		return destroyed
-	}
-	accessCount := make(map[memsim.PID]int)
+	acc := s.Begin(n, owner)
 	for i, ev := range events {
-		if ev.Kind != memsim.EvAccess {
-			continue
-		}
-		p := ev.PID
-		a := ev.Acc.Addr
-		if c.EvictEvery > 0 {
-			accessCount[p]++
-			if accessCount[p]%c.EvictEvery == 0 {
-				// Spurious whole-cache eviction (preemption, Section 8).
-				for addr, s := range shared {
-					delete(s, p)
-					if q, ok := exclusive[addr]; ok && q == p {
-						delete(exclusive, addr)
-					}
-				}
-			}
-		}
-		isRead := ev.Acc.Op == memsim.OpRead || ev.Acc.Op == memsim.OpLL
-		if isRead {
-			if cachedBy(a, p) {
-				continue // local cache hit: no RMR, no messages
-			}
-			costs[i] = Cost{RMR: true, Messages: 1} // fetch message
-			cache(a, p)
-			continue
-		}
-		// Non-read operations engage the interconnect.
-		cost := Cost{RMR: true}
-		copies := len(shared[a])
-		if shared[a][p] {
-			copies-- // own copy is updated, not invalidated
-		}
-		if _, ok := exclusive[a]; ok && exclusive[a] != p {
-			copies++
-		}
-		destroyed := 0
-		if ev.Res.Wrote || c.StrictInvalidate {
-			destroyed = invalidate(a, p)
-		}
-		cost.Invalidations = destroyed
-		switch c.Msg {
-		case MsgDirectoryIdeal:
-			cost.Messages = 1 + destroyed
-		case MsgDirectoryLimited:
-			if ev.Res.Wrote && copies > c.Limit {
-				cost.Messages = 1 + (n - 1) // broadcast invalidation
-			} else {
-				cost.Messages = 1 + destroyed
-			}
-		default: // bus, or unset
-			cost.Messages = 1
-		}
-		if ev.Res.Wrote {
-			if c.WriteBack {
-				exclusive[a] = p
-				delete(shared[a], p)
-			} else {
-				cache(a, p) // write-through: writer keeps a valid copy
-			}
-		}
-		costs[i] = cost
+		costs[i] = acc.Add(ev)
 	}
 	return costs
 }

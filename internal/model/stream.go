@@ -1,0 +1,252 @@
+package model
+
+import (
+	"repro/internal/memsim"
+)
+
+// Accumulator prices one execution's events incrementally. It is the
+// streaming counterpart of CostModel.Score: feed it every trace event in
+// order and Report returns the same totals a batch Score of the full trace
+// would, without the trace ever being materialized.
+//
+// An Accumulator is bound to a single run (it carries the run's cache
+// state) and is not safe for concurrent use.
+type Accumulator interface {
+	// Add prices one event, folds it into the running report, and returns
+	// the event's individual cost (the streaming counterpart of one entry
+	// of Annotator.Annotate). Non-access events cost nothing.
+	Add(ev memsim.Event) Cost
+	// Report returns a snapshot of the totals accumulated so far. It may
+	// be called at any point; the returned Report does not alias the
+	// accumulator's internal state.
+	Report() *Report
+}
+
+// Scorer is a cost model that can price events online, as a run generates
+// them. Begin opens an accumulator for one run of n processes whose memory
+// module mapping is owner; the same Scorer can serve any number of
+// concurrent runs because all mutable state lives in the Accumulator.
+//
+// Both architecture models (DSM and every CC variant) implement Scorer.
+type Scorer interface {
+	CostModel
+	Begin(n int, owner func(memsim.Addr) memsim.PID) Accumulator
+}
+
+// Compile-time checks: both architecture models stream.
+var (
+	_ Scorer = DSM{}
+	_ Scorer = CC{}
+)
+
+// reportState is the shared running-total bookkeeping of the accumulators.
+type reportState struct {
+	rep Report
+}
+
+func newReportState(name string, n int) reportState {
+	return reportState{rep: Report{Model: name, PerProc: make([]int, n)}}
+}
+
+// fold charges cost to pid.
+func (s *reportState) fold(pid memsim.PID, c Cost) {
+	if c.RMR {
+		s.rep.PerProc[pid]++
+		s.rep.Total++
+	}
+	s.rep.Messages += c.Messages
+	s.rep.Invalidations += c.Invalidations
+}
+
+// Report implements Accumulator.
+func (s *reportState) Report() *Report {
+	cp := s.rep
+	cp.PerProc = append([]int(nil), s.rep.PerProc...)
+	return &cp
+}
+
+// Finish hands the running report over without copying. The accumulator
+// must not be fed further events afterwards; FinalReport uses it to
+// harvest completed runs allocation-free.
+func (s *reportState) Finish() *Report { return &s.rep }
+
+// FinalReport extracts a finished accumulator's report. Accumulators that
+// support ownership transfer (all in this package) hand their report over
+// without the defensive copy Report makes; for others it falls back to
+// Report. The accumulator must not be used afterwards.
+func FinalReport(a Accumulator) *Report {
+	if f, ok := a.(interface{ Finish() *Report }); ok {
+		return f.Finish()
+	}
+	return a.Report()
+}
+
+// dsmAccumulator streams the DSM rule: stateless per event, so it only
+// needs the owner mapping and the running totals.
+type dsmAccumulator struct {
+	reportState
+	owner func(memsim.Addr) memsim.PID
+}
+
+// Begin implements Scorer.
+func (d DSM) Begin(n int, owner func(memsim.Addr) memsim.PID) Accumulator {
+	return &dsmAccumulator{
+		reportState: newReportState(d.Name(), n),
+		owner:       owner,
+	}
+}
+
+// Add implements Accumulator.
+func (a *dsmAccumulator) Add(ev memsim.Event) Cost {
+	if ev.Kind != memsim.EvAccess {
+		return Cost{}
+	}
+	if !IsRemoteDSM(ev.PID, ev.Acc.Addr, a.owner) {
+		return Cost{}
+	}
+	c := Cost{RMR: true, Messages: 1}
+	a.fold(ev.PID, c)
+	return c
+}
+
+// ccAccumulator streams the CC rule: it carries the simulated cache state
+// (shared and exclusive copies, per-process access counts for the eviction
+// ablation) that the batch Annotate rebuilds on every call.
+type ccAccumulator struct {
+	reportState
+	cfg CC
+	n   int
+	// shared[a] is the set of processes with a valid cached copy of a;
+	// exclusive[a] is the write-back owner, if any.
+	shared      map[memsim.Addr]map[memsim.PID]bool
+	exclusive   map[memsim.Addr]memsim.PID
+	accessCount map[memsim.PID]int
+}
+
+// Begin implements Scorer.
+func (c CC) Begin(n int, owner func(memsim.Addr) memsim.PID) Accumulator {
+	acc := &ccAccumulator{
+		reportState: newReportState(c.Name(), n),
+		cfg:         c,
+		n:           n,
+		shared:      make(map[memsim.Addr]map[memsim.PID]bool),
+		exclusive:   make(map[memsim.Addr]memsim.PID),
+	}
+	if c.EvictEvery > 0 {
+		acc.accessCount = make(map[memsim.PID]int)
+	}
+	return acc
+}
+
+func (a *ccAccumulator) cachedBy(addr memsim.Addr, p memsim.PID) bool {
+	if q, ok := a.exclusive[addr]; ok && q == p {
+		return true
+	}
+	return a.shared[addr][p]
+}
+
+func (a *ccAccumulator) cache(addr memsim.Addr, p memsim.PID) {
+	s := a.shared[addr]
+	if s == nil {
+		s = make(map[memsim.PID]bool)
+		a.shared[addr] = s
+	}
+	s[p] = true
+}
+
+// invalidate destroys all copies held by processes other than p and returns
+// the number destroyed.
+func (a *ccAccumulator) invalidate(addr memsim.Addr, p memsim.PID) int {
+	destroyed := 0
+	for q := range a.shared[addr] {
+		if q != p {
+			delete(a.shared[addr], q)
+			destroyed++
+		}
+	}
+	if q, ok := a.exclusive[addr]; ok && q != p {
+		delete(a.exclusive, addr)
+		destroyed++
+	}
+	return destroyed
+}
+
+// Add implements Accumulator. This is the single copy of the CC cache
+// simulation and pricing rules; the batch CC.Score/Annotate are loops over
+// it, and TestAccumulatorMatchesBatch pins the batch/streaming agreement
+// on randomized traces.
+func (a *ccAccumulator) Add(ev memsim.Event) Cost {
+	if ev.Kind != memsim.EvAccess {
+		return Cost{}
+	}
+	p := ev.PID
+	addr := ev.Acc.Addr
+	if a.cfg.EvictEvery > 0 {
+		a.accessCount[p]++
+		if a.accessCount[p]%a.cfg.EvictEvery == 0 {
+			// Spurious whole-cache eviction (preemption, Section 8). The
+			// exclusive sweep is separate: a write-back copy lives at an
+			// address that may never have entered the shared map.
+			for _, s := range a.shared {
+				delete(s, p)
+			}
+			for w, q := range a.exclusive {
+				if q == p {
+					delete(a.exclusive, w)
+				}
+			}
+		}
+	}
+	isRead := ev.Acc.Op == memsim.OpRead || ev.Acc.Op == memsim.OpLL
+	if isRead {
+		if a.cachedBy(addr, p) {
+			return Cost{} // local cache hit: no RMR, no messages
+		}
+		c := Cost{RMR: true, Messages: 1} // fetch message
+		a.cache(addr, p)
+		a.fold(p, c)
+		return c
+	}
+	// Non-read operations engage the interconnect.
+	cost := Cost{RMR: true}
+	copies := len(a.shared[addr])
+	if a.shared[addr][p] {
+		copies-- // own copy is updated, not invalidated
+	}
+	if q, ok := a.exclusive[addr]; ok && q != p {
+		copies++
+	}
+	destroyed := 0
+	if ev.Res.Wrote || a.cfg.StrictInvalidate {
+		destroyed = a.invalidate(addr, p)
+	}
+	cost.Invalidations = destroyed
+	switch a.cfg.Msg {
+	case MsgDirectoryIdeal:
+		cost.Messages = 1 + destroyed
+	case MsgDirectoryLimited:
+		if ev.Res.Wrote && copies > a.cfg.Limit {
+			cost.Messages = 1 + (a.n - 1) // broadcast invalidation
+		} else {
+			cost.Messages = 1 + destroyed
+		}
+	default: // bus, or unset
+		cost.Messages = 1
+	}
+	if ev.Res.Wrote {
+		if a.cfg.WriteBack {
+			a.exclusive[addr] = p
+			delete(a.shared[addr], p)
+		} else {
+			a.cache(addr, p) // write-through: writer keeps a valid copy
+		}
+	}
+	a.fold(p, cost)
+	return cost
+}
+
+// StandardScorers returns the four standard model instances (DSM, loose CC,
+// write-back CC, ideal-directory CC) as streaming scorers, in that order.
+func StandardScorers() []Scorer {
+	return []Scorer{ModelDSM, ModelCC, ModelCCWriteBack, ModelCCDirIdeal}
+}

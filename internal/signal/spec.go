@@ -23,7 +23,74 @@ func (v SpecViolation) Error() string {
 	return fmt.Sprintf("spec violation (%s) by p%d call %d: %s", v.Rule, v.PID, v.CallSeq, v.Detail)
 }
 
-// CheckSpec verifies Specification 4.1 against a trace:
+// SpecChecker verifies Specification 4.1 incrementally: feed it every
+// trace event in order (it is a natural memsim.EventSink) and Violations
+// returns the breaches found so far. Its state is O(number of processes
+// with an open call), so checking does not require retaining the trace.
+type SpecChecker struct {
+	firstSignalStart int                // Seq of earliest Signal EvCallStart, -1 if none
+	firstSignalEnd   int                // Seq of earliest Signal EvCallEnd, -1 if none
+	open             map[memsim.PID]int // start Seq of each open call
+	out              []SpecViolation
+}
+
+// NewSpecChecker returns a checker that has observed no events.
+func NewSpecChecker() *SpecChecker {
+	return &SpecChecker{
+		firstSignalStart: -1,
+		firstSignalEnd:   -1,
+		open:             make(map[memsim.PID]int),
+	}
+}
+
+// Observe folds one event into the checker.
+func (c *SpecChecker) Observe(ev memsim.Event) {
+	switch ev.Kind {
+	case memsim.EvCallStart:
+		c.open[ev.PID] = ev.Seq
+		if ev.Proc == "Signal" && c.firstSignalStart < 0 {
+			c.firstSignalStart = ev.Seq
+		}
+	case memsim.EvCallEnd:
+		startSeq := c.open[ev.PID]
+		delete(c.open, ev.PID)
+		switch ev.Proc {
+		case "Signal":
+			if c.firstSignalEnd < 0 {
+				c.firstSignalEnd = ev.Seq
+			}
+		case "Poll":
+			if ev.Ret != 0 {
+				if c.firstSignalStart < 0 || c.firstSignalStart > ev.Seq {
+					c.out = append(c.out, SpecViolation{
+						Rule: "poll-true", PID: ev.PID, CallSeq: ev.CallSeq,
+						Detail: "Poll returned true but no Signal call had begun",
+					})
+				}
+			} else {
+				if c.firstSignalEnd >= 0 && c.firstSignalEnd < startSeq {
+					c.out = append(c.out, SpecViolation{
+						Rule: "poll-false", PID: ev.PID, CallSeq: ev.CallSeq,
+						Detail: fmt.Sprintf("Poll returned false but a Signal call completed at seq %d before the poll began at seq %d", c.firstSignalEnd, startSeq),
+					})
+				}
+			}
+		case "Wait":
+			if c.firstSignalStart < 0 || c.firstSignalStart > ev.Seq {
+				c.out = append(c.out, SpecViolation{
+					Rule: "wait-return", PID: ev.PID, CallSeq: ev.CallSeq,
+					Detail: "Wait returned but no Signal call had begun",
+				})
+			}
+		}
+	}
+}
+
+// Violations returns all breaches observed so far; nil means the events
+// observed satisfy the specification.
+func (c *SpecChecker) Violations() []SpecViolation { return c.out }
+
+// CheckSpec verifies Specification 4.1 against a retained trace:
 //
 //  1. if some call to Poll() returns true, then some call to Signal() has
 //     already begun, and
@@ -33,55 +100,11 @@ func (v SpecViolation) Error() string {
 // For blocking algorithms it additionally checks that every completed
 // Wait() returned only after some Signal() began. It returns all
 // violations found; nil means the trace satisfies the specification.
+// It is the batch form of SpecChecker.
 func CheckSpec(events []memsim.Event) []SpecViolation {
-	var out []SpecViolation
-
-	firstSignalStart := -1 // Seq of earliest Signal EvCallStart
-	firstSignalEnd := -1   // Seq of earliest Signal EvCallEnd
-
-	type openCall struct{ startSeq int }
-	open := make(map[memsim.PID]openCall)
-
+	c := NewSpecChecker()
 	for _, ev := range events {
-		switch ev.Kind {
-		case memsim.EvCallStart:
-			open[ev.PID] = openCall{startSeq: ev.Seq}
-			if ev.Proc == "Signal" && firstSignalStart < 0 {
-				firstSignalStart = ev.Seq
-			}
-		case memsim.EvCallEnd:
-			oc := open[ev.PID]
-			delete(open, ev.PID)
-			switch ev.Proc {
-			case "Signal":
-				if firstSignalEnd < 0 {
-					firstSignalEnd = ev.Seq
-				}
-			case "Poll":
-				if ev.Ret != 0 {
-					if firstSignalStart < 0 || firstSignalStart > ev.Seq {
-						out = append(out, SpecViolation{
-							Rule: "poll-true", PID: ev.PID, CallSeq: ev.CallSeq,
-							Detail: "Poll returned true but no Signal call had begun",
-						})
-					}
-				} else {
-					if firstSignalEnd >= 0 && firstSignalEnd < oc.startSeq {
-						out = append(out, SpecViolation{
-							Rule: "poll-false", PID: ev.PID, CallSeq: ev.CallSeq,
-							Detail: fmt.Sprintf("Poll returned false but a Signal call completed at seq %d before the poll began at seq %d", firstSignalEnd, oc.startSeq),
-						})
-					}
-				}
-			case "Wait":
-				if firstSignalStart < 0 || firstSignalStart > ev.Seq {
-					out = append(out, SpecViolation{
-						Rule: "wait-return", PID: ev.PID, CallSeq: ev.CallSeq,
-						Detail: "Wait returned but no Signal call had begun",
-					})
-				}
-			}
-		}
+		c.Observe(ev)
 	}
-	return out
+	return c.Violations()
 }

@@ -3,7 +3,36 @@
 // Shared Memory Models" (PODC 2011, arXiv:1109.5153).
 //
 // The implementation lives in internal packages (see README.md for the
-// map); this package re-exports the entry points a downstream user needs:
+// map); this package re-exports the entry points a downstream user needs.
+//
+// # The streaming run/score pipeline
+//
+// The paper's claims are statements about RMR counts over executions, so
+// the primary API is built around pricing events as they are generated
+// rather than materializing traces. A Runner holds the pricing policy —
+// which cost models to apply, whether to retain the trace, how runs are
+// scheduled and parallelized — and every run it performs streams each
+// shared-memory event through the attached models' incremental
+// accumulators:
+//
+//	r := repro.NewRunner(repro.WithModels(repro.CC, repro.DSM))
+//	res, err := r.Run(repro.Config{Algorithm: alg, N: 8, MaxPolls: 32})
+//	// res.Reports[0] is the CC bill, res.Reports[1] the DSM bill;
+//	// no []Event was retained.
+//
+// Batches run on a worker pool with context cancellation:
+//
+//	results, err := r.RunMany(ctx, configs) // results[i] matches configs[i]
+//
+// Runs are deterministic per Config (the simulator is deterministic and
+// each config gets its own scheduler state), so RunMany's results do not
+// depend on the worker count.
+//
+// # Legacy path
+//
+// The package-level Run retains the full trace and Result.Score prices it
+// after the fact, exactly as before this API existed; prefer a Runner for
+// anything measured or batched.
 //
 //   - Run simulates a signaling-problem history (internal/core) and Score
 //     prices it under a cost model;
@@ -20,16 +49,22 @@
 package repro
 
 import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/lowerbound"
 	"repro/internal/model"
 	"repro/internal/mutex"
+	"repro/internal/sched"
 	"repro/internal/signal"
 )
 
 // Re-exported core types: a Config describes one simulated history of the
-// signaling problem; Run executes it; the Result scores under any
-// CostModel.
+// signaling problem; a Runner executes it; the Result carries the streaming
+// reports and (optionally) the retained trace.
 type (
 	// Config describes one simulated signaling history.
 	Config = core.Config
@@ -41,24 +76,253 @@ type (
 	Algorithm = signal.Algorithm
 	// CostModel prices a trace in RMRs.
 	CostModel = model.CostModel
-	// Report is a cost model's verdict on a trace.
+	// Scorer is a cost model that can price events as they are generated
+	// (all models in this repository are Scorers).
+	Scorer = model.Scorer
+	// Accumulator is one run's incremental pricing state.
+	Accumulator = model.Accumulator
+	// Report is a cost model's verdict on a run.
 	Report = model.Report
+	// Scheduler orders the steps of a simulated history.
+	Scheduler = sched.Scheduler
 	// AdversaryConfig parameterizes the Section 6 lower-bound adversary.
 	AdversaryConfig = lowerbound.Config
 	// Certificate is the adversary's evidence.
 	Certificate = lowerbound.Certificate
 )
 
-// Cost models for the two architectures of Figure 1.
+// ErrBudget is returned (wrapped) with a valid truncated Result when a run
+// exhausts its step budget.
+var ErrBudget = core.ErrBudget
+
+// ErrInterrupted is returned (wrapped) with a valid truncated Result when
+// a run stops because Config.Interrupt fired (runs interrupted by a
+// cancelled context return the context's error instead).
+var ErrInterrupted = core.ErrInterrupted
+
+// Cost models for the two architectures of Figure 1, plus the Section 8
+// message-accounting variants.
 var (
 	// DSM is the distributed-shared-memory cost model (Section 2).
-	DSM CostModel = model.ModelDSM
+	DSM Scorer = model.ModelDSM
 	// CC is the cache-coherent cost model (Section 2, loose definition).
-	CC CostModel = model.ModelCC
+	CC Scorer = model.ModelCC
+	// CCWriteBack is the write-back CC variant.
+	CCWriteBack Scorer = model.ModelCCWriteBack
+	// CCDirIdeal counts one invalidation message per destroyed copy
+	// (Section 8 ideal directory).
+	CCDirIdeal Scorer = model.ModelCCDirIdeal
 )
 
-// Run simulates one history of the signaling problem.
-func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+// CCDirLimited returns the Section 8 limited-directory CC model tracking at
+// most limit sharers precisely.
+func CCDirLimited(limit int) Scorer { return model.CCDirLimited(limit) }
+
+// StandardModels returns the four standard models (DSM, CC, CCWriteBack,
+// CCDirIdeal), the set every experiment prices runs under.
+func StandardModels() []Scorer { return model.StandardScorers() }
+
+// Runner executes signaling histories under a fixed measurement policy:
+// which cost models price each run (streaming, single pass), whether the
+// trace is retained, how schedulers are minted for configs that do not
+// bring their own, and how many workers drive batches. The zero policy
+// (NewRunner with no options) runs trace-free and unpriced.
+//
+// A Runner is immutable after construction and safe for concurrent use.
+type Runner struct {
+	models   []Scorer
+	trace    bool
+	newSched func() Scheduler
+	workers  int
+	ctx      context.Context
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithModels attaches streaming cost models: every run is priced under
+// each of them in a single pass and the reports land in Result.Reports in
+// the same order. Configs that set their own Scorers override this.
+func WithModels(models ...Scorer) RunnerOption {
+	return func(r *Runner) { r.models = models }
+}
+
+// WithTrace switches full-trace retention on: Result.Events holds the
+// complete execution and Result.Score can price it under any model after
+// the fact. Off by default — scoring-only workloads keep O(1) retained
+// events.
+func WithTrace(keep bool) RunnerOption {
+	return func(r *Runner) { r.trace = keep }
+}
+
+// WithScheduler installs a scheduler factory, invoked once per run for
+// every config that does not carry its own Scheduler. A factory (rather
+// than an instance) is required because schedulers are stateful and runs
+// may execute concurrently. The factory must be safe for concurrent calls.
+func WithScheduler(newSched func() Scheduler) RunnerOption {
+	return func(r *Runner) { r.newSched = newSched }
+}
+
+// WithWorkers sets the worker-pool size used by RunMany. The default is
+// runtime.GOMAXPROCS(0); values below 1 are raised to 1.
+func WithWorkers(n int) RunnerOption {
+	return func(r *Runner) { r.workers = n }
+}
+
+// WithContext installs the base context used by Run and by RunMany when
+// its ctx argument is nil. Cancelling it interrupts runs between steps.
+func WithContext(ctx context.Context) RunnerOption {
+	return func(r *Runner) { r.ctx = ctx }
+}
+
+// NewRunner returns a Runner with the given policy.
+func NewRunner(opts ...RunnerOption) *Runner {
+	r := &Runner{
+		workers: runtime.GOMAXPROCS(0),
+		ctx:     context.Background(),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.workers < 1 {
+		r.workers = 1
+	}
+	if r.ctx == nil {
+		r.ctx = context.Background()
+	}
+	return r
+}
+
+// apply merges the runner's policy into one config.
+func (r *Runner) apply(cfg Config) Config {
+	if len(cfg.Scorers) == 0 {
+		cfg.Scorers = r.models
+	}
+	if !cfg.KeepEvents {
+		cfg.KeepEvents = r.trace
+	}
+	if cfg.Scheduler == nil && r.newSched != nil {
+		cfg.Scheduler = r.newSched()
+	}
+	return cfg
+}
+
+// runOne executes one config under ctx.
+func (r *Runner) runOne(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = r.apply(cfg)
+	if ctx.Done() != nil {
+		if cfg.Interrupt == nil {
+			cfg.Interrupt = ctx.Done()
+		} else {
+			// The config carries its own interrupt: the run must stop on
+			// whichever of the two fires first.
+			either := make(chan struct{})
+			stop := make(chan struct{})
+			defer close(stop)
+			go func(own <-chan struct{}) {
+				select {
+				case <-ctx.Done():
+				case <-own:
+				case <-stop:
+					return
+				}
+				close(either)
+			}(cfg.Interrupt)
+			cfg.Interrupt = either
+		}
+	}
+	res, err := core.Run(cfg)
+	if err != nil && errors.Is(err, core.ErrInterrupted) && ctx.Err() != nil {
+		return res, ctx.Err()
+	}
+	return res, err
+}
+
+// Run simulates one history under the runner's policy. Attached models
+// price the run in a single pass; the trace is retained only under
+// WithTrace. Cancellation of the WithContext context interrupts the run
+// and returns the context's error.
+func (r *Runner) Run(cfg Config) (*Result, error) {
+	return r.runOne(r.ctx, cfg)
+}
+
+// RunMany executes every config on a pool of WithWorkers workers and
+// returns a slice with results[i] the outcome of cfgs[i]. Each run is an
+// independent deterministic simulation with its own scheduler state, so
+// the results are a function of the configs alone, whatever the worker
+// count and completion order.
+//
+// Truncated runs count as successes: a run stopped by its step budget
+// (ErrBudget) or by its config's own Interrupt channel (ErrInterrupted)
+// keeps its valid truncated Result (Result.Truncated / Result.Interrupted
+// set) and does not fail the batch. When ctx is cancelled mid-batch,
+// RunMany stops promptly and returns the completed prefix-independent
+// results — unfinished or unstarted configs are left nil — together with
+// ctx.Err(). Otherwise the first per-config error is returned; the
+// remaining results are still valid. A nil ctx falls back to the
+// WithContext context.
+func (r *Runner) RunMany(ctx context.Context, cfgs []Config) ([]*Result, error) {
+	if ctx == nil {
+		ctx = r.ctx
+	}
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := r.workers
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := r.runOne(ctx, cfgs[i])
+				// A config's own interrupt is a deliberate truncation,
+				// like a budget stop; ctx cancellation surfaces as
+				// ctx.Err() and leaves the (timing-dependent) partial
+				// result out.
+				if err == nil || errors.Is(err, ErrBudget) || errors.Is(err, ErrInterrupted) {
+					results[i] = res
+				}
+				errs[i] = err
+			}
+		}()
+	}
+dispatch:
+	for i := range cfgs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrBudget) && !errors.Is(err, ErrInterrupted) {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Run simulates one history of the signaling problem on the legacy
+// trace-retaining path: unless the config attaches Scorers or sets
+// KeepEvents itself, the full trace is kept so that Result.Score can price
+// it under any model after the fact. New code should use a Runner, which
+// prices runs in a single pass without retaining events.
+func Run(cfg Config) (*Result, error) {
+	if !cfg.KeepEvents && len(cfg.Scorers) == 0 {
+		cfg.KeepEvents = true
+	}
+	return core.Run(cfg)
+}
 
 // Adversary executes the Section 6 lower-bound construction and returns
 // its certificate.
@@ -75,3 +339,9 @@ func Locks() []mutex.Algorithm { return mutex.All() }
 
 // Experiments regenerates the full experiment table suite of DESIGN.md §4.
 func Experiments() ([]*Table, error) { return core.Experiments() }
+
+// ExperimentsContext regenerates the experiment suite on up to workers
+// goroutines, honoring ctx cancellation between experiments.
+func ExperimentsContext(ctx context.Context, workers int) ([]*Table, error) {
+	return core.ExperimentsContext(ctx, workers)
+}
