@@ -264,7 +264,8 @@ func BenchmarkE8Messages(b *testing.B) {
 }
 
 // BenchmarkE9Mutex — Section 3 landscape: RMRs per passage for every lock
-// under both models.
+// under both models, on the streaming path (single-pass pricing, no
+// retained trace).
 func BenchmarkE9Mutex(b *testing.B) {
 	for _, alg := range mutex.All() {
 		for _, n := range []int{2, 8, 16} {
@@ -278,12 +279,16 @@ func BenchmarkE9Mutex(b *testing.B) {
 						Passages:  8,
 						Scheduler: sched.NewRandom(1),
 						MaxSteps:  4_000_000,
+						Scorers:   []model.Scorer{model.ModelCC, model.ModelDSM},
 					})
 					if err != nil && !errors.Is(err, mutex.ErrBudget) {
 						b.Fatal(err)
 					}
 					if !res.MutualExclusion {
 						b.Fatal("mutual exclusion violated")
+					}
+					if res.Events != nil {
+						b.Fatal("streaming lock run retained events")
 					}
 				}
 				b.ReportMetric(res.PerPassage(model.ModelCC), "rmr_per_passage_cc")
@@ -431,6 +436,7 @@ func BenchmarkE10GME(b *testing.B) {
 					Entries:   6,
 					Scheduler: sched.NewRandom(2),
 					MaxSteps:  4_000_000,
+					Scorers:   []model.Scorer{model.ModelCC, model.ModelDSM},
 				})
 				if err != nil && !errors.Is(err, gme.ErrBudget) {
 					b.Fatal(err)
@@ -461,6 +467,7 @@ func BenchmarkE11SemiSync(b *testing.B) {
 					Timed:    true,
 					Seed:     3,
 					MaxSteps: 4_000_000,
+					Scorers:  []model.Scorer{model.ModelCC, model.ModelDSM},
 				})
 				if err != nil && !errors.Is(err, semisync.ErrBudget) {
 					b.Fatal(err)
@@ -469,8 +476,8 @@ func BenchmarkE11SemiSync(b *testing.B) {
 					b.Fatal("mutual exclusion violated under timed schedule")
 				}
 			}
-			b.ReportMetric(float64(res.Score(model.ModelCC).Total)/float64(res.Passages), "rmr_per_passage_cc")
-			b.ReportMetric(float64(res.Score(model.ModelDSM).Total)/float64(res.Passages), "rmr_per_passage_dsm")
+			b.ReportMetric(res.PerPassage(model.ModelCC), "rmr_per_passage_cc")
+			b.ReportMetric(res.PerPassage(model.ModelDSM), "rmr_per_passage_dsm")
 		})
 	}
 }
@@ -505,12 +512,14 @@ func BenchmarkAblationEviction(b *testing.B) {
 	}
 }
 
-// BenchmarkScoringAllocs contrasts the two scoring paths on an identical
-// workload priced under all four standard models: "streaming" attaches
+// BenchmarkScoringAllocs contrasts the two scoring paths on identical
+// workloads priced under all four standard models: "streaming" attaches
 // accumulators and retains no trace (a single pass, O(1) retained events);
 // "retained" keeps the full []Event and batch-scores it four times, the
-// pre-redesign pipeline. allocs/op and B/op are the paper-relevant
-// metrics; streaming must allocate strictly less.
+// pre-redesign pipeline. The signaling pair exercises core.Run; the lock
+// pair exercises the generic workload harness on a contended MCS workload.
+// allocs/op and B/op are the paper-relevant metrics; streaming must
+// allocate strictly less.
 func BenchmarkScoringAllocs(b *testing.B) {
 	base := core.Config{
 		Algorithm:   signal.Flag(),
@@ -540,6 +549,51 @@ func BenchmarkScoringAllocs(b *testing.B) {
 			cfg := base
 			cfg.KeepEvents = true
 			res := runSignaling(b, cfg)
+			for _, cm := range standard {
+				if res.Score(cm) == nil {
+					b.Fatal("batch score failed")
+				}
+			}
+		}
+	})
+
+	// The same contrast on the harness path: a contended MCS lock workload.
+	lockBase := mutex.RunConfig{
+		Lock:     mutex.MCS(),
+		N:        16,
+		Passages: 32,
+		MaxSteps: 4_000_000,
+	}
+	runLock := func(b *testing.B, cfg mutex.RunConfig) *mutex.RunResult {
+		b.Helper()
+		cfg.Scheduler = sched.NewRandom(1)
+		res, err := mutex.Run(cfg)
+		if err != nil && !errors.Is(err, mutex.ErrBudget) {
+			b.Fatal(err)
+		}
+		if !res.MutualExclusion {
+			b.Fatal("mutual exclusion violated")
+		}
+		return res
+	}
+	b.Run("lock-streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := lockBase
+			cfg.Scorers = standard
+			res := runLock(b, cfg)
+			if res.Events != nil {
+				b.Fatal("streaming lock run retained events")
+			}
+			if len(res.Reports) != len(standard) {
+				b.Fatal("missing streaming reports")
+			}
+		}
+	})
+	b.Run("lock-retained", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := runLock(b, lockBase) // unpriced: legacy trace retention
 			for _, cm := range standard {
 				if res.Score(cm) == nil {
 					b.Fatal("batch score failed")

@@ -1,18 +1,19 @@
-// Lockbench: the Section 3 landscape, live. Runs every lock in the
-// mutual-exclusion substrate under identical contention and prints RMRs per
-// passage in both architecture models — the background against which the
-// paper's CC/DSM separation is stated.
+// Lockbench: the Section 3 landscape, live. Sweeps every lock in the
+// mutual-exclusion substrate under identical contention on the streaming
+// lock facade — both architecture models price each run in a single pass,
+// no trace is retained — and prints RMRs per passage in both models: the
+// background against which the paper's CC/DSM separation is stated.
 //
 //	go run ./examples/lockbench
 package main
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"log"
+	"math"
 
-	"repro/internal/model"
-	"repro/internal/mutex"
+	"repro"
 	"repro/internal/sched"
 )
 
@@ -23,25 +24,42 @@ func main() {
 	)
 	fmt.Printf("%d processes, %d lock passages each, random schedule\n\n", n, passages)
 	fmt.Printf("%-22s %-22s %14s %14s\n", "lock", "primitives", "CC RMR/pass", "DSM RMR/pass")
-	for _, alg := range mutex.All() {
-		res, err := mutex.Run(mutex.RunConfig{
-			Lock:      alg,
-			N:         n,
-			Passages:  passages,
-			Scheduler: sched.NewRandom(5),
-		})
-		if err != nil && !errors.Is(err, mutex.ErrBudget) {
-			log.Fatalf("%s: %v", alg.Name, err)
+
+	r := repro.NewRunner(repro.WithModels(repro.CC, repro.DSM))
+	cells, err := r.SweepLocks(context.Background(), repro.LockSweep{
+		Ns:       []int{n},
+		Passages: passages,
+		Schedulers: []func() repro.Scheduler{
+			func() repro.Scheduler { return sched.NewRandom(5) },
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	primitives := make(map[string]string)
+	for _, alg := range repro.Locks() {
+		primitives[alg.Name] = alg.Primitives
+	}
+	for _, c := range cells {
+		if !c.Result.MutualExclusion {
+			log.Fatalf("%s: mutual exclusion violated", c.Lock)
 		}
-		if !res.MutualExclusion {
-			log.Fatalf("%s: mutual exclusion violated", alg.Name)
-		}
-		fmt.Printf("%-22s %-22s %14.2f %14.2f\n",
-			alg.Name, alg.Primitives,
-			res.PerPassage(model.ModelCC), res.PerPassage(model.ModelDSM))
+		fmt.Printf("%-22s %-22s %14s %14s\n",
+			c.Lock, primitives[c.Lock],
+			perPass(c.Result, repro.CC), perPass(c.Result, repro.DSM))
 	}
 	fmt.Println()
 	fmt.Println("MCS stays flat in both models (local spinning in the waiter's own")
 	fmt.Println("module); Anderson's array lock is flat only under CC caching; the")
 	fmt.Println("read/write tournament pays Θ(log N); TAS melts down under contention.")
+}
+
+// perPass renders per-passage cost, making truncated zero-passage runs
+// visible as "n/a" rather than a deceptively cheap number.
+func perPass(res *repro.LockResult, cm repro.CostModel) string {
+	pp := res.PerPassage(cm)
+	if math.IsNaN(pp) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", pp)
 }

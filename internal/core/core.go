@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"repro/internal/harness"
 	"repro/internal/memsim"
 	"repro/internal/model"
 	"repro/internal/sched"
@@ -18,13 +19,15 @@ import (
 
 // ErrBudget is returned when a run exhausts its step budget before every
 // process terminates. Callers that intentionally truncate histories (all
-// finite prefixes are valid histories, Definition 6.1) may ignore it.
-var ErrBudget = errors.New("core: step budget exhausted")
+// finite prefixes are valid histories, Definition 6.1) may ignore it. It
+// is the harness sentinel, shared with the lock/GME/semisync workloads so
+// one errors.Is check covers both measurement pipelines.
+var ErrBudget = harness.ErrBudget
 
 // ErrInterrupted is returned when a run stops because Config.Interrupt
 // fired. Like ErrBudget it accompanies a valid truncated Result (every
 // finite prefix is a history).
-var ErrInterrupted = errors.New("core: run interrupted")
+var ErrInterrupted = harness.ErrInterrupted
 
 // Config describes one simulated history of the signaling problem.
 type Config struct {
@@ -250,28 +253,38 @@ func Run(cfg Config) (*Result, error) {
 	signalStarted := make(map[memsim.PID]bool, len(cfg.Signalers))
 	signalDone := false
 
+	// harvest collects p's completed call, if any.
+	harvest := func(p memsim.PID) error {
+		ret, ended := exec.CallEnded(p)
+		if !ended {
+			return nil
+		}
+		if _, err := exec.Finish(p); err != nil {
+			return err
+		}
+		res.Returns[p] = append(res.Returns[p], ret)
+		if isSignaler[p] && signalStarted[p] {
+			signalDone = true
+		}
+		if ws, ok := waiters[p]; ok {
+			ws.polls++
+			if cfg.Blocking || ret != 0 {
+				ws.done = true
+			} else if cfg.MaxPolls > 0 && ws.polls >= cfg.MaxPolls {
+				ws.done = true
+			}
+		}
+		return nil
+	}
+
 	// advance collects completed calls and starts new ones; it returns
 	// the set of processes with a pending access.
 	advance := func() ([]memsim.PID, error) {
 		var ready []memsim.PID
 		for pid := 0; pid < cfg.N; pid++ {
 			p := memsim.PID(pid)
-			if ret, ended := exec.CallEnded(p); ended {
-				if _, err := exec.Finish(p); err != nil {
-					return nil, err
-				}
-				res.Returns[p] = append(res.Returns[p], ret)
-				if isSignaler[p] && signalStarted[p] {
-					signalDone = true
-				}
-				if ws, ok := waiters[p]; ok {
-					ws.polls++
-					if cfg.Blocking || ret != 0 {
-						ws.done = true
-					} else if cfg.MaxPolls > 0 && ws.polls >= cfg.MaxPolls {
-						ws.done = true
-					}
-				}
+			if err := harvest(p); err != nil {
+				return nil, err
 			}
 			if exec.Idle(p) {
 				if ws, ok := waiters[p]; ok && !ws.done {
@@ -320,6 +333,15 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		res.Steps++
+	}
+	// Harvest once more: a call that completed on the final applied step
+	// is collected even when the interrupt check broke the loop before
+	// advance could run (mirroring the workload harness, which fixes the
+	// same truncation under-count for locks).
+	for pid := 0; pid < cfg.N; pid++ {
+		if err := harvest(memsim.PID(pid)); err != nil {
+			return nil, err
+		}
 	}
 
 	res.Signaled = signalDone

@@ -278,3 +278,70 @@ func TestRunInterrupt(t *testing.T) {
 		t.Fatalf("interrupted=%v steps=%d, want immediate stop", res.Interrupted, res.Steps)
 	}
 }
+
+// TestInterruptHarvestsFinalStep: an interrupt firing on the very step
+// that completes the Signal call must not lose the completion — the
+// interrupt check runs before the top-of-loop harvest, so the post-loop
+// harvest is what collects it. Signaled, Returns and the waiter
+// accounting all depend on this.
+func TestInterruptHarvestsFinalStep(t *testing.T) {
+	// First, a reference run to locate the step on which Signal completes.
+	ref, err := Run(Config{
+		Algorithm:   signal.Flag(),
+		N:           3,
+		MaxPolls:    4,
+		SignalAfter: 2,
+		Scheduler:   sched.NewRoundRobin(),
+		KeepEvents:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Signaled {
+		t.Fatal("reference run never signaled")
+	}
+	signalEnd := 0
+	steps := 0
+	for _, ev := range ref.Events {
+		if ev.Kind == memsim.EvAccess {
+			steps++
+		}
+		if ev.Kind == memsim.EvCallEnd && ev.Proc == "Signal" {
+			signalEnd = steps
+		}
+	}
+	if signalEnd == 0 {
+		t.Fatal("no Signal call-end in reference trace")
+	}
+	// Re-run identically, interrupting exactly when that step is applied.
+	interrupt := make(chan struct{})
+	seen := 0
+	res, err := Run(Config{
+		Algorithm:   signal.Flag(),
+		N:           3,
+		MaxPolls:    4,
+		SignalAfter: 2,
+		Scheduler:   sched.NewRoundRobin(),
+		Sink: func(ev memsim.Event) {
+			if ev.Kind == memsim.EvAccess {
+				seen++
+				if seen == signalEnd {
+					close(interrupt)
+				}
+			}
+		},
+		Interrupt: interrupt,
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if res.Steps != signalEnd {
+		t.Fatalf("steps = %d, want %d", res.Steps, signalEnd)
+	}
+	if !res.Signaled {
+		t.Fatal("Signal completed on the final step before the interrupt but was not harvested")
+	}
+	if got := len(res.Returns[memsim.PID(2)]); got == 0 {
+		t.Fatal("signaler's return was dropped")
+	}
+}

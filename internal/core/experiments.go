@@ -309,12 +309,15 @@ func ExperimentE9(ns []int) (*Table, error) {
 	}
 	for _, alg := range mutex.All() {
 		for _, n := range ns {
+			// Streaming path: both models price the run in a single pass
+			// and no trace is retained.
 			res, err := mutex.Run(mutex.RunConfig{
 				Lock:      alg,
 				N:         n,
 				Passages:  8,
 				Scheduler: sched.NewRandom(1),
 				MaxSteps:  4_000_000,
+				Scorers:   []model.Scorer{model.ModelCC, model.ModelDSM},
 			})
 			if err != nil && !errors.Is(err, mutex.ErrBudget) {
 				return nil, fmt.Errorf("E9 %s n=%d: %w", alg.Name, n, err)
@@ -428,6 +431,7 @@ func ExperimentE10(ns []int) (*Table, error) {
 			Entries:   6,
 			Scheduler: sched.NewRandom(2),
 			MaxSteps:  4_000_000,
+			Scorers:   []model.Scorer{model.ModelCC, model.ModelDSM},
 		})
 		if err != nil && !errors.Is(err, gme.ErrBudget) {
 			return nil, fmt.Errorf("E10 n=%d: %w", n, err)
@@ -460,13 +464,13 @@ func ExperimentE11(deltas []int) (*Table, error) {
 			Timed:    true,
 			Seed:     3,
 			MaxSteps: 4_000_000,
+			Scorers:  []model.Scorer{model.ModelCC, model.ModelDSM},
 		})
 		if err != nil && !errors.Is(err, semisync.ErrBudget) {
 			return nil, fmt.Errorf("E11 delta=%d: %w", d, err)
 		}
-		cc := float64(res.Score(model.ModelCC).Total) / float64(res.Passages)
-		dsm := float64(res.Score(model.ModelDSM).Total) / float64(res.Passages)
-		t.AddRow(itoa(d), itoa(6), itoa(res.Passages), fmt.Sprint(res.MutualExclusion), ftoa(cc), ftoa(dsm))
+		t.AddRow(itoa(d), itoa(6), itoa(res.Passages), fmt.Sprint(res.MutualExclusion),
+			ftoa(res.PerPassage(model.ModelCC)), ftoa(res.PerPassage(model.ModelDSM)))
 	}
 	return t, nil
 }

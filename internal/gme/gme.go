@@ -17,9 +17,10 @@
 package gme
 
 import (
-	"errors"
 	"fmt"
+	"math"
 
+	"repro/internal/harness"
 	"repro/internal/memsim"
 	"repro/internal/model"
 	"repro/internal/mutex"
@@ -86,24 +87,37 @@ func (g *RoomLock) Exit(p *memsim.Proc, session memsim.Value) {
 	g.lock.Release(p)
 }
 
-// ErrBudget is returned when a GME run exhausts its step budget.
-var ErrBudget = errors.New("gme: step budget exhausted")
+// ErrBudget is returned when a GME run exhausts its step budget. It is the
+// shared harness sentinel.
+var ErrBudget = harness.ErrBudget
+
+// ErrInterrupted is returned when a GME run stops because
+// RunConfig.Interrupt fired.
+var ErrInterrupted = harness.ErrInterrupted
 
 // RunConfig describes a contended GME workload: each process performs
 // Entries critical sections, alternating between Sessions session IDs
-// (process i uses session i mod Sessions).
+// (process i uses session i mod Sessions). Scorers, KeepEvents, Sink and
+// Interrupt mirror mutex.RunConfig: attached scorers price the run in a
+// single pass, and unpriced runs without KeepEvents retain the trace for
+// after-the-fact scoring (the legacy behavior).
 type RunConfig struct {
-	N         int
-	Sessions  int
-	Entries   int
-	Scheduler sched.Scheduler
-	MaxSteps  int
+	N          int
+	Sessions   int
+	Entries    int
+	Scheduler  sched.Scheduler
+	MaxSteps   int
+	Scorers    []model.Scorer
+	KeepEvents bool
+	Sink       memsim.EventSink
+	Interrupt  <-chan struct{}
 }
 
-// RunResult is the outcome of a GME workload.
+// RunResult is the outcome of a GME workload. The embedded harness result
+// carries the trace (if retained), the streaming reports, step counts and
+// truncation flags.
 type RunResult struct {
-	// Events is the execution trace.
-	Events []memsim.Event
+	*harness.Result
 	// Entries counts completed critical sections.
 	Entries int
 	// SessionSafe is false if two different sessions were observed
@@ -112,31 +126,126 @@ type RunResult struct {
 	// MaxConcurrent is the largest same-session occupancy observed —
 	// the concurrency GME exists to permit (ordinary ME caps it at 1).
 	MaxConcurrent int
-	// Truncated reports budget exhaustion.
-	Truncated bool
-
-	ownerFn func(memsim.Addr) memsim.PID
-	n       int
 }
 
-// Score prices the trace under a cost model.
-func (r *RunResult) Score(cm model.CostModel) *model.Report {
-	return cm.Score(r.Events, r.ownerFn, r.n)
-}
-
-// PerEntry returns total RMRs divided by completed entries under cm.
+// PerEntry returns total RMRs divided by completed entries under cm. It is
+// NaN when no entry completed or cm is unscoreable for this run (neither
+// attached nor batch-scoreable from a retained trace).
 func (r *RunResult) PerEntry(cm model.CostModel) float64 {
-	if r.Entries == 0 {
-		return 0
+	rep := r.Score(cm)
+	if rep == nil || r.Entries == 0 {
+		return math.NaN()
 	}
-	return float64(r.Score(cm).Total) / float64(r.Entries)
+	return float64(rep.Total) / float64(r.Entries)
 }
 
-// Run drives the workload and detects session-safety violations with
-// per-session occupancy probes: on entry each occupant increments its
-// session's probe counter and then checks the other sessions' counters,
-// which must be zero while it is inside.
+// Workload is the contended GME workload on the generic streaming harness.
+// It detects session-safety violations with per-session occupancy probes:
+// on entry each occupant increments its session's probe counter and then
+// checks the other sessions' counters, which must be zero while it is
+// inside.
+type Workload struct {
+	n, sessions int
+	remaining   []int
+
+	room          *RoomLock
+	probes        memsim.Addr
+	entries       int
+	violated      bool
+	maxConcurrent int
+}
+
+var _ harness.Workload = (*Workload)(nil)
+
+// NewWorkload returns the workload for n processes, each performing entries
+// critical sections over the given number of sessions.
+func NewWorkload(n, sessions, entries int) *Workload {
+	w := &Workload{n: n, sessions: sessions, remaining: make([]int, n)}
+	for i := range w.remaining {
+		w.remaining[i] = entries
+	}
+	return w
+}
+
+// N implements harness.Workload.
+func (w *Workload) N() int { return w.n }
+
+// Deploy implements harness.Workload.
+func (w *Workload) Deploy(m *memsim.Machine) error {
+	g, err := NewRoomLock(m, w.n)
+	if err != nil {
+		return err
+	}
+	w.room = g
+	w.probes = m.Alloc(memsim.NoOwner, "probe", w.sessions, 0)
+	return nil
+}
+
+// Next implements harness.Workload.
+func (w *Workload) Next(pid memsim.PID) (string, memsim.Program, bool) {
+	if w.remaining[pid] <= 0 {
+		return "", nil, false
+	}
+	w.remaining[pid]--
+	return "gme", w.entry(pid), true
+}
+
+func (w *Workload) entry(pid memsim.PID) memsim.Program {
+	session := memsim.Value(int(pid) % w.sessions)
+	return func(p *memsim.Proc) memsim.Value {
+		w.room.Enter(p, session)
+		mine := p.FetchAdd(w.probes+memsim.Addr(session), 1) + 1
+		violation := false
+		for s := 0; s < w.sessions; s++ {
+			if memsim.Value(s) == session {
+				continue
+			}
+			if p.Read(w.probes+memsim.Addr(s)) != 0 {
+				violation = true
+			}
+		}
+		p.FetchAdd(w.probes+memsim.Addr(session), -1)
+		w.room.Exit(p, session)
+		if violation {
+			return -1
+		}
+		return mine // same-session occupancy observed at entry
+	}
+}
+
+// Done implements harness.Workload.
+func (w *Workload) Done(_ memsim.PID, ret memsim.Value) {
+	w.entries++
+	if ret < 0 {
+		w.violated = true
+	} else if int(ret) > w.maxConcurrent {
+		w.maxConcurrent = int(ret)
+	}
+}
+
+// CompletedEntries returns the number of critical sections finished so far.
+func (w *Workload) CompletedEntries() int { return w.entries }
+
+// SessionSafe reports whether no cross-session overlap has been observed.
+func (w *Workload) SessionSafe() bool { return !w.violated }
+
+// MaxConcurrent returns the largest same-session occupancy observed.
+func (w *Workload) MaxConcurrent() int { return w.maxConcurrent }
+
+// Run drives the workload on the streaming harness (unpriced runs without
+// KeepEvents retain the trace, the legacy behavior; RunStreaming opts
+// out). It returns ErrBudget or ErrInterrupted (wrapped) together with a
+// valid truncated RunResult.
 func Run(cfg RunConfig) (*RunResult, error) {
+	if !cfg.KeepEvents && len(cfg.Scorers) == 0 {
+		cfg.KeepEvents = true // legacy: unpriced runs keep the trace scoreable
+	}
+	return RunStreaming(cfg)
+}
+
+// RunStreaming drives the workload applying cfg exactly as given: no
+// legacy trace-retention fallback.
+func RunStreaming(cfg RunConfig) (*RunResult, error) {
 	if cfg.N < 1 || cfg.Sessions < 1 {
 		return nil, fmt.Errorf("gme: need processes and sessions, got N=%d S=%d", cfg.N, cfg.Sessions)
 	}
@@ -150,85 +259,23 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		cfg.Scheduler = sched.NewRandom(1)
 	}
 
-	m := memsim.NewMachine(cfg.N)
-	g, err := NewRoomLock(m, cfg.N)
-	if err != nil {
+	w := NewWorkload(cfg.N, cfg.Sessions, cfg.Entries)
+	hres, err := harness.Run(harness.Config{
+		Workload:   w,
+		Scheduler:  cfg.Scheduler,
+		MaxSteps:   cfg.MaxSteps,
+		Scorers:    cfg.Scorers,
+		KeepEvents: cfg.KeepEvents,
+		Sink:       cfg.Sink,
+		Interrupt:  cfg.Interrupt,
+	})
+	if hres == nil {
 		return nil, err
 	}
-	probes := m.Alloc(memsim.NoOwner, "probe", cfg.Sessions, 0)
-
-	ctl := memsim.NewController(m)
-	defer ctl.Close()
-
-	entry := func(pid memsim.PID) memsim.Program {
-		session := memsim.Value(int(pid) % cfg.Sessions)
-		return func(p *memsim.Proc) memsim.Value {
-			g.Enter(p, session)
-			mine := p.FetchAdd(probes+memsim.Addr(session), 1) + 1
-			violation := false
-			for s := 0; s < cfg.Sessions; s++ {
-				if memsim.Value(s) == session {
-					continue
-				}
-				if p.Read(probes+memsim.Addr(s)) != 0 {
-					violation = true
-				}
-			}
-			p.FetchAdd(probes+memsim.Addr(session), -1)
-			g.Exit(p, session)
-			if violation {
-				return -1
-			}
-			return mine // same-session occupancy observed at entry
-		}
-	}
-
-	res := &RunResult{SessionSafe: true, ownerFn: m.Owner, n: cfg.N}
-	remaining := make([]int, cfg.N)
-	for i := range remaining {
-		remaining[i] = cfg.Entries
-	}
-	steps := 0
-	for {
-		var ready []memsim.PID
-		for i := 0; i < cfg.N; i++ {
-			pid := memsim.PID(i)
-			if ret, done := ctl.CallEnded(pid); done {
-				if _, err := ctl.FinishCall(pid); err != nil {
-					return nil, err
-				}
-				res.Entries++
-				if ret < 0 {
-					res.SessionSafe = false
-				} else if int(ret) > res.MaxConcurrent {
-					res.MaxConcurrent = int(ret)
-				}
-			}
-			if ctl.Idle(pid) && remaining[i] > 0 {
-				remaining[i]--
-				if err := ctl.StartCall(pid, "gme", entry(pid)); err != nil {
-					return nil, err
-				}
-			}
-			if _, ok := ctl.Pending(pid); ok {
-				ready = append(ready, pid)
-			}
-		}
-		if len(ready) == 0 {
-			break
-		}
-		if steps >= cfg.MaxSteps {
-			res.Truncated = true
-			break
-		}
-		if _, err := ctl.Step(cfg.Scheduler.Next(ready)); err != nil {
-			return nil, err
-		}
-		steps++
-	}
-	res.Events = ctl.Events()
-	if res.Truncated {
-		return res, fmt.Errorf("%w after %d steps", ErrBudget, steps)
-	}
-	return res, nil
+	return &RunResult{
+		Result:        hres,
+		Entries:       w.CompletedEntries(),
+		SessionSafe:   w.SessionSafe(),
+		MaxConcurrent: w.MaxConcurrent(),
+	}, err
 }

@@ -2,6 +2,8 @@ package gme
 
 import (
 	"errors"
+	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/model"
@@ -75,5 +77,53 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(RunConfig{N: 2, Sessions: 0}); err == nil {
 		t.Fatal("want error for Sessions=0")
+	}
+}
+
+// TestStreamingMatchesBatch: streaming reports of a scoring-only GME run
+// equal a batch Score over the retained trace of the identically-seeded
+// legacy run, for every standard model.
+func TestStreamingMatchesBatch(t *testing.T) {
+	scorers := model.StandardScorers()
+	stream, err := Run(RunConfig{
+		N: 6, Sessions: 2, Entries: 4,
+		Scheduler: sched.NewRandom(5), Scorers: scorers,
+	})
+	if err != nil && !errors.Is(err, ErrBudget) {
+		t.Fatal(err)
+	}
+	if stream.Events != nil {
+		t.Fatalf("scoring-only run retained %d events", len(stream.Events))
+	}
+	legacy, err := Run(RunConfig{
+		N: 6, Sessions: 2, Entries: 4, Scheduler: sched.NewRandom(5),
+	})
+	if err != nil && !errors.Is(err, ErrBudget) {
+		t.Fatal(err)
+	}
+	if stream.Entries != legacy.Entries || stream.MaxConcurrent != legacy.MaxConcurrent {
+		t.Fatalf("streaming (%d, %d) and legacy (%d, %d) runs diverged",
+			stream.Entries, stream.MaxConcurrent, legacy.Entries, legacy.MaxConcurrent)
+	}
+	for i, s := range scorers {
+		if got, want := stream.Reports[i], legacy.Score(s); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: streaming %+v != batch %+v", s.Name(), got, want)
+		}
+	}
+}
+
+// TestPerEntryNaN: a run with zero completed entries prices at NaN.
+func TestPerEntryNaN(t *testing.T) {
+	res, err := Run(RunConfig{
+		N: 4, Sessions: 2, Entries: 2, Scheduler: sched.NewRandom(1), MaxSteps: 2,
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if res.Entries != 0 {
+		t.Fatalf("entries = %d, want 0", res.Entries)
+	}
+	if pe := res.PerEntry(model.ModelCC); !math.IsNaN(pe) {
+		t.Fatalf("PerEntry = %v, want NaN", pe)
 	}
 }

@@ -3,14 +3,21 @@ package mutex
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"repro/internal/harness"
 	"repro/internal/memsim"
 	"repro/internal/model"
 	"repro/internal/sched"
 )
 
-// ErrBudget is returned when a lock run exhausts its step budget.
-var ErrBudget = errors.New("mutex: step budget exhausted")
+// ErrBudget is returned when a lock run exhausts its step budget. It is the
+// harness sentinel: lock, GME and semi-synchronous runs all share it.
+var ErrBudget = harness.ErrBudget
+
+// ErrInterrupted is returned when a lock run stops because
+// RunConfig.Interrupt fired.
+var ErrInterrupted = harness.ErrInterrupted
 
 // RunConfig describes a contended critical-section workload.
 type RunConfig struct {
@@ -24,42 +31,174 @@ type RunConfig struct {
 	Scheduler sched.Scheduler
 	// MaxSteps bounds total shared-memory accesses (default 1e6).
 	MaxSteps int
+	// Scorers attaches streaming cost models: every event is priced as it
+	// is generated and the reports land in RunResult.Reports, in order.
+	// This is the single-pass scoring path — with KeepEvents off, a run
+	// under any number of models retains no trace at all.
+	Scorers []model.Scorer
+	// KeepEvents retains the full execution trace in RunResult.Events.
+	// When neither KeepEvents nor Scorers is set, Run keeps the trace
+	// anyway (the legacy behavior) so RunResult.Score stays usable.
+	KeepEvents bool
+	// Sink, when non-nil, additionally observes every trace event.
+	Sink memsim.EventSink
+	// Interrupt, when non-nil, stops the run between steps once it fires.
+	Interrupt <-chan struct{}
 }
 
-// RunResult is the outcome of a lock workload.
+// RunResult is the outcome of a lock workload. The embedded harness result
+// carries the trace (if retained), the streaming reports, step counts and
+// truncation flags.
 type RunResult struct {
-	// Events is the execution trace.
-	Events []memsim.Event
+	*harness.Result
 	// Passages is the number of completed critical sections.
 	Passages int
 	// MutualExclusion reports whether every passage observed exclusive
 	// occupancy (owner check and no lost counter updates).
 	MutualExclusion bool
-	// Truncated reports whether the step budget expired first.
-	Truncated bool
-
-	ownerFn func(memsim.Addr) memsim.PID
-	n       int
 }
 
-// Score prices the trace under a cost model.
-func (r *RunResult) Score(cm model.CostModel) *model.Report {
-	return cm.Score(r.Events, r.ownerFn, r.n)
-}
-
-// PerPassage returns total RMRs divided by completed passages under cm.
+// PerPassage returns total RMRs divided by completed passages under cm. It
+// is NaN when no passage completed (a truncated run has no meaningful
+// per-passage cost — 0 would masquerade as free) or when cm was neither
+// attached as a scorer nor batch-scoreable from a retained trace.
 func (r *RunResult) PerPassage(cm model.CostModel) float64 {
-	if r.Passages == 0 {
+	rep := r.Score(cm)
+	if rep == nil || r.Passages == 0 {
+		return math.NaN()
+	}
+	return float64(rep.Total) / float64(r.Passages)
+}
+
+// CSProbe is the shared critical-section instrumentation of the lock
+// workloads: a two-step critical section that detects mutual-exclusion
+// violations (owner stamp re-read plus an unprotected counter increment),
+// with completion accounting and a final lost-update check. Workloads over
+// any mutex.Lock (including the semi-synchronous Fischer lock) embed it,
+// so the violation-detection logic exists exactly once.
+type CSProbe struct {
+	lock     Lock
+	csOwner  memsim.Addr
+	csCount  memsim.Addr
+	passages int
+	violated bool
+}
+
+// DeployProbe allocates the probe's shared words on m and binds the probe
+// to the (already deployed) lock under test.
+func (pr *CSProbe) DeployProbe(m *memsim.Machine, lock Lock) {
+	pr.lock = lock
+	pr.csOwner = m.Alloc(memsim.NoOwner, "csOwner", 1, memsim.Nil)
+	pr.csCount = m.Alloc(memsim.NoOwner, "csCount", 1, 0)
+}
+
+// Passage returns pid's next critical-section program: acquire, stamp and
+// re-read the owner word, increment the unprotected counter, release. It
+// returns 1 if the passage observed exclusive occupancy.
+func (pr *CSProbe) Passage(pid memsim.PID) memsim.Program {
+	return func(p *memsim.Proc) memsim.Value {
+		pr.lock.Acquire(p)
+		p.Write(pr.csOwner, memsim.Value(pid))
+		ok := p.Read(pr.csOwner) == memsim.Value(pid)
+		c := p.Read(pr.csCount)
+		p.Write(pr.csCount, c+1)
+		pr.lock.Release(p)
+		if ok {
+			return 1
+		}
 		return 0
 	}
-	return float64(r.Score(cm).Total) / float64(r.Passages)
 }
 
-// Run drives the contended workload: every process repeatedly acquires the
-// lock, performs a two-step critical section that detects mutual-exclusion
-// violations (owner stamp re-read plus an unprotected counter increment),
-// and releases.
+// Done implements harness.Workload's completion accounting.
+func (pr *CSProbe) Done(_ memsim.PID, ret memsim.Value) {
+	pr.passages++
+	if ret == 0 {
+		pr.violated = true
+	}
+}
+
+// Verify implements harness.Verifier: a counter short-fall on a complete
+// run means two processes overlapped (lost update).
+func (pr *CSProbe) Verify(m *memsim.Machine, truncated bool) {
+	if !truncated && m.Load(pr.csCount) != memsim.Value(pr.passages) {
+		pr.violated = true
+	}
+}
+
+// CompletedPassages returns the number of critical sections finished so far.
+func (pr *CSProbe) CompletedPassages() int { return pr.passages }
+
+// MutualExclusion reports whether no violation has been observed.
+func (pr *CSProbe) MutualExclusion() bool { return !pr.violated }
+
+// Workload is the contended critical-section workload on the generic
+// streaming harness: every process repeatedly acquires the lock, runs the
+// CSProbe critical section, and releases. A Workload is bound to a single
+// run.
+type Workload struct {
+	CSProbe
+	alg       Algorithm
+	n         int
+	remaining []int
+}
+
+var (
+	_ harness.Workload = (*Workload)(nil)
+	_ harness.Verifier = (*Workload)(nil)
+)
+
+// NewWorkload returns the workload for n processes, each performing the
+// given number of passages under alg.
+func NewWorkload(alg Algorithm, n, passages int) *Workload {
+	w := &Workload{alg: alg, n: n, remaining: make([]int, n)}
+	for i := range w.remaining {
+		w.remaining[i] = passages
+	}
+	return w
+}
+
+// N implements harness.Workload.
+func (w *Workload) N() int { return w.n }
+
+// Deploy implements harness.Workload.
+func (w *Workload) Deploy(m *memsim.Machine) error {
+	lock, err := w.alg.New(m, w.n)
+	if err != nil {
+		return fmt.Errorf("deploy lock: %w", err)
+	}
+	w.DeployProbe(m, lock)
+	return nil
+}
+
+// Next implements harness.Workload.
+func (w *Workload) Next(pid memsim.PID) (string, memsim.Program, bool) {
+	if w.remaining[pid] <= 0 {
+		return "", nil, false
+	}
+	w.remaining[pid]--
+	return "passage", w.Passage(pid), true
+}
+
+// Run drives the contended workload on the streaming harness. Attached
+// Scorers price every event in a single pass; unpriced runs without
+// KeepEvents retain the full trace for after-the-fact scoring, exactly as
+// before the harness existed (use RunStreaming to opt out of that
+// fallback). Run returns ErrBudget or ErrInterrupted (wrapped) together
+// with a valid truncated RunResult.
 func Run(cfg RunConfig) (*RunResult, error) {
+	if !cfg.KeepEvents && len(cfg.Scorers) == 0 {
+		cfg.KeepEvents = true // legacy: unpriced runs keep the trace scoreable
+	}
+	return RunStreaming(cfg)
+}
+
+// RunStreaming drives the contended workload applying cfg exactly as
+// given: no legacy trace-retention fallback, so an unpriced run without
+// KeepEvents retains nothing at all. The Runner facade uses it so a
+// zero-policy runner stays trace-free and unpriced, as on the signaling
+// path.
+func RunStreaming(cfg RunConfig) (*RunResult, error) {
 	if cfg.Lock.New == nil {
 		return nil, errors.New("mutex: config requires a lock")
 	}
@@ -76,80 +215,22 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		cfg.Scheduler = sched.NewRandom(1)
 	}
 
-	m := memsim.NewMachine(cfg.N)
-	lock, err := cfg.Lock.New(m, cfg.N)
-	if err != nil {
-		return nil, fmt.Errorf("deploy lock: %w", err)
+	w := NewWorkload(cfg.Lock, cfg.N, cfg.Passages)
+	hres, err := harness.Run(harness.Config{
+		Workload:   w,
+		Scheduler:  cfg.Scheduler,
+		MaxSteps:   cfg.MaxSteps,
+		Scorers:    cfg.Scorers,
+		KeepEvents: cfg.KeepEvents,
+		Sink:       cfg.Sink,
+		Interrupt:  cfg.Interrupt,
+	})
+	if hres == nil {
+		return nil, err
 	}
-	csOwner := m.Alloc(memsim.NoOwner, "csOwner", 1, memsim.Nil)
-	csCount := m.Alloc(memsim.NoOwner, "csCount", 1, 0)
-
-	ctl := memsim.NewController(m)
-	defer ctl.Close()
-
-	passage := func(pid memsim.PID) memsim.Program {
-		return func(p *memsim.Proc) memsim.Value {
-			lock.Acquire(p)
-			p.Write(csOwner, memsim.Value(pid))
-			ok := p.Read(csOwner) == memsim.Value(pid)
-			c := p.Read(csCount)
-			p.Write(csCount, c+1)
-			lock.Release(p)
-			if ok {
-				return 1
-			}
-			return 0
-		}
-	}
-
-	res := &RunResult{MutualExclusion: true, ownerFn: m.Owner, n: cfg.N}
-	remaining := make([]int, cfg.N)
-	for i := range remaining {
-		remaining[i] = cfg.Passages
-	}
-	steps := 0
-	for {
-		var ready []memsim.PID
-		for i := 0; i < cfg.N; i++ {
-			pid := memsim.PID(i)
-			if ret, ended := ctl.CallEnded(pid); ended {
-				if _, err := ctl.FinishCall(pid); err != nil {
-					return nil, err
-				}
-				res.Passages++
-				if ret == 0 {
-					res.MutualExclusion = false
-				}
-			}
-			if ctl.Idle(pid) && remaining[i] > 0 {
-				remaining[i]--
-				if err := ctl.StartCall(pid, "passage", passage(pid)); err != nil {
-					return nil, err
-				}
-			}
-			if _, ok := ctl.Pending(pid); ok {
-				ready = append(ready, pid)
-			}
-		}
-		if len(ready) == 0 {
-			break
-		}
-		if steps >= cfg.MaxSteps {
-			res.Truncated = true
-			break
-		}
-		if _, err := ctl.Step(cfg.Scheduler.Next(ready)); err != nil {
-			return nil, err
-		}
-		steps++
-	}
-
-	if m.Load(csCount) != memsim.Value(res.Passages) && !res.Truncated {
-		res.MutualExclusion = false // lost update: two processes overlapped
-	}
-	res.Events = ctl.Events()
-	if res.Truncated {
-		return res, fmt.Errorf("%w after %d steps", ErrBudget, steps)
-	}
-	return res, nil
+	return &RunResult{
+		Result:          hres,
+		Passages:        w.CompletedPassages(),
+		MutualExclusion: w.MutualExclusion(),
+	}, err
 }

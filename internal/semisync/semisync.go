@@ -17,11 +17,13 @@
 package semisync
 
 import (
-	"errors"
 	"fmt"
+	"math"
 
+	"repro/internal/harness"
 	"repro/internal/memsim"
 	"repro/internal/model"
+	"repro/internal/mutex"
 	"repro/internal/sched"
 )
 
@@ -97,11 +99,19 @@ func (r *Runner) Step(ready []memsim.PID) (bool, error) {
 	return true, nil
 }
 
-// ErrBudget is returned when a semisync run exhausts its step budget.
-var ErrBudget = errors.New("semisync: step budget exhausted")
+// ErrBudget is returned when a semisync run exhausts its step budget. It
+// is the shared harness sentinel.
+var ErrBudget = harness.ErrBudget
+
+// ErrInterrupted is returned when a semisync run stops because
+// RunConfig.Interrupt fired.
+var ErrInterrupted = harness.ErrInterrupted
 
 // RunConfig describes a timed mutual-exclusion workload using Fischer's
-// lock.
+// lock. Scorers, KeepEvents, Sink and Interrupt mirror mutex.RunConfig:
+// attached scorers price the run in a single pass, and unpriced runs
+// without KeepEvents retain the trace for after-the-fact scoring (the
+// legacy behavior).
 type RunConfig struct {
 	// N is the number of competing processes.
 	N int
@@ -117,31 +127,114 @@ type RunConfig struct {
 	Seed int64
 	// MaxSteps bounds total accesses (default 2e6).
 	MaxSteps int
+	// Scorers attaches streaming cost models (single-pass pricing).
+	Scorers []model.Scorer
+	// KeepEvents retains the full execution trace in RunResult.Events.
+	KeepEvents bool
+	// Sink, when non-nil, additionally observes every trace event.
+	Sink memsim.EventSink
+	// Interrupt, when non-nil, stops the run between steps once it fires.
+	Interrupt <-chan struct{}
 }
 
-// RunResult reports a timed workload's outcome.
+// RunResult reports a timed workload's outcome. The embedded harness
+// result carries the trace (if retained), the streaming reports, step
+// counts and truncation flags.
 type RunResult struct {
-	// Events is the trace.
-	Events []memsim.Event
+	*harness.Result
 	// Passages completed.
 	Passages int
 	// MutualExclusion is false if two processes overlapped in the
 	// critical section.
 	MutualExclusion bool
-	// Truncated reports budget exhaustion.
-	Truncated bool
-
-	ownerFn func(memsim.Addr) memsim.PID
-	n       int
 }
 
-// Score prices the trace under a cost model.
-func (r *RunResult) Score(cm model.CostModel) *model.Report {
-	return cm.Score(r.Events, r.ownerFn, r.n)
+// PerPassage returns total RMRs divided by completed passages under cm,
+// NaN when no passage completed or cm is unscoreable for this run.
+func (r *RunResult) PerPassage(cm model.CostModel) float64 {
+	rep := r.Score(cm)
+	if rep == nil || r.Passages == 0 {
+		return math.NaN()
+	}
+	return float64(rep.Total) / float64(r.Passages)
 }
 
-// Run drives N processes through Fischer-guarded critical sections.
+// Workload drives Fischer-guarded critical sections on the generic
+// streaming harness, instrumented with the shared mutex.CSProbe (Fischer
+// is a mutex.Lock, so the violation-detection logic exists once). In
+// timed mode it imposes the Δ-gap discipline through the harness's
+// Stepper hook (the tie-break scheduler chooses freely within it);
+// untimed it exposes Fischer's lock to unrestricted asynchrony.
+type Workload struct {
+	mutex.CSProbe
+	n, delta  int
+	timed     bool
+	remaining []int
+}
+
+var (
+	_ harness.Workload        = (*Workload)(nil)
+	_ harness.Verifier        = (*Workload)(nil)
+	_ harness.SteppedWorkload = (*Workload)(nil)
+)
+
+// NewWorkload returns the workload for n processes, each performing the
+// given number of passages under Fischer's lock with the given Δ. timed
+// selects the Δ-respecting schedule discipline.
+func NewWorkload(n, delta, passages int, timed bool) *Workload {
+	w := &Workload{n: n, delta: delta, timed: timed, remaining: make([]int, n)}
+	for i := range w.remaining {
+		w.remaining[i] = passages
+	}
+	return w
+}
+
+// N implements harness.Workload.
+func (w *Workload) N() int { return w.n }
+
+// Deploy implements harness.Workload.
+func (w *Workload) Deploy(m *memsim.Machine) error {
+	w.DeployProbe(m, NewFischer(m, w.n, w.delta))
+	return nil
+}
+
+// Stepper implements harness.SteppedWorkload: in timed mode, steps are
+// applied through the Δ-deadline runner seeded with the harness scheduler
+// as tie-breaker; untimed, nil keeps the harness default (free choice).
+func (w *Workload) Stepper(ctl *memsim.Controller, pick sched.Scheduler) harness.Stepper {
+	if !w.timed {
+		return nil
+	}
+	r := NewRunner(ctl, w.delta, pick)
+	return func(ready []memsim.PID) error {
+		_, err := r.Step(ready)
+		return err
+	}
+}
+
+// Next implements harness.Workload.
+func (w *Workload) Next(pid memsim.PID) (string, memsim.Program, bool) {
+	if w.remaining[pid] <= 0 {
+		return "", nil, false
+	}
+	w.remaining[pid]--
+	return "passage", w.Passage(pid), true
+}
+
+// Run drives N processes through Fischer-guarded critical sections on the
+// streaming harness (unpriced runs without KeepEvents retain the trace,
+// the legacy behavior; RunStreaming opts out). It returns ErrBudget or
+// ErrInterrupted (wrapped) together with a valid truncated RunResult.
 func Run(cfg RunConfig) (*RunResult, error) {
+	if !cfg.KeepEvents && len(cfg.Scorers) == 0 {
+		cfg.KeepEvents = true // legacy: unpriced runs keep the trace scoreable
+	}
+	return RunStreaming(cfg)
+}
+
+// RunStreaming drives the workload applying cfg exactly as given: no
+// legacy trace-retention fallback.
+func RunStreaming(cfg RunConfig) (*RunResult, error) {
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("semisync: need processes, got %d", cfg.N)
 	}
@@ -155,82 +248,22 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		cfg.MaxSteps = 2_000_000
 	}
 
-	m := memsim.NewMachine(cfg.N)
-	lock := NewFischer(m, cfg.N, cfg.Delta)
-	csOwner := m.Alloc(memsim.NoOwner, "csOwner", 1, memsim.Nil)
-	csCount := m.Alloc(memsim.NoOwner, "csCount", 1, 0)
-
-	ctl := memsim.NewController(m)
-	defer ctl.Close()
-	runner := NewRunner(ctl, cfg.Delta, sched.NewRandom(cfg.Seed))
-	free := sched.NewRandom(cfg.Seed)
-
-	passage := func(pid memsim.PID) memsim.Program {
-		return func(p *memsim.Proc) memsim.Value {
-			lock.Acquire(p)
-			p.Write(csOwner, memsim.Value(pid))
-			ok := p.Read(csOwner) == memsim.Value(pid)
-			c := p.Read(csCount)
-			p.Write(csCount, c+1)
-			lock.Release(p)
-			if ok {
-				return 1
-			}
-			return 0
-		}
+	w := NewWorkload(cfg.N, cfg.Delta, cfg.Passages, cfg.Timed)
+	hres, err := harness.Run(harness.Config{
+		Workload:   w,
+		Scheduler:  sched.NewRandom(cfg.Seed),
+		MaxSteps:   cfg.MaxSteps,
+		Scorers:    cfg.Scorers,
+		KeepEvents: cfg.KeepEvents,
+		Sink:       cfg.Sink,
+		Interrupt:  cfg.Interrupt,
+	})
+	if hres == nil {
+		return nil, err
 	}
-
-	res := &RunResult{MutualExclusion: true, ownerFn: m.Owner, n: cfg.N}
-	remaining := make([]int, cfg.N)
-	for i := range remaining {
-		remaining[i] = cfg.Passages
-	}
-	steps := 0
-	for {
-		var ready []memsim.PID
-		for i := 0; i < cfg.N; i++ {
-			pid := memsim.PID(i)
-			if ret, done := ctl.CallEnded(pid); done {
-				if _, err := ctl.FinishCall(pid); err != nil {
-					return nil, err
-				}
-				res.Passages++
-				if ret == 0 {
-					res.MutualExclusion = false
-				}
-			}
-			if ctl.Idle(pid) && remaining[i] > 0 {
-				remaining[i]--
-				if err := ctl.StartCall(pid, "passage", passage(pid)); err != nil {
-					return nil, err
-				}
-			}
-			if _, ok := ctl.Pending(pid); ok {
-				ready = append(ready, pid)
-			}
-		}
-		if len(ready) == 0 {
-			break
-		}
-		if steps >= cfg.MaxSteps {
-			res.Truncated = true
-			break
-		}
-		if cfg.Timed {
-			if _, err := runner.Step(ready); err != nil {
-				return nil, err
-			}
-		} else if _, err := ctl.Step(free.Next(ready)); err != nil {
-			return nil, err
-		}
-		steps++
-	}
-	if m.Load(csCount) != memsim.Value(res.Passages) && !res.Truncated {
-		res.MutualExclusion = false
-	}
-	res.Events = ctl.Events()
-	if res.Truncated {
-		return res, fmt.Errorf("%w after %d steps", ErrBudget, steps)
-	}
-	return res, nil
+	return &RunResult{
+		Result:          hres,
+		Passages:        w.CompletedPassages(),
+		MutualExclusion: w.MutualExclusion(),
+	}, err
 }

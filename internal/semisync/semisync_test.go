@@ -2,6 +2,7 @@ package semisync
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/memsim"
@@ -123,5 +124,37 @@ func TestFischerO1Writes(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	if _, err := Run(RunConfig{N: 0}); err == nil {
 		t.Fatal("want error for N=0")
+	}
+}
+
+// TestStreamingMatchesBatch: streaming reports of a scoring-only timed run
+// equal a batch Score over the retained trace of the identically-seeded
+// legacy run, for every standard model — the Δ-deadline stepper included.
+func TestStreamingMatchesBatch(t *testing.T) {
+	scorers := model.StandardScorers()
+	for _, timed := range []bool{true, false} {
+		cfg := RunConfig{N: 5, Delta: 4, Passages: 4, Timed: timed, Seed: 6}
+		stream := cfg
+		stream.Scorers = scorers
+		sres, serr := Run(stream)
+		lres, lerr := Run(cfg)
+		if serr != nil && !errors.Is(serr, ErrBudget) {
+			t.Fatal(serr)
+		}
+		if lerr != nil && !errors.Is(lerr, ErrBudget) {
+			t.Fatal(lerr)
+		}
+		if sres.Events != nil {
+			t.Fatalf("timed=%v: scoring-only run retained %d events", timed, len(sres.Events))
+		}
+		if sres.Passages != lres.Passages || sres.MutualExclusion != lres.MutualExclusion {
+			t.Fatalf("timed=%v: streaming (%d, %v) and legacy (%d, %v) runs diverged",
+				timed, sres.Passages, sres.MutualExclusion, lres.Passages, lres.MutualExclusion)
+		}
+		for i, s := range scorers {
+			if got, want := sres.Reports[i], lres.Score(s); !reflect.DeepEqual(got, want) {
+				t.Errorf("timed=%v %s: streaming %+v != batch %+v", timed, s.Name(), got, want)
+			}
+		}
 	}
 }

@@ -12,6 +12,14 @@ import (
 // JSONEvent is the serialized form of one trace event, annotated with both
 // models' costs — a stable interchange format for external tooling
 // (plotting, diffing histories, archiving adversary certificates).
+//
+// addr, addrOwner, value and ret must NOT carry omitempty: 0 is a
+// legitimate value for each (the first allocated address is 0, PID 0 owns
+// DSM-local cells, and 0 is a common register value and return), so
+// omitting zeros would serialize ambiguous traces. Call-boundary events
+// carry addrOwner -1 (NoOwner), never a misleading module 0. Genuinely
+// optional fields (op/wrote and the cost annotations, meaningful only on
+// access events) keep omitempty.
 type JSONEvent struct {
 	Seq     int    `json:"seq"`
 	Kind    string `json:"kind"`
@@ -19,11 +27,11 @@ type JSONEvent struct {
 	CallSeq int    `json:"callSeq"`
 	Proc    string `json:"proc"`
 	Op      string `json:"op,omitempty"`
-	Addr    int    `json:"addr,omitempty"`
-	AddrOwn int    `json:"addrOwner,omitempty"`
-	Value   int64  `json:"value,omitempty"`
+	Addr    int    `json:"addr"`
+	AddrOwn int    `json:"addrOwner"`
+	Value   int64  `json:"value"`
 	Wrote   bool   `json:"wrote,omitempty"`
-	Ret     int64  `json:"ret,omitempty"`
+	Ret     int64  `json:"ret"`
 	RMRCC   bool   `json:"rmrCC,omitempty"`
 	RMRDSM  bool   `json:"rmrDSM,omitempty"`
 	Inval   int    `json:"invalidations,omitempty"`
@@ -46,6 +54,9 @@ func WriteJSON(w io.Writer, events []memsim.Event, owner OwnerFunc, n int) error
 			PID:     int(ev.PID),
 			CallSeq: ev.CallSeq,
 			Proc:    ev.Proc,
+			// Call-boundary events touch no address: their owner is
+			// NoOwner, never module 0.
+			AddrOwn: int(memsim.NoOwner),
 		}
 		switch ev.Kind {
 		case memsim.EvCallStart:

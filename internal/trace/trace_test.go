@@ -179,3 +179,74 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatalf("first CC read must be an RMR: %+v", acc)
 	}
 }
+
+// TestWriteJSONRoundTripZeroValues: addr 0, owner PID 0, value 0 and
+// return 0 are all legitimate and must survive serialization — omitempty
+// on those fields used to drop them, making serialized traces ambiguous
+// (the first allocated address IS 0, PID 0 owns DSM-local cells, and 0 is
+// a common register value and return).
+func TestWriteJSONRoundTripZeroValues(t *testing.T) {
+	owner := ownerFixed(map[memsim.Addr]memsim.PID{0: 0})
+	events := []memsim.Event{
+		{Kind: memsim.EvCallStart, PID: 1, Proc: "passage"},
+		{
+			Kind: memsim.EvAccess,
+			PID:  1,
+			Proc: "passage",
+			Acc:  memsim.Access{Op: memsim.OpRead, Addr: 0},
+			Res:  memsim.Result{Val: 0, OK: true}, // reads 0 from address 0
+		},
+		{Kind: memsim.EvCallEnd, PID: 1, Proc: "passage", Ret: 0},
+	}
+	for i := range events {
+		events[i].Seq = i
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events, owner, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The zero-valued fields must be present in the raw serialization.
+	for _, key := range []string{`"addr":`, `"addrOwner":`, `"value":`, `"ret":`} {
+		if !bytes.Contains(buf.Bytes(), []byte(key)) {
+			t.Errorf("serialized trace omits %s: %s", key, buf.String())
+		}
+	}
+	var decoded JSONTrace
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	acc := decoded.Events[1]
+	if acc.Addr != 0 || acc.AddrOwn != 0 || acc.Value != 0 {
+		t.Fatalf("access event did not round-trip zeros: %+v", acc)
+	}
+	// addr 0 belongs to PID 0's module: remote to PID 1 under DSM. A
+	// serialization that dropped addrOwner could not support this verdict.
+	if !acc.RMRDSM {
+		t.Fatal("read of another module's word must be a DSM RMR")
+	}
+	end := decoded.Events[2]
+	if end.Kind != "callEnd" || end.Ret != 0 {
+		t.Fatalf("call-end event did not round-trip ret 0: %+v", end)
+	}
+	// Call-boundary events touch no address: their owner must be NoOwner,
+	// not a misleading module 0.
+	for _, i := range []int{0, 2} {
+		if own := decoded.Events[i].AddrOwn; own != int(memsim.NoOwner) {
+			t.Fatalf("event %d (%s): addrOwner = %d, want %d",
+				i, decoded.Events[i].Kind, own, memsim.NoOwner)
+		}
+	}
+	// An address NOT owned by any process must still serialize its owner
+	// (-1), distinguishable from module 0.
+	events[1].Acc.Addr = 5
+	buf.Reset()
+	if err := WriteJSON(&buf, events, owner, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Events[1].AddrOwn != int(memsim.NoOwner) {
+		t.Fatalf("global word owner = %d, want %d", decoded.Events[1].AddrOwn, memsim.NoOwner)
+	}
+}

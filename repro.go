@@ -207,30 +207,36 @@ func (r *Runner) apply(cfg Config) Config {
 	return cfg
 }
 
+// mergeInterrupt returns an interrupt channel that fires when ctx is done
+// or when the config's own interrupt fires, whichever comes first. The
+// returned cleanup must run when the run finishes.
+func mergeInterrupt(ctx context.Context, own <-chan struct{}) (<-chan struct{}, func()) {
+	if ctx.Done() == nil {
+		return own, func() {}
+	}
+	if own == nil {
+		return ctx.Done(), func() {}
+	}
+	either := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-own:
+		case <-stop:
+			return
+		}
+		close(either)
+	}()
+	return either, func() { close(stop) }
+}
+
 // runOne executes one config under ctx.
 func (r *Runner) runOne(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = r.apply(cfg)
-	if ctx.Done() != nil {
-		if cfg.Interrupt == nil {
-			cfg.Interrupt = ctx.Done()
-		} else {
-			// The config carries its own interrupt: the run must stop on
-			// whichever of the two fires first.
-			either := make(chan struct{})
-			stop := make(chan struct{})
-			defer close(stop)
-			go func(own <-chan struct{}) {
-				select {
-				case <-ctx.Done():
-				case <-own:
-				case <-stop:
-					return
-				}
-				close(either)
-			}(cfg.Interrupt)
-			cfg.Interrupt = either
-		}
-	}
+	interrupt, cleanup := mergeInterrupt(ctx, cfg.Interrupt)
+	defer cleanup()
+	cfg.Interrupt = interrupt
 	res, err := core.Run(cfg)
 	if err != nil && errors.Is(err, core.ErrInterrupted) && ctx.Err() != nil {
 		return res, ctx.Err()
@@ -267,9 +273,28 @@ func (r *Runner) RunMany(ctx context.Context, cfgs []Config) ([]*Result, error) 
 	}
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
-	workers := r.workers
-	if workers > len(cfgs) {
-		workers = len(cfgs)
+	runPool(ctx, r.workers, len(cfgs), func(i int) {
+		res, err := r.runOne(ctx, cfgs[i])
+		// A config's own interrupt is a deliberate truncation, like a
+		// budget stop; ctx cancellation surfaces as ctx.Err() and leaves
+		// the (timing-dependent) partial result out.
+		if err == nil || errors.Is(err, ErrBudget) || errors.Is(err, ErrInterrupted) {
+			results[i] = res
+		}
+		errs[i] = err
+	})
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, firstHardError(errs)
+}
+
+// runPool dispatches job indices 0..n-1 to a pool of workers goroutines,
+// stopping dispatch early once ctx is cancelled. It is the worker-pool
+// pattern shared by RunMany and SweepLocks.
+func runPool(ctx context.Context, workers, n int, run func(i int)) {
+	if workers > n {
+		workers = n
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -278,20 +303,12 @@ func (r *Runner) RunMany(ctx context.Context, cfgs []Config) ([]*Result, error) 
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := r.runOne(ctx, cfgs[i])
-				// A config's own interrupt is a deliberate truncation,
-				// like a budget stop; ctx cancellation surfaces as
-				// ctx.Err() and leaves the (timing-dependent) partial
-				// result out.
-				if err == nil || errors.Is(err, ErrBudget) || errors.Is(err, ErrInterrupted) {
-					results[i] = res
-				}
-				errs[i] = err
+				run(i)
 			}
 		}()
 	}
 dispatch:
-	for i := range cfgs {
+	for i := 0; i < n; i++ {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -300,16 +317,162 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
+}
 
-	if err := ctx.Err(); err != nil {
-		return results, err
-	}
+// firstHardError returns the first error that is not a deliberate
+// truncation (budget stop or per-config interrupt), or nil.
+func firstHardError(errs []error) error {
 	for _, err := range errs {
 		if err != nil && !errors.Is(err, ErrBudget) && !errors.Is(err, ErrInterrupted) {
-			return results, err
+			return err
 		}
 	}
-	return results, nil
+	return nil
+}
+
+// Lock-workload facade: the contended mutual-exclusion workloads of
+// Section 3 run on the same streaming harness and the same Runner policy
+// as signaling histories.
+type (
+	// LockAlgorithm is a named mutual-exclusion lock construction.
+	LockAlgorithm = mutex.Algorithm
+	// LockConfig describes one contended critical-section workload.
+	LockConfig = mutex.RunConfig
+	// LockResult is the outcome of a lock workload.
+	LockResult = mutex.RunResult
+)
+
+// applyLock merges the runner's policy into one lock config.
+func (r *Runner) applyLock(cfg LockConfig) LockConfig {
+	if len(cfg.Scorers) == 0 {
+		cfg.Scorers = r.models
+	}
+	if !cfg.KeepEvents {
+		cfg.KeepEvents = r.trace
+	}
+	if cfg.Scheduler == nil && r.newSched != nil {
+		cfg.Scheduler = r.newSched()
+	}
+	return cfg
+}
+
+// runLock executes one lock workload under ctx. It uses the exact
+// (streaming) semantics: the legacy unpriced-run trace retention of the
+// package-level mutex.Run does not apply, so a zero-policy runner stays
+// trace-free and unpriced, as on the signaling path.
+func (r *Runner) runLock(ctx context.Context, cfg LockConfig) (*LockResult, error) {
+	cfg = r.applyLock(cfg)
+	interrupt, cleanup := mergeInterrupt(ctx, cfg.Interrupt)
+	defer cleanup()
+	cfg.Interrupt = interrupt
+	res, err := mutex.RunStreaming(cfg)
+	if err != nil && errors.Is(err, ErrInterrupted) && ctx.Err() != nil {
+		return res, ctx.Err()
+	}
+	return res, err
+}
+
+// RunLock executes one contended lock workload under the runner's policy:
+// attached models price the run in a single pass, the trace is retained
+// only under WithTrace, and cancelling the WithContext context interrupts
+// the run between steps.
+func (r *Runner) RunLock(cfg LockConfig) (*LockResult, error) {
+	return r.runLock(r.ctx, cfg)
+}
+
+// LockSweep enumerates a grid of contended lock workloads: every listed
+// algorithm at every process count under every scheduler.
+type LockSweep struct {
+	// Locks are the algorithms to sweep; empty means every lock in the
+	// repository.
+	Locks []LockAlgorithm
+	// Ns are the process counts; empty means {2, 4, 8, 16}.
+	Ns []int
+	// Schedulers are factories minting one fresh scheduler per grid cell
+	// (schedulers are stateful and cells run concurrently); nil means a
+	// single seeded-random axis (seed 1).
+	Schedulers []func() Scheduler
+	// Passages per process (default 8).
+	Passages int
+	// MaxSteps bounds each cell (default 4e6, the experiment-suite
+	// budget).
+	MaxSteps int
+}
+
+// LockCell is one completed cell of a lock sweep.
+type LockCell struct {
+	// Lock is the algorithm name.
+	Lock string
+	// N is the process count.
+	N int
+	// Sched indexes the sweep's scheduler axis.
+	Sched int
+	// Result is the cell's outcome; nil if the sweep was cancelled before
+	// the cell completed.
+	Result *LockResult
+}
+
+// SweepLocks runs the full grid of sw on the runner's worker pool and
+// returns the cells in deterministic grid order (lock-major, then N, then
+// scheduler). Each cell is an independent deterministic simulation with
+// its own freshly-minted scheduler, so the results are a function of the
+// sweep alone, whatever the worker count. Budget-truncated cells count as
+// successes (LockResult.Truncated set); when ctx is cancelled mid-sweep,
+// SweepLocks stops promptly and returns the completed cells together with
+// ctx.Err(). A nil ctx falls back to the WithContext context.
+func (r *Runner) SweepLocks(ctx context.Context, sw LockSweep) ([]LockCell, error) {
+	if ctx == nil {
+		ctx = r.ctx
+	}
+	locks := sw.Locks
+	if len(locks) == 0 {
+		locks = mutex.All()
+	}
+	ns := sw.Ns
+	if len(ns) == 0 {
+		ns = []int{2, 4, 8, 16}
+	}
+	scheds := sw.Schedulers
+	if len(scheds) == 0 {
+		scheds = []func() Scheduler{func() Scheduler { return sched.NewRandom(1) }}
+	}
+	passages := sw.Passages
+	if passages < 1 {
+		passages = 8
+	}
+	maxSteps := sw.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 4_000_000
+	}
+
+	cells := make([]LockCell, 0, len(locks)*len(ns)*len(scheds))
+	cfgs := make([]LockConfig, 0, cap(cells))
+	for _, lk := range locks {
+		for _, n := range ns {
+			for si, mint := range scheds {
+				cells = append(cells, LockCell{Lock: lk.Name, N: n, Sched: si})
+				cfgs = append(cfgs, LockConfig{
+					Lock:      lk,
+					N:         n,
+					Passages:  passages,
+					MaxSteps:  maxSteps,
+					Scheduler: mint(),
+				})
+			}
+		}
+	}
+	errs := make([]error, len(cells))
+	runPool(ctx, r.workers, len(cells), func(i int) {
+		res, err := r.runLock(ctx, cfgs[i])
+		if err == nil || errors.Is(err, ErrBudget) || errors.Is(err, ErrInterrupted) {
+			cells[i].Result = res
+		}
+		errs[i] = err
+	})
+	if err := ctx.Err(); err != nil {
+		return cells, err
+	}
+	return cells, firstHardError(errs)
 }
 
 // Run simulates one history of the signaling problem on the legacy
