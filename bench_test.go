@@ -512,6 +512,65 @@ func BenchmarkAblationEviction(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineStep contrasts the two engine tiers on identical
+// workloads: "resumable" dispatches explicit state machines inline (zero
+// goroutines, zero channel operations per step); "blocking" drives the
+// same algorithms' blocking programs through the pooled FromBlocking
+// adapter (two channel handshakes per step, as before the migration). The
+// signaling pair is a contended flag workload through core.Run; the lock
+// pair a contended MCS workload through the harness. ns/step, ns/op and
+// allocs/op are the paper-relevant metrics; the resumable tier must be
+// strictly faster on all of them.
+func BenchmarkEngineStep(b *testing.B) {
+	sigBase := core.Config{
+		Algorithm:   signal.Flag(),
+		N:           8,
+		MaxPolls:    256,
+		SignalAfter: 4_000,
+		MaxSteps:    2_000_000,
+	}
+	runSig := func(b *testing.B, force bool) {
+		b.ReportAllocs()
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			cfg := sigBase
+			cfg.ForceBlocking = force
+			res := runSignaling(b, cfg)
+			steps = res.Steps
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+	}
+	b.Run("signal/resumable", func(b *testing.B) { runSig(b, false) })
+	b.Run("signal/blocking", func(b *testing.B) { runSig(b, true) })
+
+	lockBase := mutex.RunConfig{
+		Lock:     mutex.MCS(),
+		N:        8,
+		Passages: 64,
+		MaxSteps: 4_000_000,
+	}
+	runLock := func(b *testing.B, force bool) {
+		b.ReportAllocs()
+		steps := 0
+		for i := 0; i < b.N; i++ {
+			cfg := lockBase
+			cfg.ForceBlocking = force
+			cfg.Scheduler = sched.NewRandom(1)
+			res, err := mutex.RunStreaming(cfg)
+			if err != nil && !errors.Is(err, mutex.ErrBudget) {
+				b.Fatal(err)
+			}
+			if !res.MutualExclusion {
+				b.Fatal("mutual exclusion violated")
+			}
+			steps = res.Steps
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+	}
+	b.Run("mcs/resumable", func(b *testing.B) { runLock(b, false) })
+	b.Run("mcs/blocking", func(b *testing.B) { runLock(b, true) })
+}
+
 // BenchmarkScoringAllocs contrasts the two scoring paths on identical
 // workloads priced under all four standard models: "streaming" attaches
 // accumulators and retains no trace (a single pass, O(1) retained events);

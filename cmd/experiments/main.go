@@ -1,0 +1,50 @@
+// Command experiments regenerates the paper's experiment tables (E1–E12
+// plus the ablations) and prints them in the stable textual form of the
+// golden fixtures — the quickest way to eyeball a full reproduction run or
+// to diff two engine configurations.
+//
+// Usage:
+//
+//	experiments            # every table
+//	experiments -id E7     # one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	id := fs.String("id", "", "only the table with this ID (e.g. E7)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tables, err := core.Experiments()
+	if err != nil {
+		return err
+	}
+	printed := 0
+	for _, t := range tables {
+		if *id != "" && t.ID != *id {
+			continue
+		}
+		fmt.Fprint(out, t.Text())
+		printed++
+	}
+	if *id != "" && printed == 0 {
+		return fmt.Errorf("no table with ID %q", *id)
+	}
+	return nil
+}

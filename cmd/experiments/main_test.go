@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "E1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "== E1 ") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+	if strings.Contains(out, "== E2") {
+		t.Fatalf("-id E1 should print only E1: %s", out)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "E99"}, &buf); err == nil {
+		t.Fatal("want error for unknown table ID")
+	}
+}

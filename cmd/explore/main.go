@@ -32,6 +32,8 @@ func run(args []string, out io.Writer) error {
 	waiters := fs.Int("waiters", 2, "number of polling waiters")
 	polls := fs.Int("polls", 2, "polls per waiter")
 	depth := fs.Int("depth", 10, "scheduling-choice depth bound")
+	dedup := fs.Bool("dedup", true,
+		"backtracking engine with state dedup; false forces the legacy replay enumeration (A/B checks)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,11 +57,16 @@ func run(args []string, out io.Writer) error {
 	}
 	scripts[memsim.PID(n-1)] = []memsim.CallKind{memsim.CallSignal}
 
+	engine := explore.EngineAuto
+	if !*dedup {
+		engine = explore.EngineReplay
+	}
 	res, err := explore.Run(explore.Config{
 		Factory:  alg.New,
 		N:        n,
 		Scripts:  scripts,
 		MaxDepth: *depth,
+		Engine:   engine,
 		Check: func(events []memsim.Event) error {
 			if vs := signal.CheckSpec(events); len(vs) > 0 {
 				return vs[0]
@@ -72,5 +79,7 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "%s: %d interleavings explored (%d truncated at depth %d), specification holds on all\n",
 		alg.Name, res.Paths, res.Truncated, *depth)
+	fmt.Fprintf(out, "engine: %s, states deduped: %d, max depth reached: %d\n",
+		res.Engine, res.StatesDeduped, res.MaxDepthReached)
 	return nil
 }

@@ -14,6 +14,20 @@ func TestRunExplore(t *testing.T) {
 	if !strings.Contains(buf.String(), "specification holds on all") {
 		t.Fatalf("unexpected output: %s", buf.String())
 	}
+	if !strings.Contains(buf.String(), "engine: backtracking+dedup") ||
+		!strings.Contains(buf.String(), "states deduped:") {
+		t.Fatalf("missing engine statistics: %s", buf.String())
+	}
+}
+
+func TestRunExploreLegacyEngine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-alg", "flag", "-waiters", "2", "-polls", "2", "-depth", "8", "-dedup=false"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "engine: replay") {
+		t.Fatalf("-dedup=false should force the replay engine: %s", buf.String())
+	}
 }
 
 func TestRunExploreRejectsBlockingOnly(t *testing.T) {

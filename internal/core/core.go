@@ -80,7 +80,18 @@ type Config struct {
 	// truncated Result. Runner wires a context.Context's Done channel
 	// here.
 	Interrupt <-chan struct{}
+	// ForceBlocking pins the run to the blocking engine tier even when
+	// the algorithm has native resumable programs — the A/B knob behind
+	// engine-equivalence tests and BenchmarkEngineStep. Traces are
+	// identical either way.
+	ForceBlocking bool
 }
+
+// forceBlockingDefault flips every core.Run onto the blocking engine tier;
+// the experiments equivalence test uses it to regenerate E1–E8 and the
+// ablations on the compatibility path without threading a knob through
+// every experiment constructor.
+var forceBlockingDefault = false
 
 // normalize fills defaults and validates.
 func (c *Config) normalize() error {
@@ -211,6 +222,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer exec.Close()
+	exec.ForceBlocking(cfg.ForceBlocking || forceBlockingDefault)
 
 	res := &Result{Returns: make(map[memsim.PID][]memsim.Value, cfg.N)}
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +31,21 @@ type Table struct {
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cols ...string) { t.Rows = append(t.Rows, cols) }
+
+// Text renders the table in a stable one-line-per-row form — the format of
+// the golden experiment fixtures (testdata/experiments.golden) and of
+// cmd/experiments.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s %s\n", t.ID, t.Title)
+	b.WriteString(strings.Join(t.Header, " | "))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, " | "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
 
 func itoa(v int) string { return strconv.Itoa(v) }
 

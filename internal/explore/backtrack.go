@@ -1,0 +1,381 @@
+package explore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/memsim"
+)
+
+// The backtracking engine keeps a single execution alive for the whole
+// exploration. Process state is held in resumable frames (plain copyable
+// structs, snapshotted per tree node via memsim.CloneResumable) and shared
+// memory is wound back through the machine's undo log, so moving to a
+// sibling schedule retracts one decision instead of replaying the prefix.
+// With dedup enabled, a canonical hash of (machine words, LL reservations,
+// frames, pending calls, script progress) prunes subtrees whose root state
+// was already explored with at least as much remaining depth budget.
+//
+// The engine emits exactly the events the Controller would: its settle
+// order, call bookkeeping and sequence numbering replicate
+// memsim.Controller and the replay engine's drive loop, which the
+// engine-equivalence tests pin down (same Paths, Truncated and Check
+// outcomes as EngineReplay when dedup is off).
+
+// backtrackable reports whether every scripted (process, call) pair of cfg
+// resolves to a resumable program, i.e. whether the backtracking engine can
+// run the workload. Probing mints frames without executing them, so it has
+// no side effects on a fresh deployment.
+func backtrackable(cfg Config) bool {
+	e, err := memsim.NewExecution(cfg.Factory, cfg.N)
+	if err != nil {
+		return false // let the replay engine surface the deployment error
+	}
+	defer e.Close()
+	ri, ok := e.Instance().(memsim.ResumableInstance)
+	if !ok {
+		return false
+	}
+	for pid, script := range cfg.Scripts {
+		probed := map[memsim.CallKind]bool{}
+		for _, kind := range script {
+			if probed[kind] {
+				continue
+			}
+			probed[kind] = true
+			if _, err := ri.ResumableProgram(pid, kind); err != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// procPhase mirrors the controller's view of one process.
+type bPhase uint8
+
+const (
+	bIdle bPhase = iota
+	bPending
+	bDone
+)
+
+// bengine is the mutable exploration state: one machine, one frame per
+// process, the trace so far, and the machine undo log.
+type bengine struct {
+	mach     *memsim.Machine
+	inst     memsim.ResumableInstance
+	n        int
+	scripts  map[memsim.PID][]memsim.CallKind
+	frames   []memsim.Resumable
+	phase    []bPhase
+	pending  []memsim.Access
+	rets     []memsim.Value
+	calls    []int
+	kinds    []memsim.CallKind
+	progress []int
+	events   []memsim.Event
+	seq      int
+	undos    []memsim.Undo
+	desc     []string // applied choices, for failure reports
+
+	// Specification-monitor bits: the prefix facts Specification 4.1's
+	// checker conditions on, folded into the dedup key so that two states
+	// merge only when their spec-relevant pasts agree (a poll that began
+	// after the first completed Signal must never merge with one that
+	// began before it — "poll-false" distinguishes them).
+	sigStarted  bool   // some Signal call has begun
+	sigEnded    bool   // some Signal call has completed
+	afterSigEnd []bool // per process: open call began after the first Signal completed
+}
+
+func newBengine(cfg Config) (*bengine, error) {
+	m := memsim.NewMachine(cfg.N)
+	inst, err := cfg.Factory(m, cfg.N)
+	if err != nil {
+		return nil, fmt.Errorf("deploy instance: %w", err)
+	}
+	ri, ok := inst.(memsim.ResumableInstance)
+	if !ok {
+		return nil, fmt.Errorf("explore: %T has no resumable tier; use EngineReplay", inst)
+	}
+	return &bengine{
+		mach:     m,
+		inst:     ri,
+		n:        cfg.N,
+		scripts:  cfg.Scripts,
+		frames:   make([]memsim.Resumable, cfg.N),
+		phase:    make([]bPhase, cfg.N),
+		pending:  make([]memsim.Access, cfg.N),
+		rets:     make([]memsim.Value, cfg.N),
+		calls:    make([]int, cfg.N),
+		kinds:    make([]memsim.CallKind, cfg.N),
+		progress: make([]int, cfg.N),
+
+		afterSigEnd: make([]bool, cfg.N),
+	}, nil
+}
+
+func (e *bengine) emit(ev memsim.Event) {
+	ev.Seq = e.seq
+	e.seq++
+	e.events = append(e.events, ev)
+}
+
+// advance feeds prev into pid's frame and records its next scheduling point.
+func (e *bengine) advance(pid memsim.PID, prev memsim.Result) {
+	if acc, ok := e.frames[pid].Next(prev); ok {
+		e.pending[pid] = acc
+		e.phase[pid] = bPending
+	} else {
+		e.rets[pid] = e.frames[pid].Return()
+		e.phase[pid] = bDone
+	}
+}
+
+// settle collects completed calls (eagerly, so call-end events get the
+// earliest consistent position, exactly like the replay engine) and returns
+// the open scheduling choices in deterministic order.
+func (e *bengine) settle() []choice {
+	var choices []choice
+	for pid := 0; pid < e.n; pid++ {
+		p := memsim.PID(pid)
+		script, ok := e.scripts[p]
+		if !ok {
+			continue
+		}
+		if e.phase[p] == bDone {
+			kind := e.kinds[p]
+			e.emit(memsim.Event{
+				Kind: memsim.EvCallEnd, PID: p, CallSeq: e.calls[p] - 1,
+				Proc: kind.String(), Ret: e.rets[p],
+			})
+			e.phase[p] = bIdle
+			e.frames[p] = nil
+			if kind == memsim.CallSignal {
+				e.sigEnded = true
+			}
+			if kind == memsim.CallPoll && e.rets[p] != 0 {
+				// The waiter observed the signal; the problem statement
+				// says it stops polling.
+				e.progress[p] = len(script)
+			}
+		}
+		if e.phase[p] == bPending {
+			choices = append(choices, choice{pid: p})
+			continue
+		}
+		if e.phase[p] == bIdle && e.progress[p] < len(script) {
+			choices = append(choices, choice{pid: p, start: true})
+		}
+	}
+	return choices
+}
+
+// apply performs one scheduling decision: start pid's next scripted call,
+// or grant its pending access (logging the machine undo).
+func (e *bengine) apply(c choice) error {
+	p := c.pid
+	if c.start {
+		kind := e.scripts[p][e.progress[p]]
+		r, err := e.inst.ResumableProgram(p, kind)
+		if err != nil {
+			return fmt.Errorf("explore: start %v on p%d: %w", kind, p, err)
+		}
+		e.progress[p]++
+		e.kinds[p] = kind
+		e.frames[p] = r
+		e.afterSigEnd[p] = e.sigEnded
+		if kind == memsim.CallSignal {
+			e.sigStarted = true
+		}
+		e.emit(memsim.Event{Kind: memsim.EvCallStart, PID: p, CallSeq: e.calls[p], Proc: kind.String()})
+		e.calls[p]++
+		e.advance(p, memsim.Result{})
+	} else {
+		res, undo := e.mach.ApplyLogged(p, e.pending[p])
+		e.undos = append(e.undos, undo)
+		e.emit(memsim.Event{
+			Kind: memsim.EvAccess, PID: p, CallSeq: e.calls[p] - 1,
+			Proc: e.kinds[p].String(), Acc: e.pending[p], Res: res,
+		})
+		e.advance(p, res)
+	}
+	e.desc = append(e.desc, c.String())
+	return nil
+}
+
+// mark is one node's snapshot: cloned frames plus the small per-process
+// scheduler arrays, and the high-water marks of the append-only logs
+// (events, undo records, choice descriptions).
+type mark struct {
+	frames   []memsim.Resumable
+	phase    []bPhase
+	pending  []memsim.Access
+	rets     []memsim.Value
+	calls    []int
+	kinds    []memsim.CallKind
+	progress []int
+	events   int
+	seq      int
+	undos    int
+	desc     int
+
+	sigStarted  bool
+	sigEnded    bool
+	afterSigEnd []bool
+}
+
+func (e *bengine) save() mark {
+	m := mark{
+		frames:   make([]memsim.Resumable, e.n),
+		phase:    append([]bPhase(nil), e.phase...),
+		pending:  append([]memsim.Access(nil), e.pending...),
+		rets:     append([]memsim.Value(nil), e.rets...),
+		calls:    append([]int(nil), e.calls...),
+		kinds:    append([]memsim.CallKind(nil), e.kinds...),
+		progress: append([]int(nil), e.progress...),
+		events:   len(e.events),
+		seq:      e.seq,
+		undos:    len(e.undos),
+		desc:     len(e.desc),
+
+		sigStarted:  e.sigStarted,
+		sigEnded:    e.sigEnded,
+		afterSigEnd: append([]bool(nil), e.afterSigEnd...),
+	}
+	for i, f := range e.frames {
+		m.frames[i] = memsim.CloneResumable(f)
+	}
+	return m
+}
+
+// restore winds the engine back to m: machine undos revert in reverse
+// order, the scheduler arrays copy back, and the logs truncate. Frames are
+// re-cloned so the mark stays pristine for further siblings.
+func (e *bengine) restore(m mark) {
+	for i := len(e.undos) - 1; i >= m.undos; i-- {
+		e.mach.Revert(e.undos[i])
+	}
+	e.undos = e.undos[:m.undos]
+	for i := range m.frames {
+		e.frames[i] = memsim.CloneResumable(m.frames[i])
+	}
+	copy(e.phase, m.phase)
+	copy(e.pending, m.pending)
+	copy(e.rets, m.rets)
+	copy(e.calls, m.calls)
+	copy(e.kinds, m.kinds)
+	copy(e.progress, m.progress)
+	e.events = e.events[:m.events]
+	e.seq = m.seq
+	e.desc = e.desc[:m.desc]
+	e.sigStarted = m.sigStarted
+	e.sigEnded = m.sigEnded
+	copy(e.afterSigEnd, m.afterSigEnd)
+}
+
+// stateKey hashes the canonical post-settle state: machine word values and
+// will-succeed LL reservations (version counters and writer history do not
+// affect future behavior), the specification-monitor bits (two states with
+// different spec-relevant pasts must never merge), plus each scripted
+// process's frame, pending access, call count and script position. Frames
+// encode through memsim.EncodeFrameState, so sub-frames hash by content
+// rather than by (clone-dependent) heap address. 128-bit FNV keeps
+// accidental collisions out of reach for any bounded exploration.
+func (e *bengine) stateKey() [16]byte {
+	h := fnv.New128a()
+	for a := 0; a < e.mach.Size(); a++ {
+		fmt.Fprintf(h, "w%d;", e.mach.Load(memsim.Addr(a)))
+	}
+	for pid := 0; pid < e.n; pid++ {
+		if addr, ok := e.mach.LLState(memsim.PID(pid)); ok {
+			fmt.Fprintf(h, "ll%d=%d;", pid, addr)
+		}
+	}
+	fmt.Fprintf(h, "sig%v,%v;", e.sigStarted, e.sigEnded)
+	for pid := 0; pid < e.n; pid++ {
+		p := memsim.PID(pid)
+		if _, ok := e.scripts[p]; !ok {
+			continue
+		}
+		fmt.Fprintf(h, "p%d:%d,%d,%d,%v;", pid, e.phase[p], e.calls[p], e.progress[p],
+			e.phase[p] != bIdle && e.afterSigEnd[p])
+		if e.phase[p] == bPending {
+			acc := e.pending[p]
+			fmt.Fprintf(h, "a%d,%d,%d,%d;", acc.Op, acc.Addr, acc.Arg1, acc.Arg2)
+		}
+		if f := e.frames[p]; f != nil {
+			io.WriteString(h, "f")
+			memsim.EncodeFrameState(h, f)
+			io.WriteString(h, ";")
+		}
+	}
+	var key [16]byte
+	copy(key[:], h.Sum(nil))
+	return key
+}
+
+// runBacktrack drives the backtracking DFS, with or without state dedup.
+func runBacktrack(cfg Config, dedup bool) (*Result, error) {
+	e, err := newBengine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	engine := EngineBacktrack
+	if dedup {
+		engine = EngineBacktrackDedup
+	}
+	res := &Result{Engine: engine}
+	var seen map[[16]byte]int
+	if dedup {
+		seen = make(map[[16]byte]int)
+	}
+
+	var dfs func(depth int) error
+	dfs = func(depth int) error {
+		if depth > res.MaxDepthReached {
+			res.MaxDepthReached = depth
+		}
+		choices := e.settle()
+		if len(choices) == 0 || depth >= cfg.MaxDepth {
+			res.Paths++
+			if len(choices) != 0 {
+				res.Truncated++
+			}
+			if err := cfg.Check(e.events); err != nil {
+				schedule := append([]string(nil), e.desc...)
+				return fmt.Errorf("explore: property failed on schedule %v: %w", schedule, err)
+			}
+			return nil
+		}
+		if dedup {
+			key := e.stateKey()
+			remaining := cfg.MaxDepth - depth
+			if best, ok := seen[key]; ok && best >= remaining {
+				res.StatesDeduped++
+				return nil
+			}
+			seen[key] = remaining
+		}
+		// One snapshot serves every sibling: restore re-clones from the
+		// mark and leaves the engine exactly at this node's post-settle
+		// state, so the mark stays pristine across iterations.
+		m := e.save()
+		for _, c := range choices {
+			if err := e.apply(c); err != nil {
+				return err
+			}
+			if err := dfs(depth + 1); err != nil {
+				return err
+			}
+			e.restore(m)
+		}
+		return nil
+	}
+	if err := dfs(0); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -16,6 +16,18 @@
 // Following the problem statement ("a process may call Poll() arbitrarily
 // many times until such a call returns true"), a process abandons the rest
 // of its script once a Poll call returns true.
+//
+// Two engines enumerate the schedule tree. The backtracking engine (the
+// default for algorithms with a resumable tier) keeps ONE execution alive:
+// process state lives in copyable resumable frames and shared memory
+// reverts through the machine's undo log, so moving between adjacent paths
+// retracts a step instead of replaying the whole prefix, and canonical
+// state hashing skips subtrees that converge to an already-explored
+// (machine, frames, pending-calls) state. The replay engine re-runs the
+// shared prefix for every path (total work ≈ paths × depth) and drives
+// blocking programs on goroutines; it remains both the fallback for
+// algorithms without resumable forms and the reference enumeration the
+// backtracking engine is equivalence-tested against.
 package explore
 
 import (
@@ -24,6 +36,50 @@ import (
 
 	"repro/internal/memsim"
 )
+
+// Engine selects how the schedule tree is enumerated.
+type Engine int
+
+// The exploration engines.
+const (
+	// EngineAuto picks backtracking with state dedup when the deployed
+	// instance provides resumable programs for every scripted call, and
+	// falls back to the replay engine otherwise.
+	EngineAuto Engine = iota
+	// EngineReplay is the legacy enumeration: replay the shared prefix
+	// for every path (work ≈ paths × depth).
+	EngineReplay
+	// EngineBacktrack is the backtracking DFS without state dedup: it
+	// visits exactly the histories EngineReplay visits, in the same
+	// order — the A/B configuration of the equivalence tests.
+	EngineBacktrack
+	// EngineBacktrackDedup additionally skips subtrees rooted at an
+	// already-explored canonical state (with at least as much remaining
+	// depth budget), which is what unlocks larger configurations. The
+	// canonical state includes the Specification 4.1 monitor bits
+	// (whether a Signal has begun/completed, and whether each open call
+	// began after the first completed Signal), so pruning is sound for
+	// CheckSpec and any other property that is a function of that state
+	// plus the continuation; a Check that conditions on other prefix
+	// details should use EngineBacktrack or EngineReplay.
+	EngineBacktrackDedup
+)
+
+// String names the engine for reports and CLIs.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineReplay:
+		return "replay"
+	case EngineBacktrack:
+		return "backtracking"
+	case EngineBacktrackDedup:
+		return "backtracking+dedup"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
 
 // Config describes the workload to explore.
 type Config struct {
@@ -42,6 +98,9 @@ type Config struct {
 	// aborts the exploration and is reported with the offending
 	// schedule.
 	Check func(events []memsim.Event) error
+	// Engine selects the enumeration strategy; the zero value is
+	// EngineAuto.
+	Engine Engine
 }
 
 // Result summarizes an exploration.
@@ -50,6 +109,15 @@ type Result struct {
 	Paths int
 	// Truncated counts histories cut off by MaxDepth.
 	Truncated int
+	// StatesDeduped counts subtrees skipped because their root state had
+	// already been explored with at least as much depth budget (always 0
+	// on the replay and plain backtracking engines).
+	StatesDeduped int
+	// MaxDepthReached is the deepest scheduling-choice depth any explored
+	// path attained.
+	MaxDepthReached int
+	// Engine is the engine that actually ran (EngineAuto resolved).
+	Engine Engine
 }
 
 // choice is one scheduling decision: apply pid's pending access, or start
@@ -67,9 +135,9 @@ func (c choice) String() string {
 	return fmt.Sprintf("p%d", c.pid)
 }
 
-// Run exhaustively enumerates schedules in depth-first lexicographic order.
-// To step from one path to the next it replays the shared prefix, which
-// keeps total work near paths × depth.
+// Run exhaustively enumerates schedules in depth-first lexicographic order
+// on the configured engine (see Engine; the default picks backtracking
+// with state dedup whenever the algorithm has a resumable tier).
 func Run(cfg Config) (*Result, error) {
 	if cfg.Factory == nil || cfg.Check == nil {
 		return nil, errors.New("explore: config requires Factory and Check")
@@ -77,7 +145,26 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.MaxDepth <= 0 {
 		cfg.MaxDepth = 12
 	}
-	res := &Result{}
+	switch cfg.Engine {
+	case EngineReplay:
+		return runReplay(cfg)
+	case EngineBacktrack:
+		return runBacktrack(cfg, false)
+	case EngineBacktrackDedup:
+		return runBacktrack(cfg, true)
+	default:
+		if backtrackable(cfg) {
+			return runBacktrack(cfg, true)
+		}
+		return runReplay(cfg)
+	}
+}
+
+// runReplay is the legacy engine: enumerate schedules by replaying the
+// shared prefix of adjacent paths, which keeps total work near
+// paths × depth. Blocking programs run on (pooled) goroutines.
+func runReplay(cfg Config) (*Result, error) {
+	res := &Result{Engine: EngineReplay}
 	var path []int // path[i]: index into the choice set at depth i
 	for {
 		exec, choiceSets, truncated, err := replayPath(cfg, path)
@@ -87,6 +174,9 @@ func Run(cfg Config) (*Result, error) {
 		res.Paths++
 		if truncated {
 			res.Truncated++
+		}
+		if len(choiceSets) > res.MaxDepthReached {
+			res.MaxDepthReached = len(choiceSets)
 		}
 		if err := cfg.Check(exec.Events()); err != nil {
 			schedule := describeSchedule(choiceSets, path)

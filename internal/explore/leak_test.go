@@ -1,0 +1,76 @@
+package explore
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/memsim"
+	"repro/internal/signal"
+)
+
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestNoGoroutineLeakAfterReplayTruncation: the replay engine spawns
+// (pooled) process goroutines and truncates thousands of histories at the
+// depth bound, aborting parked calls each time; none may outlive the run.
+func TestNoGoroutineLeakAfterReplayTruncation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	res, err := Run(Config{
+		Factory: signal.QueueSignal().New,
+		N:       4,
+		Scripts: map[memsim.PID][]memsim.CallKind{
+			0: {memsim.CallPoll, memsim.CallPoll},
+			1: {memsim.CallPoll, memsim.CallPoll},
+			3: {memsim.CallSignal},
+		},
+		MaxDepth: 7,
+		Engine:   EngineReplay,
+		Check:    specCheck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated == 0 {
+		t.Fatal("expected truncated histories at depth 7")
+	}
+	settleGoroutines(t, base)
+}
+
+// TestNoGoroutineLeakBacktracking: the backtracking engine must not touch
+// the goroutine count at all, however many histories it truncates.
+func TestNoGoroutineLeakBacktracking(t *testing.T) {
+	base := runtime.NumGoroutine()
+	res, err := Run(Config{
+		Factory: signal.QueueSignal().New,
+		N:       4,
+		Scripts: map[memsim.PID][]memsim.CallKind{
+			0: {memsim.CallPoll, memsim.CallPoll},
+			1: {memsim.CallPoll, memsim.CallPoll},
+			3: {memsim.CallSignal},
+		},
+		MaxDepth: 7,
+		Engine:   EngineBacktrackDedup,
+		Check:    specCheck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated == 0 {
+		t.Fatal("expected truncated histories at depth 7")
+	}
+	if got := runtime.NumGoroutine(); got != base {
+		t.Fatalf("backtracking engine changed goroutine count: %d -> %d", base, got)
+	}
+}

@@ -52,6 +52,22 @@ type Workload interface {
 	Done(pid memsim.PID, ret memsim.Value)
 }
 
+// ResumableWorkload is a Workload that can mint its procedure calls in
+// native resumable form (explicit state machines the controller dispatches
+// inline, with zero goroutines and zero channel operations). The harness
+// asks CanResume once after Deploy; when true, every call starts through
+// NextResumable instead of Next. Both forms must issue identical access
+// sequences, so the engine tier never changes a trace.
+type ResumableWorkload interface {
+	Workload
+	// CanResume reports whether the deployed workload supports the
+	// resumable tier (e.g. the lock under test provides frames).
+	CanResume() bool
+	// NextResumable mirrors Next, minting a resumable frame instead of a
+	// blocking program. It performs the same per-process accounting.
+	NextResumable(pid memsim.PID) (name string, r memsim.Resumable, ok bool)
+}
+
 // Verifier is implemented by workloads with a final whole-machine check
 // (e.g. lost-update detection over a critical-section counter). Verify
 // runs after the drive loop, with truncated reporting whether the run was
@@ -96,6 +112,11 @@ type Config struct {
 	// closed (or receives), the run stops and returns ErrInterrupted
 	// with the truncated Result.
 	Interrupt <-chan struct{}
+	// ForceBlocking pins the run to the blocking engine tier even when
+	// the workload supports resumable dispatch — the A/B knob behind
+	// engine-equivalence tests and benchmarks. Traces are identical
+	// either way.
+	ForceBlocking bool
 }
 
 // Result is the outcome of a harness run. Workload-specific verdicts
@@ -220,6 +241,26 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	// Pick the engine tier once: workloads with resumable frames run
+	// inline (no goroutines); everything else goes through the pooled
+	// blocking adapter.
+	var resumable ResumableWorkload
+	if rw, ok := w.(ResumableWorkload); ok && !cfg.ForceBlocking && rw.CanResume() {
+		resumable = rw
+	}
+	start := func(pid memsim.PID) error {
+		if resumable != nil {
+			if name, r, ok := resumable.NextResumable(pid); ok {
+				return ctl.StartResumable(pid, name, r)
+			}
+			return nil
+		}
+		if name, prog, ok := w.Next(pid); ok {
+			return ctl.StartCall(pid, name, prog)
+		}
+		return nil
+	}
+
 	step := func(ready []memsim.PID) error {
 		_, err := ctl.Step(cfg.Scheduler.Next(ready))
 		return err
@@ -261,10 +302,8 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			if ctl.Idle(pid) {
-				if name, prog, ok := w.Next(pid); ok {
-					if err := ctl.StartCall(pid, name, prog); err != nil {
-						return nil, err
-					}
+				if err := start(pid); err != nil {
+					return nil, err
 				}
 			}
 			if _, ok := ctl.Pending(pid); ok {

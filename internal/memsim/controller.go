@@ -88,9 +88,8 @@ const (
 
 type procState struct {
 	phase   procPhase
-	proc    *Proc
+	frame   Resumable
 	pending Access
-	done    chan Value
 	ret     Value
 	calls   int    // number of calls started
 	name    string // current procedure name
@@ -108,6 +107,14 @@ type EventSink func(Event)
 // needs: start a procedure call on a process, inspect the process's pending
 // access before it is applied, grant one step, and observe call completion.
 //
+// Calls run on one of two engine tiers. Native Resumable programs
+// (StartResumable, or an Instance implementing ResumableInstance) are
+// dispatched inline: advancing a process is a plain method call with zero
+// goroutines and zero channel operations. Blocking Programs (StartCall)
+// keep working through the FromBlocking adapter, which relays scheduling
+// points over channels from a pooled handoff goroutine. Both tiers produce
+// identical traces for identical schedules.
+//
 // Controller records the full execution trace (accesses and call
 // boundaries) by default, for cost models that score after the fact;
 // streaming consumers attach EventSinks instead and may switch retention
@@ -120,6 +127,7 @@ type Controller struct {
 	seq     int
 	sinks   []EventSink
 	discard bool
+	pool    *WorkerPool
 }
 
 // NewController returns a controller over m with no active calls. Event
@@ -154,53 +162,58 @@ func (c *Controller) Idle(pid PID) bool { return c.procs[pid].phase == phaseIdle
 // Calls returns how many procedure calls pid has started.
 func (c *Controller) Calls(pid PID) int { return c.procs[pid].calls }
 
+// Pool returns the controller's worker pool for blocking-program adapters,
+// creating it on first use. The pool is sized to the machine's process
+// count — at most one call per process is ever active.
+func (c *Controller) Pool() *WorkerPool {
+	if c.pool == nil {
+		c.pool = NewWorkerPool(len(c.procs))
+	}
+	return c.pool
+}
+
 // StartCall begins an invocation of prog (named name, e.g. "Poll") on
 // process pid and runs the process until it either submits its first
 // shared-memory access or completes. It returns an error if pid already has
-// an active call.
+// an active call. The program runs on a pooled handoff goroutine; native
+// state machines go through StartResumable instead and need no goroutine
+// at all.
 func (c *Controller) StartCall(pid PID, name string, prog Program) error {
+	if st := &c.procs[pid]; st.phase != phaseIdle {
+		return fmt.Errorf("memsim: process %d already has an active %s call", pid, st.name)
+	}
+	return c.StartResumable(pid, name, c.Pool().FromBlocking(pid, prog))
+}
+
+// StartResumable begins an invocation of the resumable program r (named
+// name) on process pid and advances it until it either submits its first
+// shared-memory access or completes. It returns an error if pid already
+// has an active call. This is the engine's fast path: the frame is
+// dispatched inline on the caller's stack.
+func (c *Controller) StartResumable(pid PID, name string, r Resumable) error {
 	st := &c.procs[pid]
 	if st.phase != phaseIdle {
 		return fmt.Errorf("memsim: process %d already has an active %s call", pid, st.name)
 	}
-	p := &Proc{
-		pid:   pid,
-		req:   make(chan Access),
-		res:   make(chan Result),
-		abort: make(chan struct{}),
-	}
-	done := make(chan Value, 1)
-	st.proc = p
-	st.done = done
+	st.frame = r
 	st.name = name
 	callSeq := st.calls
 	st.calls++
 	c.emit(Event{Kind: EvCallStart, PID: pid, CallSeq: callSeq, Proc: name})
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(procAborted); ok {
-					return
-				}
-				panic(r)
-			}
-		}()
-		done <- prog(p)
-	}()
-	c.settle(pid)
+	c.settle(pid, Result{})
 	return nil
 }
 
-// settle waits until pid either submits an access or completes its call,
-// and updates the phase accordingly.
-func (c *Controller) settle(pid PID) {
+// settle advances pid's frame with the result of its last granted access
+// (zero on call start) and updates the phase to its next scheduling point
+// or to completion.
+func (c *Controller) settle(pid PID, prev Result) {
 	st := &c.procs[pid]
-	select {
-	case acc := <-st.proc.req:
+	if acc, ok := st.frame.Next(prev); ok {
 		st.pending = acc
 		st.phase = phasePending
-	case ret := <-st.done:
-		st.ret = ret
+	} else {
+		st.ret = st.frame.Return()
 		st.phase = phaseDone
 	}
 }
@@ -235,8 +248,7 @@ func (c *Controller) FinishCall(pid PID) (Value, error) {
 	}
 	c.emit(Event{Kind: EvCallEnd, PID: pid, CallSeq: st.calls - 1, Proc: st.name, Ret: st.ret})
 	st.phase = phaseIdle
-	st.proc = nil
-	st.done = nil
+	st.frame = nil
 	return st.ret, nil
 }
 
@@ -258,33 +270,40 @@ func (c *Controller) Step(pid PID) (Event, error) {
 		Res:     res,
 	}
 	c.emit(ev)
-	st.proc.res <- res
-	c.settle(pid)
+	c.settle(pid, res)
 	return ev, nil
 }
 
 // Abort kills pid's active call, if any, without applying its pending
 // access. The process returns to idle; no call-end event is recorded. Abort
 // is a runtime cleanup facility (the logical "erasure" of the lower bound
-// is performed by replaying a filtered schedule instead).
+// is performed by replaying a filtered schedule instead). A native
+// resumable frame is simply dropped; a blocking adapter additionally
+// unwinds its parked program so the handoff goroutine re-pools.
 func (c *Controller) Abort(pid PID) {
 	st := &c.procs[pid]
 	if st.phase == phaseIdle {
 		return
 	}
 	if st.phase == phasePending {
-		close(st.proc.abort)
+		if a, ok := st.frame.(frameAborter); ok {
+			a.abortFrame()
+		}
 	}
-	// A phaseDone goroutine has already exited (done is buffered).
+	// A phaseDone frame holds no goroutine: the blocking adapter's worker
+	// re-pooled itself after delivering the return value.
 	st.phase = phaseIdle
-	st.proc = nil
-	st.done = nil
+	st.frame = nil
 }
 
-// Close aborts all active calls. The controller must not be used afterward.
+// Close aborts all active calls and terminates the blocking-adapter worker
+// pool. The controller must not be used afterward.
 func (c *Controller) Close() {
 	for pid := range c.procs {
 		c.Abort(PID(pid))
+	}
+	if c.pool != nil {
+		c.pool.Close()
 	}
 }
 

@@ -73,11 +73,12 @@ type Factory func(m *Machine, n int) (Instance, error)
 // Execution binds a machine, controller and instance and keeps the action
 // log that makes the run replayable.
 type Execution struct {
-	mach    *Machine
-	ctl     *Controller
-	inst    Instance
-	n       int
-	actions []Action
+	mach     *Machine
+	ctl      *Controller
+	inst     Instance
+	n        int
+	actions  []Action
+	blocking bool // force the blocking engine tier (A/B comparisons)
 }
 
 // NewExecution deploys factory on a fresh machine for n processes.
@@ -136,8 +137,27 @@ func (e *Execution) Pending(pid PID) (Access, bool) { return e.ctl.Pending(pid) 
 // value (without collecting it).
 func (e *Execution) CallEnded(pid PID) (Value, bool) { return e.ctl.CallEnded(pid) }
 
-// Start begins a call of the given kind on pid.
+// ForceBlocking pins the execution to the blocking engine tier even when
+// the instance provides native resumable programs — the A/B knob behind
+// engine-equivalence tests and the BenchmarkEngineStep contrast. Both
+// tiers produce identical traces for identical schedules.
+func (e *Execution) ForceBlocking(force bool) { e.blocking = force }
+
+// Start begins a call of the given kind on pid. Instances that provide a
+// native resumable form of the procedure run it inline (no goroutine); all
+// others run their blocking Program through the pooled adapter.
 func (e *Execution) Start(pid PID, kind CallKind) error {
+	if ri, ok := e.inst.(ResumableInstance); ok && !e.blocking {
+		if r, err := ri.ResumableProgram(pid, kind); err == nil {
+			if err := e.ctl.StartResumable(pid, kind.String(), r); err != nil {
+				return err
+			}
+			e.actions = append(e.actions, Action{Kind: ActStart, PID: pid, Call: kind})
+			return nil
+		}
+		// Fall through: the blocking Program owns this procedure (and its
+		// error reporting) for kinds without a resumable form.
+	}
 	prog, err := e.inst.Program(pid, kind)
 	if err != nil {
 		return err

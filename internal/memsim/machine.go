@@ -169,6 +169,50 @@ func (m *Machine) Apply(pid PID, acc Access) Result {
 	}
 }
 
+// Undo captures exactly the machine state one Apply may overwrite: the
+// accessed word and the acting process's LL reservation. Reverting undos in
+// reverse application order restores the machine bit-for-bit — the undo
+// log that lets the backtracking explorer retract one step instead of
+// replaying the whole prefix.
+type Undo struct {
+	pid  PID
+	addr Addr
+	word word
+	link llink
+}
+
+// ApplyLogged performs acc like Apply and additionally returns the undo
+// record that reverses it.
+func (m *Machine) ApplyLogged(pid PID, acc Access) (Result, Undo) {
+	if int(acc.Addr) < 0 || int(acc.Addr) >= len(m.words) {
+		panic(fmt.Sprintf("memsim: process %d accessed unallocated address %d", pid, acc.Addr))
+	}
+	u := Undo{pid: pid, addr: acc.Addr, word: m.words[acc.Addr], link: m.links[pid]}
+	return m.Apply(pid, acc), u
+}
+
+// Revert undoes one logged Apply. Undos must be reverted in reverse order
+// of application.
+func (m *Machine) Revert(u Undo) {
+	m.words[u.addr] = u.word
+	m.links[u.pid] = u.link
+}
+
+// LLState reports pid's load-linked reservation in canonical form: the
+// reserved address and whether a store-conditional there would still
+// succeed (reservation held and no nontrivial operation intervened). Two
+// machine states with equal word values and equal canonical reservations
+// are behaviorally indistinguishable, which is what the explorer's state
+// dedup keys on.
+func (m *Machine) LLState(pid PID) (Addr, bool) {
+	l := m.links[pid]
+	if !l.valid || l.ver != m.words[l.addr].ver {
+		// A stale reservation fails every SC, exactly like no reservation.
+		return 0, false
+	}
+	return l.addr, true
+}
+
 // overwrite applies a nontrivial operation: it stores v, bumps the version
 // (invalidating LL reservations), and records the writer.
 func (m *Machine) overwrite(pid PID, a Addr, v Value) {

@@ -1,0 +1,269 @@
+package memsim
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+)
+
+// Resumable is the goroutine-free program representation: an explicit state
+// machine that the Controller dispatches inline. Where a blocking Program
+// suspends its goroutine at every shared-memory access (two channel
+// handshakes per step), a Resumable is advanced by plain method calls —
+// zero goroutines, zero channel operations, and its entire call-local state
+// lives in a plain struct (a "frame") that can be copied, which is what the
+// backtracking explorer's undo machinery relies on.
+//
+// Protocol: the controller calls Next with the result of the previously
+// granted access (the zero Result on the first invocation). Next returns
+// the next access the program wants to perform, or ok=false once the call
+// has completed, after which Return yields the call's response.
+//
+// Implementations must be deterministic and must keep all mutable
+// call-local state in the frame itself (no captured variables, no shared
+// scratch), so that a shallow copy of the frame is an independent
+// continuation point.
+type Resumable interface {
+	// Next advances the program by one scheduling point. prev is the
+	// result of the access returned by the previous Next (zero on the
+	// first call). ok=false reports call completion; acc is then ignored.
+	Next(prev Result) (acc Access, ok bool)
+	// Return is the call's response, valid once Next reported completion.
+	Return() Value
+}
+
+// ResumableInstance is an Instance whose procedures also exist in native
+// resumable form. The Execution starts calls through ResumableProgram when
+// available (falling back to the blocking Program on error), so instances
+// migrate procedure by procedure without breaking anything.
+type ResumableInstance interface {
+	Instance
+	// ResumableProgram returns the resumable form of one invocation of the
+	// given procedure by pid. It must issue exactly the same access
+	// sequence as the blocking Program for every schedule.
+	ResumableProgram(pid PID, kind CallKind) (Resumable, error)
+}
+
+// ResumableCloner is implemented by resumable frames that need custom
+// copying — typically frames that hold sub-frames (nested Resumables),
+// which a shallow struct copy would share between the original and the
+// copy. CloneResumable must return an independent continuation point.
+type ResumableCloner interface {
+	CloneResumable() Resumable
+}
+
+// CloneResumable copies a frame so the copy can be resumed independently —
+// the snapshot primitive of the backtracking explorer. Frames implementing
+// ResumableCloner are copied by their own method; all other frames are
+// pointer-to-struct values and get a shallow struct copy, which is correct
+// for the frame discipline this package prescribes (scalar locals in
+// fields; shared references only to immutable deployment data; slices
+// written append-at-index below a frame-held cursor).
+func CloneResumable(r Resumable) Resumable {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.(ResumableCloner); ok {
+		return c.CloneResumable()
+	}
+	v := reflect.ValueOf(r)
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		// Value frames are copied by interface assignment already.
+		return r
+	}
+	c := reflect.New(v.Elem().Type())
+	c.Elem().Set(v.Elem())
+	return c.Interface().(Resumable)
+}
+
+// StateEncoder is implemented by resumable frames whose canonical state
+// encoding differs from their flat fmt rendering: frames holding
+// sub-frames (whose heap addresses differ clone to clone) or slices
+// written below a cursor (whose tails hold branch-dependent garbage).
+// Equal logical states must encode equally and different logical states
+// differently — the contract the explorer's state dedup rests on.
+type StateEncoder interface {
+	EncodeState(w io.Writer)
+}
+
+// EncodeFrameState writes r's canonical mutable state to w: the frame's
+// own StateEncoder when implemented, its flat fmt rendering otherwise. The
+// fmt fallback is canonical only for frames whose pointer fields reference
+// stable per-run singletons (instances, address slices) — exactly the
+// frame discipline this package prescribes; frames that allocate per-call
+// sub-structures must implement StateEncoder.
+func EncodeFrameState(w io.Writer, r Resumable) {
+	if r == nil {
+		io.WriteString(w, "<nil>")
+		return
+	}
+	if e, ok := r.(StateEncoder); ok {
+		fmt.Fprintf(w, "%T{", r)
+		e.EncodeState(w)
+		io.WriteString(w, "}")
+		return
+	}
+	fmt.Fprintf(w, "%T%v", r, r)
+}
+
+// blockJob is one blocking program handed to a pool worker.
+type blockJob struct {
+	prog Program
+	proc *Proc
+	done chan Value
+}
+
+// worker is a reusable handoff goroutine: it runs blocking programs one at
+// a time and parks itself back in its pool between calls, so a run with
+// thousands of procedure calls spawns at most max-concurrency goroutines
+// instead of one per call.
+type worker struct {
+	pool *WorkerPool
+	jobs chan blockJob
+}
+
+func (w *worker) loop() {
+	for job := range w.jobs {
+		w.run(job)
+		if !w.pool.release(w) {
+			return
+		}
+	}
+}
+
+// run executes one blocking program, delivering its return value on the
+// job's done channel. An aborted program unwinds with procAborted and
+// delivers nothing; the worker survives and returns to the pool.
+func (w *worker) run(job blockJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(procAborted); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	job.done <- job.prog(job.proc)
+}
+
+// WorkerPool owns the handoff goroutines behind FromBlocking adapters. It
+// exists so the blocking compatibility path reuses goroutines instead of
+// spawning one per procedure call; Close terminates every idle worker,
+// which is what makes goroutine-leak assertions possible after a run.
+type WorkerPool struct {
+	mu     sync.Mutex
+	free   []*worker
+	max    int
+	closed bool
+}
+
+// NewWorkerPool returns a pool retaining up to max idle workers (a
+// non-positive max keeps 8). Workers are spawned on demand.
+func NewWorkerPool(max int) *WorkerPool {
+	if max <= 0 {
+		max = 8
+	}
+	return &WorkerPool{max: max}
+}
+
+// get pops an idle worker or spawns a fresh one.
+func (p *WorkerPool) get() *worker {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		w := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return w
+	}
+	p.mu.Unlock()
+	w := &worker{pool: p, jobs: make(chan blockJob)}
+	go w.loop()
+	return w
+}
+
+// release parks w back in the pool; false tells the worker to exit (pool
+// closed or at capacity).
+func (p *WorkerPool) release(w *worker) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.free) >= p.max {
+		return false
+	}
+	p.free = append(p.free, w)
+	return true
+}
+
+// Close terminates every idle worker and makes busy workers exit as they
+// finish. The pool must not be used afterward.
+func (p *WorkerPool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, w := range p.free {
+		close(w.jobs)
+	}
+	p.free = nil
+}
+
+// FromBlocking adapts a blocking Program into a Resumable: the program runs
+// on a pooled handoff goroutine and every scheduling point is relayed
+// through the adapter's channels. This is the compatibility tier of the
+// engine — per step it still pays the two channel handshakes the blocking
+// representation requires, but call start-up no longer spawns a goroutine
+// when an idle worker is available. Native Resumable implementations skip
+// all of it.
+func (p *WorkerPool) FromBlocking(pid PID, prog Program) Resumable {
+	proc := &Proc{
+		pid:   pid,
+		req:   make(chan Access),
+		res:   make(chan Result),
+		abort: make(chan struct{}),
+	}
+	f := &blockingFrame{proc: proc, done: make(chan Value, 1)}
+	w := p.get()
+	w.jobs <- blockJob{prog: prog, proc: proc, done: f.done}
+	return f
+}
+
+// blockingFrame drives one blocking program call through the worker's
+// channels, presenting the Resumable interface to the controller.
+type blockingFrame struct {
+	proc    *Proc
+	done    chan Value
+	started bool
+	ret     Value
+}
+
+var _ Resumable = (*blockingFrame)(nil)
+
+// Next implements Resumable: deliver the previous result to the parked
+// program (except on the first call) and wait for its next access or its
+// completion.
+func (f *blockingFrame) Next(prev Result) (Access, bool) {
+	if !f.started {
+		f.started = true
+	} else {
+		f.proc.res <- prev
+	}
+	select {
+	case acc := <-f.proc.req:
+		return acc, true
+	case ret := <-f.done:
+		f.ret = ret
+		return Access{}, false
+	}
+}
+
+// Return implements Resumable.
+func (f *blockingFrame) Return() Value { return f.ret }
+
+// abortFrame kills the parked program; the worker survives and re-pools.
+func (f *blockingFrame) abortFrame() { close(f.proc.abort) }
+
+// frameAborter is what Controller.Abort looks for: only the blocking
+// adapter has a goroutine to kill; native frames are simply dropped.
+type frameAborter interface{ abortFrame() }

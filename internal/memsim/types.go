@@ -113,6 +113,39 @@ func (a Access) String() string {
 	return s
 }
 
+// Access constructors, the vocabulary of resumable frames: one per atomic
+// primitive, mirroring the Proc methods of the blocking representation.
+
+// AccRead builds a read access.
+func AccRead(a Addr) Access { return Access{Op: OpRead, Addr: a} }
+
+// AccWrite builds a write access storing v.
+func AccWrite(a Addr, v Value) Access { return Access{Op: OpWrite, Addr: a, Arg1: v} }
+
+// AccCAS builds a compare-and-swap access replacing old with new.
+func AccCAS(a Addr, old, new Value) Access {
+	return Access{Op: OpCAS, Addr: a, Arg1: old, Arg2: new}
+}
+
+// AccLL builds a load-linked access.
+func AccLL(a Addr) Access { return Access{Op: OpLL, Addr: a} }
+
+// AccSC builds a store-conditional access writing v.
+func AccSC(a Addr, v Value) Access { return Access{Op: OpSC, Addr: a, Arg1: v} }
+
+// AccFetchAdd builds a fetch-and-add access with the given delta.
+func AccFetchAdd(a Addr, delta Value) Access {
+	return Access{Op: OpFetchAdd, Addr: a, Arg1: delta}
+}
+
+// AccFetchStore builds a fetch-and-store access storing v.
+func AccFetchStore(a Addr, v Value) Access {
+	return Access{Op: OpFetchStore, Addr: a, Arg1: v}
+}
+
+// AccTAS builds a test-and-set access.
+func AccTAS(a Addr) Access { return Access{Op: OpTestAndSet, Addr: a} }
+
 // Result is the outcome of applying an Access to the machine.
 type Result struct {
 	// Val is the value read (reads, LL) or the old value (FAA, FAS, TAS).

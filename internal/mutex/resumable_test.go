@@ -1,0 +1,98 @@
+package mutex
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/sched"
+)
+
+// TestLockEngineTraceEquivalence runs every lock's contended workload on
+// both engine tiers under identical schedules and asserts byte-identical
+// traces and identical verdicts — the lock half of the engine-migration
+// equivalence harness.
+func TestLockEngineTraceEquivalence(t *testing.T) {
+	for _, alg := range All() {
+		t.Run(alg.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				run := func(forceBlocking bool) *RunResult {
+					res, err := RunStreaming(RunConfig{
+						Lock:          alg,
+						N:             4,
+						Passages:      3,
+						Scheduler:     sched.NewRandom(seed),
+						MaxSteps:      200_000,
+						KeepEvents:    true,
+						ForceBlocking: forceBlocking,
+					})
+					if err != nil && !errors.Is(err, ErrBudget) {
+						t.Fatal(err)
+					}
+					return res
+				}
+				blocking := run(true)
+				resumable := run(false)
+				if !reflect.DeepEqual(blocking.Events, resumable.Events) {
+					for i := range blocking.Events {
+						if i >= len(resumable.Events) || blocking.Events[i] != resumable.Events[i] {
+							t.Fatalf("seed %d: traces diverge at event %d:\n blocking:  %+v\n resumable: %+v",
+								seed, i, blocking.Events[i], resumable.Events[i])
+						}
+					}
+					t.Fatalf("seed %d: trace lengths differ (%d vs %d)",
+						seed, len(blocking.Events), len(resumable.Events))
+				}
+				if blocking.Passages != resumable.Passages ||
+					blocking.MutualExclusion != resumable.MutualExclusion {
+					t.Fatalf("seed %d: verdicts differ: blocking %d/%v, resumable %d/%v",
+						seed, blocking.Passages, blocking.MutualExclusion,
+						resumable.Passages, resumable.MutualExclusion)
+				}
+				if !resumable.MutualExclusion {
+					t.Fatalf("seed %d: mutual exclusion violated", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestPassageFrameSolo drives a single-process passage frame to completion
+// through a bare controller, checking the resumable probe's verdict and
+// counter bookkeeping without any scheduler in the loop.
+func TestPassageFrameSolo(t *testing.T) {
+	m := memsim.NewMachine(1)
+	lock, err := MCS().New(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr CSProbe
+	pr.DeployProbe(m, lock)
+	ctl := memsim.NewController(m)
+	defer ctl.Close()
+	frame, ok := pr.PassageFrame(0)
+	if !ok {
+		t.Fatal("MCS lock should have a resumable tier")
+	}
+	if err := ctl.StartResumable(0, "passage", frame); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if ret, done := ctl.CallEnded(0); done {
+			if ret != 1 {
+				t.Fatalf("solo passage verdict = %d, want 1", ret)
+			}
+			break
+		}
+		if i > 100 {
+			t.Fatal("passage did not complete in 100 steps")
+		}
+		if _, err := ctl.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Load(pr.csCount); got != 1 {
+		t.Fatalf("csCount = %d, want 1", got)
+	}
+}

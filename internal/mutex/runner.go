@@ -44,6 +44,10 @@ type RunConfig struct {
 	Sink memsim.EventSink
 	// Interrupt, when non-nil, stops the run between steps once it fires.
 	Interrupt <-chan struct{}
+	// ForceBlocking pins the run to the blocking engine tier even though
+	// every lock in this package has resumable frames (A/B comparisons;
+	// traces are identical either way).
+	ForceBlocking bool
 }
 
 // RunResult is the outcome of a lock workload. The embedded harness result
@@ -217,13 +221,14 @@ func RunStreaming(cfg RunConfig) (*RunResult, error) {
 
 	w := NewWorkload(cfg.Lock, cfg.N, cfg.Passages)
 	hres, err := harness.Run(harness.Config{
-		Workload:   w,
-		Scheduler:  cfg.Scheduler,
-		MaxSteps:   cfg.MaxSteps,
-		Scorers:    cfg.Scorers,
-		KeepEvents: cfg.KeepEvents,
-		Sink:       cfg.Sink,
-		Interrupt:  cfg.Interrupt,
+		Workload:      w,
+		Scheduler:     cfg.Scheduler,
+		MaxSteps:      cfg.MaxSteps,
+		Scorers:       cfg.Scorers,
+		KeepEvents:    cfg.KeepEvents,
+		Sink:          cfg.Sink,
+		Interrupt:     cfg.Interrupt,
+		ForceBlocking: cfg.ForceBlocking,
 	})
 	if hres == nil {
 		return nil, err

@@ -1,0 +1,117 @@
+package queue
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/memsim"
+)
+
+// RegisterFrame is the resumable form of Registry.Register: one
+// Fetch-And-Increment to claim a slot, one write to publish the value.
+// Frames over the registry compose into larger resumable programs (the
+// Section 7 signaling algorithms delegate to it), mirroring how the
+// blocking helpers compose over *memsim.Proc.
+type RegisterFrame struct {
+	reg *Registry
+	v   memsim.Value
+	pc  uint8
+}
+
+var _ memsim.Resumable = (*RegisterFrame)(nil)
+
+// RegisterResumable returns a frame that appends v to the registry.
+func (r *Registry) RegisterResumable(v memsim.Value) *RegisterFrame {
+	return &RegisterFrame{reg: r, v: v}
+}
+
+// Next implements memsim.Resumable.
+func (f *RegisterFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	switch f.pc {
+	case 0:
+		f.pc = 1
+		return memsim.AccFetchAdd(f.reg.tail, 1), true
+	case 1:
+		f.pc = 2
+		return memsim.AccWrite(f.reg.slot+memsim.Addr(prev.Val), f.v), true
+	default:
+		return memsim.Access{}, false
+	}
+}
+
+// Return implements memsim.Resumable.
+func (f *RegisterFrame) Return() memsim.Value { return 0 }
+
+// EncodeState implements memsim.StateEncoder: the registry is identified
+// by its (deterministic) tail address, never by pointer.
+func (f *RegisterFrame) EncodeState(w io.Writer) {
+	fmt.Fprintf(w, "r%d,%d,%d", f.reg.tail, f.v, f.pc)
+}
+
+// SnapshotFrame is the resumable form of Registry.Snapshot: read the claimed
+// length, then each slot in order, busy-waiting through the short window
+// between a registrant's F&I and its slot write. Once complete, Vals holds
+// the registered values.
+//
+// The collected slice is written strictly append-at-index below the frame's
+// cursor, so a shallow frame copy (sharing the backing array) is a valid
+// continuation point for the backtracking explorer.
+type SnapshotFrame struct {
+	reg *Registry
+	n   int
+	j   int
+	out []memsim.Value
+	pc  uint8
+}
+
+var _ memsim.Resumable = (*SnapshotFrame)(nil)
+
+// SnapshotResumable returns a frame that snapshots the registry.
+func (r *Registry) SnapshotResumable() *SnapshotFrame {
+	return &SnapshotFrame{reg: r}
+}
+
+// Next implements memsim.Resumable.
+func (f *SnapshotFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	for {
+		switch f.pc {
+		case 0: // read the claimed length
+			f.pc = 1
+			return memsim.AccRead(f.reg.tail), true
+		case 1: // length read; begin the slot scan
+			f.n = int(prev.Val)
+			if f.n > f.reg.cap {
+				f.n = f.reg.cap
+			}
+			f.out = make([]memsim.Value, f.n)
+			f.j = 0
+			f.pc = 2
+		case 2: // issue the next slot read, or finish
+			if f.j >= f.n {
+				return memsim.Access{}, false
+			}
+			f.pc = 3
+			return memsim.AccRead(f.reg.slot + memsim.Addr(f.j)), true
+		case 3: // slot read: retry on NIL (mid-registration), else collect
+			if prev.Val == memsim.Nil {
+				return memsim.AccRead(f.reg.slot + memsim.Addr(f.j)), true
+			}
+			f.out[f.j] = prev.Val
+			f.j++
+			f.pc = 2
+		}
+	}
+}
+
+// Return implements memsim.Resumable.
+func (f *SnapshotFrame) Return() memsim.Value { return 0 }
+
+// EncodeState implements memsim.StateEncoder: only the below-cursor
+// prefix of the collected slice is state; the tail holds garbage from
+// sibling exploration branches.
+func (f *SnapshotFrame) EncodeState(w io.Writer) {
+	fmt.Fprintf(w, "s%d,%d,%d,%d,%v", f.reg.tail, f.n, f.j, f.pc, f.out[:f.j])
+}
+
+// Vals returns the snapshot, valid once Next has reported completion.
+func (f *SnapshotFrame) Vals() []memsim.Value { return f.out }

@@ -1,0 +1,856 @@
+package signal
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/memsim"
+	"repro/internal/queue"
+)
+
+// This file is the native resumable tier of every signaling algorithm the
+// engine runs hot: each procedure also exists as an explicit state machine
+// (a memsim.Resumable "frame") that the controller dispatches inline with
+// zero goroutines and zero channel operations. Every frame issues exactly
+// the access sequence of its blocking counterpart, so traces are
+// byte-identical under identical schedules — resumable_test.go enforces
+// that for every algorithm and procedure.
+//
+// Frame discipline (see memsim.Resumable): all mutable call-local state
+// lives in frame fields; pointers reference only immutable deployment data
+// (instances, address slices); frames holding sub-frames implement
+// memsim.ResumableCloner so snapshots stay independent.
+
+// readRetFrame reads one word and returns its value (flag Poll,
+// fixed-waiters Poll).
+type readRetFrame struct {
+	addr memsim.Addr
+	pc   uint8
+	ret  memsim.Value
+}
+
+func (f *readRetFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	if f.pc == 0 {
+		f.pc = 1
+		return memsim.AccRead(f.addr), true
+	}
+	f.ret = prev.Val
+	return memsim.Access{}, false
+}
+
+func (f *readRetFrame) Return() memsim.Value { return f.ret }
+
+// writeOneFrame performs a single write and returns 0 (flag Signal).
+type writeOneFrame struct {
+	addr memsim.Addr
+	val  memsim.Value
+	pc   uint8
+}
+
+func (f *writeOneFrame) Next(memsim.Result) (memsim.Access, bool) {
+	if f.pc == 0 {
+		f.pc = 1
+		return memsim.AccWrite(f.addr, f.val), true
+	}
+	return memsim.Access{}, false
+}
+
+func (f *writeOneFrame) Return() memsim.Value { return 0 }
+
+// spinNonzeroFrame busy-waits until a word reads nonzero (flag Wait,
+// fixed-waiters Wait — the local or remote spin the models price apart).
+type spinNonzeroFrame struct {
+	addr memsim.Addr
+	pc   uint8
+}
+
+func (f *spinNonzeroFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	if f.pc == 0 {
+		f.pc = 1
+		return memsim.AccRead(f.addr), true
+	}
+	if prev.Val == 0 {
+		return memsim.AccRead(f.addr), true
+	}
+	return memsim.Access{}, false
+}
+
+func (f *spinNonzeroFrame) Return() memsim.Value { return 0 }
+
+// writeFanFrame writes 1 to each address in order and returns 0
+// (fixed-waiters Signal: the O(W) broadcast).
+type writeFanFrame struct {
+	addrs []memsim.Addr
+	j     int
+}
+
+func (f *writeFanFrame) Next(memsim.Result) (memsim.Access, bool) {
+	if f.j >= len(f.addrs) {
+		return memsim.Access{}, false
+	}
+	a := f.addrs[f.j]
+	f.j++
+	return memsim.AccWrite(a, 1), true
+}
+
+func (f *writeFanFrame) Return() memsim.Value { return 0 }
+
+// announcePollFrame is the shared first-call-announcement Poll shape of the
+// single-waiter, fixed-waiters-terminating and registered-waiters
+// algorithms: on the first call, clear the first-call flag, write an
+// announcement word, and return a status read; on later calls return the
+// local flag.
+//
+//	if read(fst) == 1 { write(fst, 0); write(ann, annVal); return read(then) }
+//	return read(els)
+type announcePollFrame struct {
+	fst    memsim.Addr
+	ann    memsim.Addr
+	annVal memsim.Value
+	then   memsim.Addr
+	els    memsim.Addr
+	pc     uint8
+	ret    memsim.Value
+}
+
+func (f *announcePollFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	switch f.pc {
+	case 0:
+		f.pc = 1
+		return memsim.AccRead(f.fst), true
+	case 1:
+		if prev.Val == 1 {
+			f.pc = 2
+			return memsim.AccWrite(f.fst, 0), true
+		}
+		f.pc = 4
+		return memsim.AccRead(f.els), true
+	case 2:
+		f.pc = 3
+		return memsim.AccWrite(f.ann, f.annVal), true
+	case 3:
+		f.pc = 4
+		return memsim.AccRead(f.then), true
+	default:
+		f.ret = prev.Val
+		return memsim.Access{}, false
+	}
+}
+
+func (f *announcePollFrame) Return() memsim.Value { return f.ret }
+
+// ---- flag (Section 5) ----
+
+// ResumableProgram implements memsim.ResumableInstance.
+func (in *flagInstance) ResumableProgram(pid memsim.PID, kind memsim.CallKind) (memsim.Resumable, error) {
+	switch kind {
+	case memsim.CallPoll:
+		return &readRetFrame{addr: in.b}, nil
+	case memsim.CallSignal:
+		return &writeOneFrame{addr: in.b, val: 1}, nil
+	case memsim.CallWait:
+		return &spinNonzeroFrame{addr: in.b}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}
+
+// ---- single waiter (Section 7) ----
+
+// ResumableProgram implements memsim.ResumableInstance.
+func (in *singleWaiterInstance) ResumableProgram(pid memsim.PID, kind memsim.CallKind) (memsim.Resumable, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return &announcePollFrame{
+			fst: in.first[i], ann: in.w, annVal: memsim.Value(i),
+			then: in.s, els: in.v[i],
+		}, nil
+	case memsim.CallSignal:
+		return &swSignalFrame{s: in.s, w: in.w, v: in.v}, nil
+	case memsim.CallWait:
+		return &swWaitFrame{in: in, i: i}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}
+
+// swSignalFrame: S := true; w := W; if w != NIL { V[w] := true }.
+type swSignalFrame struct {
+	s  memsim.Addr
+	w  memsim.Addr
+	v  []memsim.Addr
+	pc uint8
+}
+
+func (f *swSignalFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	switch f.pc {
+	case 0:
+		f.pc = 1
+		return memsim.AccWrite(f.s, 1), true
+	case 1:
+		f.pc = 2
+		return memsim.AccRead(f.w), true
+	case 2:
+		if prev.Val == memsim.Nil {
+			return memsim.Access{}, false
+		}
+		f.pc = 3
+		return memsim.AccWrite(f.v[prev.Val], 1), true
+	default:
+		return memsim.Access{}, false
+	}
+}
+
+func (f *swSignalFrame) Return() memsim.Value { return 0 }
+
+// swWaitFrame mirrors the single-waiter Wait: first-call announcement, a
+// status check, then the local spin on V[i].
+type swWaitFrame struct {
+	in *singleWaiterInstance
+	i  int
+	pc uint8
+}
+
+func (f *swWaitFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	switch f.pc {
+	case 0:
+		f.pc = 1
+		return memsim.AccRead(f.in.first[f.i]), true
+	case 1:
+		if prev.Val == 1 {
+			f.pc = 2
+			return memsim.AccWrite(f.in.first[f.i], 0), true
+		}
+		f.pc = 5
+		return memsim.AccRead(f.in.v[f.i]), true
+	case 2:
+		f.pc = 3
+		return memsim.AccWrite(f.in.w, memsim.Value(f.i)), true
+	case 3:
+		f.pc = 4
+		return memsim.AccRead(f.in.s), true
+	case 4:
+		if prev.Val == 1 {
+			return memsim.Access{}, false
+		}
+		f.pc = 6
+		return memsim.AccRead(f.in.v[f.i]), true
+	case 5:
+		if prev.Val == 1 {
+			return memsim.Access{}, false
+		}
+		f.pc = 6
+		return memsim.AccRead(f.in.v[f.i]), true
+	default: // local spin on V[i]
+		if prev.Val == 0 {
+			return memsim.AccRead(f.in.v[f.i]), true
+		}
+		return memsim.Access{}, false
+	}
+}
+
+func (f *swWaitFrame) Return() memsim.Value { return 0 }
+
+// ---- fixed waiters (Section 7) ----
+
+// ResumableProgram implements memsim.ResumableInstance.
+func (in *fixedWaitersInstance) ResumableProgram(pid memsim.PID, kind memsim.CallKind) (memsim.Resumable, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return &readRetFrame{addr: in.v[i]}, nil
+	case memsim.CallSignal:
+		return &writeFanFrame{addrs: in.v[:len(in.v)-1]}, nil
+	case memsim.CallWait:
+		return &spinNonzeroFrame{addr: in.v[i]}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}
+
+// ---- fixed waiters, terminating refinement (Section 7) ----
+
+// ResumableProgram implements memsim.ResumableInstance.
+func (in *fixedTermInstance) ResumableProgram(pid memsim.PID, kind memsim.CallKind) (memsim.Resumable, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return &announcePollFrame{
+			fst: in.first[i], ann: in.present[i], annVal: 1,
+			then: in.v[i], els: in.v[i],
+		}, nil
+	case memsim.CallSignal:
+		if pid != in.sig {
+			return nil, ErrWrongSignaler
+		}
+		return &ftSignalFrame{in: in}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}
+
+// ftSignalFrame: for each fixed waiter j, busy-wait (locally) for its
+// participation flag, then write its V[j].
+type ftSignalFrame struct {
+	in *fixedTermInstance
+	j  int
+	pc uint8
+}
+
+func (f *ftSignalFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	for {
+		switch f.pc {
+		case 0: // loop head: next waiter or done
+			if f.j >= len(f.in.v)-1 {
+				return memsim.Access{}, false
+			}
+			f.pc = 1
+			return memsim.AccRead(f.in.present[f.j]), true
+		case 1: // spinning on Present[j]
+			if prev.Val == 0 {
+				return memsim.AccRead(f.in.present[f.j]), true
+			}
+			f.pc = 2
+			return memsim.AccWrite(f.in.v[f.j], 1), true
+		default: // V[j] written; advance
+			f.j++
+			f.pc = 0
+		}
+	}
+}
+
+func (f *ftSignalFrame) Return() memsim.Value { return 0 }
+
+// ---- registered waiters (Section 7) ----
+
+// ResumableProgram implements memsim.ResumableInstance.
+func (in *registeredInstance) ResumableProgram(pid memsim.PID, kind memsim.CallKind) (memsim.Resumable, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return &announcePollFrame{
+			fst: in.fst[i], ann: in.r[i], annVal: 1,
+			then: in.s, els: in.v[i],
+		}, nil
+	case memsim.CallSignal:
+		if pid != in.sig {
+			return nil, ErrWrongSignaler
+		}
+		return &regSignalFrame{in: in}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}
+
+// regSignalFrame: S := true; for each i: if R[i] (local) { V[i] := true }.
+type regSignalFrame struct {
+	in *registeredInstance
+	j  int
+	pc uint8
+}
+
+func (f *regSignalFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			return memsim.AccWrite(f.in.s, 1), true
+		case 1: // loop head over registration flags
+			if f.j >= len(f.in.r) {
+				return memsim.Access{}, false
+			}
+			if memsim.PID(f.j) == f.in.sig {
+				f.j++
+				continue
+			}
+			f.pc = 2
+			return memsim.AccRead(f.in.r[f.j]), true
+		default: // registration flag read: deliver if registered, advance
+			if prev.Val == 1 {
+				a := memsim.AccWrite(f.in.v[f.j], 1)
+				f.j++
+				f.pc = 1
+				return a, true
+			}
+			f.j++
+			f.pc = 1
+		}
+	}
+}
+
+func (f *regSignalFrame) Return() memsim.Value { return 0 }
+
+// ---- F&I queue (Section 7) ----
+
+// ResumableProgram implements memsim.ResumableInstance.
+func (in *queueInstance) ResumableProgram(pid memsim.PID, kind memsim.CallKind) (memsim.Resumable, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return &registerPollFrame{
+			fst: in.fst[i], vi: in.v[i], s: in.s,
+			sub: in.reg.RegisterResumable(memsim.Value(i)),
+		}, nil
+	case memsim.CallSignal:
+		return &registrySignalFrame{s: in.s, v: in.v, snap: in.reg.SnapshotResumable()}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}
+
+// registerPollFrame is the F&I-registration Poll shared by the queue and
+// multi-signaler algorithms: first call registers through the registry
+// sub-frame and returns the global S; later calls return the local V[i].
+type registerPollFrame struct {
+	fst memsim.Addr
+	vi  memsim.Addr
+	s   memsim.Addr
+	sub *queue.RegisterFrame
+	pc  uint8
+	ret memsim.Value
+}
+
+var _ memsim.ResumableCloner = (*registerPollFrame)(nil)
+
+func (f *registerPollFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	switch f.pc {
+	case 0:
+		f.pc = 1
+		return memsim.AccRead(f.fst), true
+	case 1:
+		if prev.Val == 1 {
+			f.pc = 2
+			return memsim.AccWrite(f.fst, 0), true
+		}
+		f.pc = 4
+		return memsim.AccRead(f.vi), true
+	case 2: // enter the registration sub-frame
+		acc, _ := f.sub.Next(memsim.Result{})
+		f.pc = 3
+		return acc, true
+	case 3: // drive the registration sub-frame to completion
+		if acc, ok := f.sub.Next(prev); ok {
+			return acc, true
+		}
+		f.pc = 4
+		return memsim.AccRead(f.s), true
+	default:
+		f.ret = prev.Val
+		return memsim.Access{}, false
+	}
+}
+
+func (f *registerPollFrame) Return() memsim.Value { return f.ret }
+
+// CloneResumable implements memsim.ResumableCloner: the registration
+// sub-frame must be copied, not shared.
+func (f *registerPollFrame) CloneResumable() memsim.Resumable {
+	c := *f
+	if f.sub != nil {
+		sub := *f.sub
+		c.sub = &sub
+	}
+	return &c
+}
+
+// EncodeState implements memsim.StateEncoder: the sub-frame encodes by
+// content, never by pointer.
+func (f *registerPollFrame) EncodeState(w io.Writer) {
+	fmt.Fprintf(w, "%d,%d,%d,%d,%d,", f.fst, f.vi, f.s, f.pc, f.ret)
+	memsim.EncodeFrameState(w, f.sub)
+}
+
+// registrySignalFrame: S := true; snapshot the registry; flag every
+// registered waiter (queue Signal, and the elected branch's delivery logic).
+type registrySignalFrame struct {
+	s    memsim.Addr
+	v    []memsim.Addr
+	snap *queue.SnapshotFrame
+	vals []memsim.Value
+	k    int
+	pc   uint8
+}
+
+var _ memsim.ResumableCloner = (*registrySignalFrame)(nil)
+
+func (f *registrySignalFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			return memsim.AccWrite(f.s, 1), true
+		case 1: // enter the snapshot sub-frame
+			acc, _ := f.snap.Next(memsim.Result{})
+			f.pc = 2
+			return acc, true
+		case 2: // drive the snapshot sub-frame to completion
+			if acc, ok := f.snap.Next(prev); ok {
+				return acc, true
+			}
+			f.vals = f.snap.Vals()
+			f.k = 0
+			f.pc = 3
+		default: // deliver to each registered waiter
+			if f.k >= len(f.vals) {
+				return memsim.Access{}, false
+			}
+			q := f.vals[f.k]
+			f.k++
+			return memsim.AccWrite(f.v[q], 1), true
+		}
+	}
+}
+
+func (f *registrySignalFrame) Return() memsim.Value { return 0 }
+
+// CloneResumable implements memsim.ResumableCloner.
+func (f *registrySignalFrame) CloneResumable() memsim.Resumable {
+	c := *f
+	if f.snap != nil {
+		snap := *f.snap
+		c.snap = &snap
+	}
+	return &c
+}
+
+// EncodeState implements memsim.StateEncoder. vals is fully populated the
+// moment it is assigned (the snapshot sub-frame completed), so encoding
+// all of it is canonical; the sub-frame encodes by content.
+func (f *registrySignalFrame) EncodeState(w io.Writer) {
+	fmt.Fprintf(w, "%d,%d,%d,%v,", f.s, f.k, f.pc, f.vals)
+	memsim.EncodeFrameState(w, f.snap)
+}
+
+// ---- CAS slot registration (Corollary 6.14 subject) ----
+
+// ResumableProgram implements memsim.ResumableInstance.
+func (in *casRegisterInstance) ResumableProgram(pid memsim.PID, kind memsim.CallKind) (memsim.Resumable, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return &casPollFrame{in: in, i: i}, nil
+	case memsim.CallSignal:
+		return &slotScanSignalFrame{s: in.s, q: in.q, n: in.n, v: in.v}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}
+
+// casPollFrame: first call CAS-claims the first free slot (O(k) for the
+// k-th registrant), then returns S; later calls return the local V[i].
+type casPollFrame struct {
+	in  *casRegisterInstance
+	i   int
+	j   int
+	pc  uint8
+	ret memsim.Value
+}
+
+func (f *casPollFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			return memsim.AccRead(f.in.fst[f.i]), true
+		case 1:
+			if prev.Val == 1 {
+				f.pc = 2
+				return memsim.AccWrite(f.in.fst[f.i], 0), true
+			}
+			f.pc = 5
+			return memsim.AccRead(f.in.v[f.i]), true
+		case 2: // slot scan loop head
+			if f.j >= f.in.n {
+				f.pc = 5
+				return memsim.AccRead(f.in.s), true
+			}
+			f.pc = 3
+			return memsim.AccCAS(f.in.q+memsim.Addr(f.j), memsim.Nil, memsim.Value(f.i)), true
+		case 3: // CAS result
+			if prev.OK {
+				f.pc = 5
+				return memsim.AccRead(f.in.s), true
+			}
+			f.j++
+			f.pc = 2
+		default:
+			f.ret = prev.Val
+			return memsim.Access{}, false
+		}
+	}
+}
+
+func (f *casPollFrame) Return() memsim.Value { return f.ret }
+
+// slotScanSignalFrame: S := true; scan the registered prefix of the slot
+// array, flagging each registrant, stopping at the first NIL slot (the
+// cas-register and llsc-register Signal).
+type slotScanSignalFrame struct {
+	s  memsim.Addr
+	q  memsim.Addr
+	n  int
+	v  []memsim.Addr
+	j  int
+	pc uint8
+}
+
+func (f *slotScanSignalFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			return memsim.AccWrite(f.s, 1), true
+		case 1: // scan loop head
+			if f.j >= f.n {
+				return memsim.Access{}, false
+			}
+			f.pc = 2
+			return memsim.AccRead(f.q + memsim.Addr(f.j)), true
+		default: // slot read
+			if prev.Val == memsim.Nil {
+				return memsim.Access{}, false
+			}
+			a := memsim.AccWrite(f.v[prev.Val], 1)
+			f.j++
+			f.pc = 1
+			return a, true
+		}
+	}
+}
+
+func (f *slotScanSignalFrame) Return() memsim.Value { return 0 }
+
+// ---- LL/SC slot registration (Corollary 6.14 subject) ----
+
+// ResumableProgram implements memsim.ResumableInstance.
+func (in *llscRegisterInstance) ResumableProgram(pid memsim.PID, kind memsim.CallKind) (memsim.Resumable, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return &llscPollFrame{in: in, i: i}, nil
+	case memsim.CallSignal:
+		return &slotScanSignalFrame{s: in.s, q: in.q, n: in.n, v: in.v}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}
+
+// llscPollFrame mirrors the LL/SC slot claim: LL a slot; advance past
+// non-NIL slots; SC to claim; a failed SC re-examines the same slot.
+type llscPollFrame struct {
+	in  *llscRegisterInstance
+	i   int
+	j   int
+	pc  uint8
+	ret memsim.Value
+}
+
+func (f *llscPollFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			return memsim.AccRead(f.in.fst[f.i]), true
+		case 1:
+			if prev.Val == 1 {
+				f.pc = 2
+				return memsim.AccWrite(f.in.fst[f.i], 0), true
+			}
+			f.pc = 6
+			return memsim.AccRead(f.in.v[f.i]), true
+		case 2: // claim loop head
+			if f.j >= f.in.n {
+				f.pc = 6
+				return memsim.AccRead(f.in.s), true
+			}
+			f.pc = 3
+			return memsim.AccLL(f.in.q + memsim.Addr(f.j)), true
+		case 3: // LL result
+			if prev.Val != memsim.Nil {
+				f.j++ // slot taken: advance
+				f.pc = 2
+				continue
+			}
+			f.pc = 4
+			return memsim.AccSC(f.in.q+memsim.Addr(f.j), memsim.Value(f.i)), true
+		case 4: // SC result
+			if prev.OK {
+				f.pc = 6
+				return memsim.AccRead(f.in.s), true
+			}
+			f.pc = 2 // SC lost a race: re-examine the same slot
+		default:
+			f.ret = prev.Val
+			return memsim.Access{}, false
+		}
+	}
+}
+
+func (f *llscPollFrame) Return() memsim.Value { return f.ret }
+
+// ---- multi-signaler (Section 7, TAS election) ----
+
+// ResumableProgram implements memsim.ResumableInstance.
+func (in *multiSignalerInstance) ResumableProgram(pid memsim.PID, kind memsim.CallKind) (memsim.Resumable, error) {
+	i := int(pid)
+	switch kind {
+	case memsim.CallPoll:
+		return &registerPollFrame{
+			fst: in.fst[i], vi: in.v[i], s: in.s,
+			sub: in.reg.RegisterResumable(memsim.Value(i)),
+		}, nil
+	case memsim.CallSignal:
+		return &msSignalFrame{in: in, deliver: registrySignalFrame{
+			s: in.s, v: in.v, snap: in.reg.SnapshotResumable(),
+		}}, nil
+	default:
+		return nil, ErrUnsupported
+	}
+}
+
+// msSignalFrame: one TAS elects the delivering signaler; the winner runs
+// the registry delivery and raises Done; losers busy-wait on Done.
+type msSignalFrame struct {
+	in      *multiSignalerInstance
+	deliver registrySignalFrame
+	pc      uint8
+}
+
+var _ memsim.ResumableCloner = (*msSignalFrame)(nil)
+
+func (f *msSignalFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	switch f.pc {
+	case 0:
+		f.pc = 1
+		return memsim.AccTAS(f.in.elect), true
+	case 1: // election result
+		if prev.OK {
+			f.pc = 2
+			acc, _ := f.deliver.Next(memsim.Result{})
+			return acc, true
+		}
+		f.pc = 4
+		return memsim.AccRead(f.in.done), true
+	case 2: // elected: drive the delivery sub-frame
+		if acc, ok := f.deliver.Next(prev); ok {
+			return acc, true
+		}
+		f.pc = 3
+		return memsim.AccWrite(f.in.done, 1), true
+	case 3: // Done raised
+		return memsim.Access{}, false
+	default: // lost the election: await Done
+		if prev.Val == 0 {
+			return memsim.AccRead(f.in.done), true
+		}
+		return memsim.Access{}, false
+	}
+}
+
+func (f *msSignalFrame) Return() memsim.Value { return 0 }
+
+// CloneResumable implements memsim.ResumableCloner.
+func (f *msSignalFrame) CloneResumable() memsim.Resumable {
+	c := *f
+	if d, ok := f.deliver.CloneResumable().(*registrySignalFrame); ok {
+		c.deliver = *d
+	}
+	return &c
+}
+
+// EncodeState implements memsim.StateEncoder.
+func (f *msSignalFrame) EncodeState(w io.Writer) {
+	fmt.Fprintf(w, "%d,", f.pc)
+	f.deliver.EncodeState(w)
+}
+
+// ---- blockified wrapper (Section 7's derived Wait) ----
+
+// ResumableProgram implements memsim.ResumableInstance: Poll and Signal
+// delegate to the inner algorithm's resumable form; Wait is synthesized as
+// repeated Poll frames within one call, exactly like the blocking wrapper.
+// When the inner instance has no resumable tier the error sends the
+// Execution down the blocking path.
+func (b *blockifiedInstance) ResumableProgram(pid memsim.PID, kind memsim.CallKind) (memsim.Resumable, error) {
+	ri, ok := b.inner.(memsim.ResumableInstance)
+	if !ok {
+		return nil, ErrUnsupported
+	}
+	if kind != memsim.CallWait {
+		return ri.ResumableProgram(pid, kind)
+	}
+	return &blockifiedWaitFrame{inner: ri, pid: pid}, nil
+}
+
+// blockifiedWaitFrame executes poll frame after poll frame until one
+// returns nonzero. Each iteration mints a fresh frame, so per-call state
+// transitions (first-call registration) occur exactly once overall — the
+// instance, not the call, carries that state.
+type blockifiedWaitFrame struct {
+	inner memsim.ResumableInstance
+	pid   memsim.PID
+	cur   memsim.Resumable
+	dead  bool // inner has no Poll: degrade to an immediate return
+}
+
+var _ memsim.ResumableCloner = (*blockifiedWaitFrame)(nil)
+
+func (f *blockifiedWaitFrame) Next(prev memsim.Result) (memsim.Access, bool) {
+	for {
+		if f.dead {
+			return memsim.Access{}, false
+		}
+		if f.cur == nil {
+			r, err := f.inner.ResumableProgram(f.pid, memsim.CallPoll)
+			if err != nil {
+				// Unsupported Poll cannot be blockified; mirror the
+				// blocking wrapper's no-step immediate return.
+				f.dead = true
+				return memsim.Access{}, false
+			}
+			f.cur = r
+			prev = memsim.Result{} // fresh frame: first Next sees zero
+		}
+		if acc, ok := f.cur.Next(prev); ok {
+			return acc, true
+		}
+		signaled := f.cur.Return() != 0
+		f.cur = nil
+		if signaled {
+			return memsim.Access{}, false
+		}
+		prev = memsim.Result{}
+	}
+}
+
+func (f *blockifiedWaitFrame) Return() memsim.Value { return 0 }
+
+// CloneResumable implements memsim.ResumableCloner.
+func (f *blockifiedWaitFrame) CloneResumable() memsim.Resumable {
+	c := *f
+	c.cur = memsim.CloneResumable(f.cur)
+	return &c
+}
+
+// EncodeState implements memsim.StateEncoder: the in-flight poll frame
+// encodes by content, never by pointer.
+func (f *blockifiedWaitFrame) EncodeState(w io.Writer) {
+	fmt.Fprintf(w, "%d,%v,", f.pid, f.dead)
+	memsim.EncodeFrameState(w, f.cur)
+}
+
+// Static checks: every algorithm listed as hot in the engine migration has
+// a native resumable tier.
+var (
+	_ memsim.ResumableInstance = (*flagInstance)(nil)
+	_ memsim.ResumableInstance = (*singleWaiterInstance)(nil)
+	_ memsim.ResumableInstance = (*fixedWaitersInstance)(nil)
+	_ memsim.ResumableInstance = (*fixedTermInstance)(nil)
+	_ memsim.ResumableInstance = (*registeredInstance)(nil)
+	_ memsim.ResumableInstance = (*queueInstance)(nil)
+	_ memsim.ResumableInstance = (*casRegisterInstance)(nil)
+	_ memsim.ResumableInstance = (*llscRegisterInstance)(nil)
+	_ memsim.ResumableInstance = (*multiSignalerInstance)(nil)
+	_ memsim.ResumableInstance = (*blockifiedInstance)(nil)
+)
