@@ -1,0 +1,33 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+// Reviewer probe: same deaf-poll algorithm, but a third process still has
+// work after the violating Poll completes, so the post-violation node is
+// internal (not a leaf) and subject to dedup.
+func TestDedupHoleCompletedViolation(t *testing.T) {
+	cfg := Config{
+		Factory: func(m *memsim.Machine, n int) (memsim.Instance, error) {
+			return deafPollInstance{b: m.Alloc(memsim.NoOwner, "B", 1, 0)}, nil
+		},
+		N: 3,
+		Scripts: map[memsim.PID][]memsim.CallKind{
+			0: {memsim.CallPoll},
+			1: {memsim.CallSignal},
+			2: {memsim.CallPoll},
+		},
+		MaxDepth: 12,
+		Check:    specCheck,
+	}
+	for _, engine := range []Engine{EngineBacktrack, EngineBacktrackDedup} {
+		c := cfg
+		c.Engine = engine
+		if _, err := Run(c); err == nil {
+			t.Errorf("engine %v missed the completed-poll violation", engine)
+		}
+	}
+}
