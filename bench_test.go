@@ -1,9 +1,10 @@
-// Package repro's benchmark harness regenerates every experiment of
-// DESIGN.md §4 under `go test -bench`. Wall-clock time measures the
+// Package repro's benchmark harness regenerates every experiment of the
+// E1–E12 suite (see cmd/experiments for the reference tables) under
+// `go test -bench`. Wall-clock time measures the
 // simulator, not a real multiprocessor; the paper-relevant outputs are the
 // custom metrics each benchmark reports (RMRs per process, amortized RMRs,
 // messages, adversary certificates), whose *shapes* must match the paper's
-// claims. EXPERIMENTS.md records a measured run against those claims.
+// claims.
 package repro
 
 import (
@@ -13,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/gme"
 	"repro/internal/lowerbound"
 	"repro/internal/memsim"
@@ -329,7 +331,7 @@ func (in jammerInstance) Program(pid memsim.PID, kind memsim.CallKind) (memsim.P
 	}
 }
 
-// BenchmarkAblationCacheRule — DESIGN.md §5: the Section 2 CC rule
+// BenchmarkAblationCacheRule — design ablation: the Section 2 CC rule
 // (invalidate only on nontrivial operations) vs a strict rule that also
 // invalidates on failed CAS. Spinning readers next to a failing CAS jammer
 // show the gap.
@@ -367,7 +369,7 @@ func BenchmarkAblationCacheRule(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationRollForward — DESIGN.md §5: the ⌊√X⌋ roll-forward
+// BenchmarkAblationRollForward — design ablation: the ⌊√X⌋ roll-forward
 // threshold vs extreme alternatives, measured by surviving stable waiters
 // (more survivors = stronger Part 2 certificate).
 func BenchmarkAblationRollForward(b *testing.B) {
@@ -399,7 +401,7 @@ func BenchmarkAblationRollForward(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationRegistry — DESIGN.md §5: F&I registry vs CAS slot-scan
+// BenchmarkAblationRegistry — design ablation: F&I registry vs CAS slot-scan
 // registration inside the signaling algorithm (amortized DSM RMRs).
 func BenchmarkAblationRegistry(b *testing.B) {
 	for _, alg := range []signal.Algorithm{signal.QueueSignal(), signal.CASRegister()} {
@@ -660,6 +662,54 @@ func BenchmarkScoringAllocs(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkExploreWorkers measures the parallel explorer's scaling curve on
+// the headline configuration: the F&I queue with 3 waiters × 3 polls (5
+// processes) explored exhaustively to depth 20 — ~21.6k maximal histories
+// plus ~44.6k pruned subtrees per run. Workers shard the schedule tree over
+// a work-stealing frontier and share the claim-once dedup table, so every
+// sub-benchmark does the identical, deterministic amount of search work;
+// ns/op across worker counts is the scaling curve (near-linear up to the
+// core count, with only the striped dedup table shared).
+func BenchmarkExploreWorkers(b *testing.B) {
+	counts := []int{1, 2, 4, 8}
+	check := func(events []memsim.Event) error {
+		if vs := signal.CheckSpec(events); len(vs) > 0 {
+			return vs[0]
+		}
+		return nil
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *explore.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = explore.Run(explore.Config{
+					Factory: signal.QueueSignal().New,
+					N:       5,
+					Scripts: map[memsim.PID][]memsim.CallKind{
+						0: {memsim.CallPoll, memsim.CallPoll, memsim.CallPoll},
+						1: {memsim.CallPoll, memsim.CallPoll, memsim.CallPoll},
+						2: {memsim.CallPoll, memsim.CallPoll, memsim.CallPoll},
+						4: {memsim.CallSignal},
+					},
+					MaxDepth: 20,
+					Workers:  workers,
+					Check:    check,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.StatesDeduped == 0 {
+					b.Fatal("depth-20 queue exploration should deduplicate states")
+				}
+			}
+			nodes := float64(res.Paths + res.StatesDeduped)
+			b.ReportMetric(nodes*float64(b.N)/b.Elapsed().Seconds(), "nodes/s")
+			b.ReportMetric(float64(res.Paths), "paths")
+		})
+	}
 }
 
 // BenchmarkRunManyWorkers measures batch throughput of the Runner facade

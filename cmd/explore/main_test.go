@@ -15,7 +15,8 @@ func TestRunExplore(t *testing.T) {
 		t.Fatalf("unexpected output: %s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "engine: backtracking+dedup") ||
-		!strings.Contains(buf.String(), "states deduped:") {
+		!strings.Contains(buf.String(), "states deduped:") ||
+		!strings.Contains(buf.String(), "workers:") {
 		t.Fatalf("missing engine statistics: %s", buf.String())
 	}
 }
@@ -28,11 +29,69 @@ func TestRunExploreLegacyEngine(t *testing.T) {
 	if !strings.Contains(buf.String(), "engine: replay") {
 		t.Fatalf("-dedup=false should force the replay engine: %s", buf.String())
 	}
+	if !strings.Contains(buf.String(), "workers: 1,") {
+		t.Fatalf("replay engine should report one worker: %s", buf.String())
+	}
 }
 
 func TestRunExploreRejectsBlockingOnly(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-alg", "leader-blocking"}, &buf); err == nil {
 		t.Fatal("want error for non-polling algorithm")
+	}
+}
+
+// summary extracts the deterministic output lines: everything except the
+// final workers/elapsed/throughput line, which is the only
+// timing-dependent one.
+func summary(t *testing.T, out string) string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 output lines, got %d: %s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "workers: ") {
+		t.Fatalf("last line should report workers/elapsed: %s", out)
+	}
+	return strings.Join(lines[:2], "\n")
+}
+
+// TestRunExploreWorkersIdenticalSummary: the deterministic summary —
+// interleavings, truncations, dedup and depth statistics — is identical
+// whether the schedule tree is explored by one worker or sharded across
+// several.
+func TestRunExploreWorkersIdenticalSummary(t *testing.T) {
+	args := []string{"-alg", "queue", "-waiters", "2", "-polls", "2", "-depth", "11"}
+	var one bytes.Buffer
+	if err := run(append(args, "-workers", "1"), &one); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []string{"2", "4"} {
+		var many bytes.Buffer
+		if err := run(append(args, "-workers", workers), &many); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := summary(t, many.String()), summary(t, one.String()); got != want {
+			t.Fatalf("-workers %s summary diverged:\n-workers 1:\n%s\n-workers %s:\n%s",
+				workers, want, workers, got)
+		}
+		if !strings.Contains(many.String(), "workers: "+workers+",") {
+			t.Fatalf("-workers %s not reported: %s", workers, many.String())
+		}
+	}
+}
+
+// TestRunExploreBadFlags: unknown flags and malformed values surface as
+// errors rather than being silently ignored.
+func TestRunExploreBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+	if err := run([]string{"-workers", "many"}, &buf); err == nil {
+		t.Fatal("want error for malformed -workers value")
+	}
+	if err := run([]string{"-alg", "no-such-algorithm"}, &buf); err == nil {
+		t.Fatal("want error for unknown algorithm")
 	}
 }

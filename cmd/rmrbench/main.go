@@ -1,6 +1,6 @@
-// Command rmrbench regenerates the experiment tables of DESIGN.md §4 (the
+// Command rmrbench regenerates the E1–E12 experiment tables (the
 // runnable counterparts of the paper's claims) and prints them as aligned
-// text tables, suitable for pasting into EXPERIMENTS.md.
+// text tables, suitable for pasting into a results log.
 //
 // Usage:
 //

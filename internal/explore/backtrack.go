@@ -8,14 +8,15 @@ import (
 	"repro/internal/memsim"
 )
 
-// The backtracking engine keeps a single execution alive for the whole
-// exploration. Process state is held in resumable frames (plain copyable
-// structs, snapshotted per tree node via memsim.CloneResumable) and shared
-// memory is wound back through the machine's undo log, so moving to a
-// sibling schedule retracts one decision instead of replaying the prefix.
-// With dedup enabled, a canonical hash of (machine words, LL reservations,
-// frames, pending calls, script progress) prunes subtrees whose root state
-// was already explored with at least as much remaining depth budget.
+// The backtracking engine keeps one live execution per worker for the
+// whole exploration. Process state is held in resumable frames (plain
+// copyable structs, snapshotted per tree node via memsim.CloneResumable)
+// and shared memory is wound back through the machine's undo log, so
+// moving to a sibling schedule retracts one decision instead of replaying
+// the prefix. With dedup enabled, a canonical hash of (machine words, LL
+// reservations, frames, pending calls, script progress) claims each
+// (state, remaining depth budget) pair exactly once across all workers;
+// later arrivals prune their subtree.
 //
 // The engine emits exactly the events the Controller would: its settle
 // order, call bookkeeping and sequence numbering replicate
@@ -79,6 +80,7 @@ type bengine struct {
 	seq      int
 	undos    []memsim.Undo
 	desc     []string // applied choices, for failure reports
+	path     []int    // applied choice indices, for task prefixes
 
 	// Specification-monitor bits: the prefix facts Specification 4.1's
 	// checker conditions on, folded into the dedup key so that two states
@@ -174,8 +176,11 @@ func (e *bengine) settle() []choice {
 }
 
 // apply performs one scheduling decision: start pid's next scripted call,
-// or grant its pending access (logging the machine undo).
-func (e *bengine) apply(c choice) error {
+// or grant its pending access (logging the machine undo). idx is c's index
+// in the node's settled choice set, recorded so that any tree position can
+// be re-reached from the root by index sequence alone (how parallel workers
+// hand off subtrees).
+func (e *bengine) apply(c choice, idx int) error {
 	p := c.pid
 	if c.start {
 		kind := e.scripts[p][e.progress[p]]
@@ -203,6 +208,7 @@ func (e *bengine) apply(c choice) error {
 		e.advance(p, res)
 	}
 	e.desc = append(e.desc, c.String())
+	e.path = append(e.path, idx)
 	return nil
 }
 
@@ -220,7 +226,7 @@ type mark struct {
 	events   int
 	seq      int
 	undos    int
-	desc     int
+	desc     int // truncation point of both desc and path (always equal)
 
 	sigStarted  bool
 	sigEnded    bool
@@ -271,6 +277,7 @@ func (e *bengine) restore(m mark) {
 	e.events = e.events[:m.events]
 	e.seq = m.seq
 	e.desc = e.desc[:m.desc]
+	e.path = e.path[:m.desc]
 	e.sigStarted = m.sigStarted
 	e.sigEnded = m.sigEnded
 	copy(e.afterSigEnd, m.afterSigEnd)
@@ -317,65 +324,6 @@ func (e *bengine) stateKey() [16]byte {
 	return key
 }
 
-// runBacktrack drives the backtracking DFS, with or without state dedup.
-func runBacktrack(cfg Config, dedup bool) (*Result, error) {
-	e, err := newBengine(cfg)
-	if err != nil {
-		return nil, err
-	}
-	engine := EngineBacktrack
-	if dedup {
-		engine = EngineBacktrackDedup
-	}
-	res := &Result{Engine: engine}
-	var seen map[[16]byte]int
-	if dedup {
-		seen = make(map[[16]byte]int)
-	}
-
-	var dfs func(depth int) error
-	dfs = func(depth int) error {
-		if depth > res.MaxDepthReached {
-			res.MaxDepthReached = depth
-		}
-		choices := e.settle()
-		if len(choices) == 0 || depth >= cfg.MaxDepth {
-			res.Paths++
-			if len(choices) != 0 {
-				res.Truncated++
-			}
-			if err := cfg.Check(e.events); err != nil {
-				schedule := append([]string(nil), e.desc...)
-				return fmt.Errorf("explore: property failed on schedule %v: %w", schedule, err)
-			}
-			return nil
-		}
-		if dedup {
-			key := e.stateKey()
-			remaining := cfg.MaxDepth - depth
-			if best, ok := seen[key]; ok && best >= remaining {
-				res.StatesDeduped++
-				return nil
-			}
-			seen[key] = remaining
-		}
-		// One snapshot serves every sibling: restore re-clones from the
-		// mark and leaves the engine exactly at this node's post-settle
-		// state, so the mark stays pristine across iterations.
-		m := e.save()
-		for _, c := range choices {
-			if err := e.apply(c); err != nil {
-				return err
-			}
-			if err := dfs(depth + 1); err != nil {
-				return err
-			}
-			e.restore(m)
-		}
-		return nil
-	}
-	if err := dfs(0); err != nil {
-		return res, err
-	}
-	return res, nil
-}
+// runBacktrack lives in parallel.go: the backtracking DFS is driven by a
+// worker pool (of size one and up) sharding the schedule tree over a
+// work-stealing frontier.

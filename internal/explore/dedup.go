@@ -1,0 +1,70 @@
+package explore
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// The dedup table implements the claim-once pruning rule shared by every
+// exploration worker: each (canonical state, remaining depth budget) pair
+// is explored by exactly the first worker that reaches it, and every later
+// arrival prunes its subtree. Because a claim names the pair — not the
+// path that reached it — the set of explored subtrees is a function of the
+// configuration alone: it is exactly the set of distinct (state, budget)
+// pairs reachable from the root, regardless of which worker wins which
+// race. That is the property that makes Paths, Truncated, StatesDeduped
+// and MaxDepthReached identical for every worker count (each visit of a
+// pair is one claim or one prune, and the number of visits equals the
+// number of tree edges into the pair from explored parents, which is
+// determined by the explored set itself).
+//
+// The table is striped: claims hash to one of dedupStripes independently
+// locked shards, so workers contend only when their states collide on a
+// stripe. The per-claim critical section is a single map lookup+insert.
+
+// dedupStripes is the number of independently locked shards. It only needs
+// to comfortably exceed any plausible worker count; claims are spread by
+// state hash, so contention on a stripe is ~workers/dedupStripes.
+const dedupStripes = 64
+
+// dedupKey identifies one claimable subtree root: the canonical state hash
+// and the remaining depth budget. Budget is part of the key because a
+// subtree explored with less budget is a truncation of the same subtree
+// with more — the pairs are different nodes of the search DAG.
+type dedupKey struct {
+	state  [16]byte
+	budget int
+}
+
+type dedupStripe struct {
+	mu      sync.Mutex
+	claimed map[dedupKey]struct{}
+}
+
+// dedupTable is the sharded claim set.
+type dedupTable struct {
+	stripes [dedupStripes]dedupStripe
+}
+
+func newDedupTable() *dedupTable {
+	t := &dedupTable{}
+	for i := range t.stripes {
+		t.stripes[i].claimed = make(map[dedupKey]struct{})
+	}
+	return t
+}
+
+// claim atomically claims (state, budget) and reports whether the caller
+// won: true means the caller must explore the subtree, false that some
+// worker already has (or is), so the caller prunes.
+func (t *dedupTable) claim(state [16]byte, budget int) bool {
+	k := dedupKey{state: state, budget: budget}
+	s := &t.stripes[binary.LittleEndian.Uint64(state[:8])%dedupStripes]
+	s.mu.Lock()
+	_, dup := s.claimed[k]
+	if !dup {
+		s.claimed[k] = struct{}{}
+	}
+	s.mu.Unlock()
+	return !dup
+}

@@ -1,33 +1,3 @@
-// Package explore enumerates every interleaving of a small simulated
-// workload up to a depth bound and checks a property on each complete
-// history — bounded model checking for the algorithms in this repository.
-// Randomized schedules (internal/sched) probe large configurations; explore
-// proves exhaustiveness for small ones (two or three processes, a handful
-// of calls), which is where the interesting races of Section 7 live (e.g.
-// "waiters register while the signaler is calling Signal()").
-//
-// Two scheduling decisions are explored: which pending shared-memory access
-// to apply next, and when each process begins its next procedure call.
-// Call-start times matter because Specification 4.1 is stated in terms of
-// call boundaries ("some call to Signal() has already begun"). Completed
-// calls are collected eagerly, so a call's end event carries the earliest
-// sequence number consistent with its last step.
-//
-// Following the problem statement ("a process may call Poll() arbitrarily
-// many times until such a call returns true"), a process abandons the rest
-// of its script once a Poll call returns true.
-//
-// Two engines enumerate the schedule tree. The backtracking engine (the
-// default for algorithms with a resumable tier) keeps ONE execution alive:
-// process state lives in copyable resumable frames and shared memory
-// reverts through the machine's undo log, so moving between adjacent paths
-// retracts a step instead of replaying the whole prefix, and canonical
-// state hashing skips subtrees that converge to an already-explored
-// (machine, frames, pending-calls) state. The replay engine re-runs the
-// shared prefix for every path (total work ≈ paths × depth) and drives
-// blocking programs on goroutines; it remains both the fallback for
-// algorithms without resumable forms and the reference enumeration the
-// backtracking engine is equivalence-tested against.
 package explore
 
 import (
@@ -50,18 +20,24 @@ const (
 	// for every path (work ≈ paths × depth).
 	EngineReplay
 	// EngineBacktrack is the backtracking DFS without state dedup: it
-	// visits exactly the histories EngineReplay visits, in the same
-	// order — the A/B configuration of the equivalence tests.
+	// visits exactly the histories EngineReplay visits (in the same
+	// order when Workers is 1; sharded across workers otherwise, with
+	// identical Result counts either way) — the A/B configuration of
+	// the equivalence tests.
 	EngineBacktrack
-	// EngineBacktrackDedup additionally skips subtrees rooted at an
-	// already-explored canonical state (with at least as much remaining
-	// depth budget), which is what unlocks larger configurations. The
-	// canonical state includes the Specification 4.1 monitor bits
-	// (whether a Signal has begun/completed, and whether each open call
-	// began after the first completed Signal), so pruning is sound for
-	// CheckSpec and any other property that is a function of that state
-	// plus the continuation; a Check that conditions on other prefix
-	// details should use EngineBacktrack or EngineReplay.
+	// EngineBacktrackDedup additionally skips subtrees whose root
+	// (canonical state, remaining depth budget) pair has already been
+	// claimed by the exploration, which is what unlocks larger
+	// configurations. The claim-once rule makes the set of explored
+	// subtrees — and therefore every Result counter — a function of the
+	// configuration alone, independent of traversal order, so any number
+	// of Workers returns identical results. The canonical state includes
+	// the Specification 4.1 monitor bits (whether a Signal has
+	// begun/completed, and whether each open call began after the first
+	// completed Signal), so pruning is sound for CheckSpec and any other
+	// property that is a function of that state plus the continuation; a
+	// Check that conditions on other prefix details should use
+	// EngineBacktrack or EngineReplay.
 	EngineBacktrackDedup
 )
 
@@ -96,11 +72,22 @@ type Config struct {
 	MaxDepth int
 	// Check is invoked on each maximal history; returning an error
 	// aborts the exploration and is reported with the offending
-	// schedule.
+	// schedule. The backtracking engines call Check concurrently from
+	// every worker (and Workers defaults to GOMAXPROCS), so Check must
+	// be safe for concurrent use — a pure function of events, like
+	// signal.CheckSpec, is. events is a live per-worker buffer reused
+	// between histories; Check must not retain it after returning.
 	Check func(events []memsim.Event) error
 	// Engine selects the enumeration strategy; the zero value is
 	// EngineAuto.
 	Engine Engine
+	// Workers is the number of exploration workers the backtracking
+	// engines shard the schedule tree across (a work-stealing pool; each
+	// worker owns a private execution, frame snapshots and undo log, and
+	// all workers share the claim-once dedup table). Zero or negative
+	// means GOMAXPROCS. Results are identical for every worker count;
+	// the replay engine ignores Workers and always runs sequentially.
+	Workers int
 }
 
 // Result summarizes an exploration.
@@ -109,15 +96,20 @@ type Result struct {
 	Paths int
 	// Truncated counts histories cut off by MaxDepth.
 	Truncated int
-	// StatesDeduped counts subtrees skipped because their root state had
-	// already been explored with at least as much depth budget (always 0
-	// on the replay and plain backtracking engines).
+	// StatesDeduped counts subtrees skipped because their root
+	// (canonical state, remaining budget) pair had already been claimed
+	// by the exploration (always 0 on the replay and plain backtracking
+	// engines). Like every other counter it is deterministic: the same
+	// configuration yields the same count for any worker count.
 	StatesDeduped int
 	// MaxDepthReached is the deepest scheduling-choice depth any explored
 	// path attained.
 	MaxDepthReached int
 	// Engine is the engine that actually ran (EngineAuto resolved).
 	Engine Engine
+	// Workers is the number of exploration workers that ran (Config
+	// default resolved; always 1 on the replay engine).
+	Workers int
 }
 
 // choice is one scheduling decision: apply pid's pending access, or start
@@ -135,9 +127,13 @@ func (c choice) String() string {
 	return fmt.Sprintf("p%d", c.pid)
 }
 
-// Run exhaustively enumerates schedules in depth-first lexicographic order
-// on the configured engine (see Engine; the default picks backtracking
-// with state dedup whenever the algorithm has a resumable tier).
+// Run exhaustively enumerates schedules on the configured engine (see
+// Engine; the default picks backtracking with state dedup whenever the
+// algorithm has a resumable tier). With one worker the traversal is
+// depth-first lexicographic; with several it is sharded work-stealing —
+// visit order then varies run to run, but every Result counter and every
+// Check outcome is identical, and a reported counterexample is the
+// lexicographically least among the failures found before the abort.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Factory == nil || cfg.Check == nil {
 		return nil, errors.New("explore: config requires Factory and Check")
@@ -164,7 +160,7 @@ func Run(cfg Config) (*Result, error) {
 // shared prefix of adjacent paths, which keeps total work near
 // paths × depth. Blocking programs run on (pooled) goroutines.
 func runReplay(cfg Config) (*Result, error) {
-	res := &Result{Engine: EngineReplay}
+	res := &Result{Engine: EngineReplay, Workers: 1}
 	var path []int // path[i]: index into the choice set at depth i
 	for {
 		exec, choiceSets, truncated, err := replayPath(cfg, path)

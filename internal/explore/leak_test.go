@@ -48,8 +48,9 @@ func TestNoGoroutineLeakAfterReplayTruncation(t *testing.T) {
 	settleGoroutines(t, base)
 }
 
-// TestNoGoroutineLeakBacktracking: the backtracking engine must not touch
-// the goroutine count at all, however many histories it truncates.
+// TestNoGoroutineLeakBacktracking: the single-worker backtracking engine
+// must not touch the goroutine count at all, however many histories it
+// truncates.
 func TestNoGoroutineLeakBacktracking(t *testing.T) {
 	base := runtime.NumGoroutine()
 	res, err := Run(Config{
@@ -62,6 +63,7 @@ func TestNoGoroutineLeakBacktracking(t *testing.T) {
 		},
 		MaxDepth: 7,
 		Engine:   EngineBacktrackDedup,
+		Workers:  1,
 		Check:    specCheck,
 	})
 	if err != nil {
@@ -73,4 +75,35 @@ func TestNoGoroutineLeakBacktracking(t *testing.T) {
 	if got := runtime.NumGoroutine(); got != base {
 		t.Fatalf("backtracking engine changed goroutine count: %d -> %d", base, got)
 	}
+}
+
+// TestNoGoroutineLeakParallel: a parallel exploration joins its whole
+// worker pool before returning — no worker goroutine survives the run,
+// even when the property fails mid-search and the pool aborts.
+func TestNoGoroutineLeakParallel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	res, err := Run(queue33Config(10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated == 0 {
+		t.Fatal("expected truncated histories at depth 10")
+	}
+	failing := Config{
+		Factory: func(m *memsim.Machine, n int) (memsim.Instance, error) {
+			return brokenResumable{b: m.Alloc(memsim.NoOwner, "B", 1, 0)}, nil
+		},
+		N: 2,
+		Scripts: map[memsim.PID][]memsim.CallKind{
+			0: {memsim.CallPoll},
+			1: {memsim.CallSignal},
+		},
+		MaxDepth: 6,
+		Workers:  8,
+		Check:    specCheck,
+	}
+	if _, err := Run(failing); err == nil {
+		t.Fatal("planted violation not found")
+	}
+	settleGoroutines(t, base)
 }

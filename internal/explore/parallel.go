@@ -1,0 +1,374 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Parallel sharded exploration. The schedule tree is embarrassingly
+// parallel at the prefix level: any node is reachable from the root by its
+// choice-index sequence alone, so a subtree can be handed to another
+// worker as a bare []int. Each worker owns a private bengine (its own
+// machine, instance, frame snapshots and undo log — nothing mutable is
+// shared between executions) and drives the same backtracking DFS the
+// sequential engine runs. Work distribution is a work-stealing frontier:
+// every worker has a deque of subtree prefixes; it pushes and pops at the
+// bottom (LIFO, so its own work stays depth-first and cache-warm) and
+// steals from the top of other deques (FIFO, so thieves grab the
+// shallowest — largest — subtrees). A worker splits its current node,
+// pushing all siblings after the first as prefixes, only while the global
+// frontier is starving; otherwise it recurses locally with zero
+// coordination.
+//
+// Dedup is shared through the striped claim table (dedup.go), whose
+// claim-once rule is what makes the merged Result deterministic: identical
+// Paths, Truncated, StatesDeduped and MaxDepthReached for every worker
+// count, equivalence-tested against Workers: 1 on every seed config. The
+// one nondeterministic edge is *which* counterexample is reported when the
+// property fails — prefixes racing to a failing state can differ between
+// runs — so the engine aborts all workers on the first failure and reports
+// the lexicographically least schedule among the failures found.
+
+// errStopped unwinds a worker's DFS quickly once another worker has found
+// a failure or an internal error; it never escapes runBacktrack.
+var errStopped = errors.New("explore: stopped")
+
+// task is one frontier entry: the choice-index prefix that re-reaches the
+// subtree root from the initial state.
+type task []int
+
+// deque is one worker's stealable frontier. A mutex suffices: pushes and
+// pops happen at most once per split or task, far off the per-node hot
+// path (a Chase-Lev lock-free deque would buy nothing at this
+// granularity).
+type deque struct {
+	mu    sync.Mutex
+	tasks []task
+}
+
+func (d *deque) push(t task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+// popBottom removes the most recently pushed task — the owner's own,
+// deepest, depth-first continuation.
+func (d *deque) popBottom() (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil, false
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	return t, true
+}
+
+// stealTop removes the oldest task — the shallowest prefix, rooting the
+// largest expected subtree, which amortizes the thief's replay cost best.
+func (d *deque) stealTop() (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil, false
+	}
+	t := d.tasks[0]
+	d.tasks[0] = nil
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// failure is one property violation found by some worker.
+type failure struct {
+	path []int
+	desc []string
+	err  error
+}
+
+// search is the state shared by all workers of one exploration.
+type search struct {
+	cfg     Config
+	workers int
+	table   *dedupTable // nil with dedup off
+	queues  []*deque
+	qlen    atomic.Int64 // tasks queued across all deques
+	active  atomic.Int64 // workers currently holding a task
+	stop    atomic.Bool
+
+	mu   sync.Mutex
+	fail *failure // lexicographically least failure so far
+	err  error    // first internal engine error
+}
+
+// hungry reports whether the frontier is starving: fewer queued tasks than
+// twice the worker count. Workers split their current node only while this
+// holds, which keeps task (and prefix-replay) overhead near zero once
+// every worker is saturated.
+func (s *search) hungry() bool {
+	return s.qlen.Load() < int64(2*s.workers)
+}
+
+// submit hands a subtree prefix to owner's deque.
+func (s *search) submit(owner int, t task) {
+	s.qlen.Add(1)
+	s.queues[owner].push(t)
+}
+
+// recordFailure keeps the lexicographically least failing schedule and
+// stops all workers. Which failures are *found* can vary run to run (a
+// racing prefix may claim a state first), but the Check outcome — that the
+// property fails — is deterministic for the property class dedup supports.
+func (s *search) recordFailure(path []int, desc []string, err error) {
+	s.mu.Lock()
+	if s.fail == nil || lexLess(path, s.fail.path) {
+		s.fail = &failure{
+			path: append([]int(nil), path...),
+			desc: append([]string(nil), desc...),
+			err:  err,
+		}
+	}
+	s.mu.Unlock()
+	s.stop.Store(true)
+}
+
+// fatal records the first internal engine error and stops all workers.
+func (s *search) fatal(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.stop.Store(true)
+}
+
+// lexLess orders schedules by their choice-index sequences. Two distinct
+// maximal schedules are never prefixes of one another (a leaf has no
+// extensions), so element-wise comparison decides.
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// searcher is one worker: a private engine plus local result tallies,
+// merged after the pool joins. Local tallies keep the per-node hot path
+// free of shared-counter traffic.
+type searcher struct {
+	s    *search
+	id   int
+	e    *bengine
+	root mark // pristine initial state, for resetting between tasks
+
+	paths     int
+	truncated int
+	deduped   int
+	maxDepth  int
+}
+
+func newSearcher(s *search, id int) (*searcher, error) {
+	e, err := newBengine(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &searcher{s: s, id: id, e: e, root: e.save()}, nil
+}
+
+// runTask rewinds the worker's engine to the initial state, replays the
+// prefix by choice index, and explores the subtree. The replay is pure
+// positioning: nodes along the prefix were already visited (counted,
+// claimed, split) by the worker that produced the task, so it touches no
+// counters and no claims.
+func (w *searcher) runTask(t task) error {
+	w.e.restore(w.root)
+	for step, idx := range t {
+		choices := w.e.settle()
+		if idx >= len(choices) {
+			return fmt.Errorf("explore: internal: task choice %d out of range at depth %d", idx, step)
+		}
+		if err := w.e.apply(choices[idx], idx); err != nil {
+			return err
+		}
+	}
+	return w.dfs(len(t))
+}
+
+// dfs explores the subtree at the engine's current position. It is the
+// one enumeration loop of the backtracking engines, sequential or
+// parallel: settle, count leaves, claim the (state, budget) pair, then
+// either recurse into every child or — while the frontier is starving —
+// keep only the first child and publish the siblings as stealable
+// prefixes.
+func (w *searcher) dfs(depth int) error {
+	if w.s.stop.Load() {
+		return errStopped
+	}
+	if depth > w.maxDepth {
+		w.maxDepth = depth
+	}
+	choices := w.e.settle()
+	if len(choices) == 0 || depth >= w.s.cfg.MaxDepth {
+		w.paths++
+		if len(choices) != 0 {
+			w.truncated++
+		}
+		if err := w.s.cfg.Check(w.e.events); err != nil {
+			w.s.recordFailure(w.e.path, w.e.desc, err)
+			return errStopped
+		}
+		return nil
+	}
+	if w.s.table != nil && !w.s.table.claim(w.e.stateKey(), w.s.cfg.MaxDepth-depth) {
+		w.deduped++
+		return nil
+	}
+	// Split only internal nodes whose children are not forced leaves (a
+	// leaf task would replay the whole path to do one check) and only
+	// while the frontier is starving.
+	split := w.s.workers > 1 && len(choices) > 1 && depth+1 < w.s.cfg.MaxDepth && w.s.hungry()
+	// One snapshot serves every sibling: restore re-clones from the
+	// mark and leaves the engine exactly at this node's post-settle
+	// state, so the mark stays pristine across iterations.
+	m := w.e.save()
+	for i, c := range choices {
+		if split && i > 0 {
+			prefix := make(task, len(w.e.path)+1)
+			copy(prefix, w.e.path)
+			prefix[len(prefix)-1] = i
+			w.s.submit(w.id, prefix)
+			continue
+		}
+		if err := w.e.apply(c, i); err != nil {
+			return err
+		}
+		if err := w.dfs(depth + 1); err != nil {
+			return err
+		}
+		w.e.restore(m)
+	}
+	return nil
+}
+
+// runLoop is one pool worker: drain the own deque bottom-first, steal from
+// siblings when empty, exit when every deque is empty and no worker holds
+// a task (tasks are only ever created by a worker holding one, so that
+// condition is stable).
+func (w *searcher) runLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	backoff := time.Microsecond
+	for {
+		if w.s.stop.Load() {
+			return
+		}
+		w.s.active.Add(1)
+		t, ok := w.s.queues[w.id].popBottom()
+		if !ok {
+			t, ok = w.steal()
+		}
+		if !ok {
+			if w.s.active.Add(-1) == 0 && w.s.qlen.Load() == 0 {
+				return
+			}
+			time.Sleep(backoff)
+			if backoff < 256*time.Microsecond {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = time.Microsecond
+		w.s.qlen.Add(-1)
+		err := w.runTask(t)
+		w.s.active.Add(-1)
+		if err != nil && !errors.Is(err, errStopped) {
+			w.s.fatal(err)
+		}
+	}
+}
+
+// steal scans the other workers' deques round-robin from the right
+// neighbor, taking the top (shallowest) task of the first non-empty one.
+func (w *searcher) steal() (task, bool) {
+	for i := 1; i < w.s.workers; i++ {
+		if t, ok := w.s.queues[(w.id+i)%w.s.workers].stealTop(); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// runBacktrack drives the backtracking DFS — with or without state dedup —
+// sharded across cfg.Workers workers (GOMAXPROCS when unset; one worker
+// runs the plain sequential DFS with no pool and no locks on the hot
+// path). Results are identical for every worker count.
+func runBacktrack(cfg Config, dedup bool) (*Result, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	engine := EngineBacktrack
+	if dedup {
+		engine = EngineBacktrackDedup
+	}
+	s := &search{cfg: cfg, workers: workers}
+	if dedup {
+		s.table = newDedupTable()
+	}
+	searchers := make([]*searcher, workers)
+	for i := range searchers {
+		w, err := newSearcher(s, i)
+		if err != nil {
+			return nil, err
+		}
+		searchers[i] = w
+	}
+
+	if workers == 1 {
+		if err := searchers[0].dfs(0); err != nil && !errors.Is(err, errStopped) {
+			return merge(s, engine, searchers), err
+		}
+	} else {
+		s.queues = make([]*deque, workers)
+		for i := range s.queues {
+			s.queues[i] = &deque{}
+		}
+		s.submit(0, task{}) // the root subtree
+		var wg sync.WaitGroup
+		for _, w := range searchers {
+			wg.Add(1)
+			go w.runLoop(&wg)
+		}
+		wg.Wait()
+	}
+
+	res := merge(s, engine, searchers)
+	if s.err != nil {
+		return res, s.err
+	}
+	if s.fail != nil {
+		return res, fmt.Errorf("explore: property failed on schedule %v: %w", s.fail.desc, s.fail.err)
+	}
+	return res, nil
+}
+
+// merge folds the workers' private tallies into one Result.
+func merge(s *search, engine Engine, searchers []*searcher) *Result {
+	res := &Result{Engine: engine, Workers: s.workers}
+	for _, w := range searchers {
+		res.Paths += w.paths
+		res.Truncated += w.truncated
+		res.StatesDeduped += w.deduped
+		if w.maxDepth > res.MaxDepthReached {
+			res.MaxDepthReached = w.maxDepth
+		}
+	}
+	return res
+}

@@ -1,0 +1,24 @@
+// Package harness is the generic streaming workload driver: one drive loop
+// shared by every contended workload in the repository (mutual exclusion,
+// group mutual exclusion, the semi-synchronous timed lock).
+//
+// A Workload supplies deployment, per-process program minting and
+// completion accounting; the harness owns everything else — scheduling,
+// the step budget, interruption, and the streaming measurement pipeline.
+// Attached model.Scorer accumulators price every shared-memory event in a
+// single pass, optional memsim.EventSink hooks observe the stream, and the
+// trace itself is retained only on request (Config.KeepEvents), so
+// scoring-only runs keep O(1) events however long the execution. The
+// semantics deliberately mirror core.Run on the signaling path: the two
+// measurement pipelines behave identically, share the ErrBudget and
+// ErrInterrupted sentinels, and harvest completions once more after the
+// drive loop exits so a call completing on the final budgeted or
+// interrupting step is always counted.
+//
+// Workloads that also implement SteppedWorkload receive a callback after
+// every applied step — the hook the semi-synchronous runner uses to
+// enforce Δ-deadlines — and those that implement ResumableWorkload start
+// their calls on the goroutine-free resumable engine tier (see
+// internal/memsim), falling back to blocking programs otherwise.
+// Config.ForceBlocking pins the blocking tier for A/B comparisons.
+package harness

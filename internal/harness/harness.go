@@ -1,14 +1,3 @@
-// Package harness is the generic streaming workload driver: one drive loop
-// shared by every contended workload in the repository (mutual exclusion,
-// group mutual exclusion, the semi-synchronous timed lock). A Workload
-// supplies deployment, per-process program minting and completion
-// accounting; the harness owns scheduling, the step budget, interruption,
-// and the streaming measurement pipeline — attached model.Scorer
-// accumulators price every shared-memory event in a single pass, optional
-// memsim.EventSink hooks observe it, and the trace itself is retained only
-// on request (Config.KeepEvents). The semantics mirror core.Run for the
-// signaling path, so both measurement pipelines behave identically:
-// scoring-only runs keep O(1) events however long the execution.
 package harness
 
 import (

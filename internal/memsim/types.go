@@ -1,20 +1,3 @@
-// Package memsim implements a deterministic simulator of an asynchronous
-// shared-memory multiprocessor, the execution substrate for reproducing
-// Golab's CC/DSM complexity separation (PODC 2011, arXiv:1109.5153).
-//
-// The simulator follows Section 2 of the paper: up to N asynchronous
-// processes communicate through atomic operations on shared memory words.
-// Memory is partitioned into per-process modules (the DSM view); the same
-// execution can be scored under cache-coherent cost models after the fact.
-//
-// Algorithms are written as ordinary Go functions against the Proc
-// interface. Every shared-memory access is a scheduling point: the
-// Controller suspends the process before the access is applied, so an
-// adversary (see internal/lowerbound) can inspect the pending access,
-// reorder processes arbitrarily, or abandon a process entirely. Because
-// algorithms are required to be deterministic, any recorded schedule can be
-// replayed from scratch, which is exactly the capability the paper's
-// erasing/rolling-forward proof strategy requires.
 package memsim
 
 import "strconv"

@@ -1,0 +1,24 @@
+// Package model implements the RMR cost models of the paper's Section 2
+// and the interconnect-message accounting of Section 8.
+//
+// A cost model prices an execution: the same run of the simulator can be
+// priced under the DSM rule (locality of the accessed module), the loose
+// CC rule used for the paper's upper bounds (repeated reads of an
+// uninvalidated location cost one RMR in total; a failed CAS is trivial
+// and invalidates nothing), and several coherence-protocol message models
+// (bus broadcast, ideal directory, limited directory) that define Section
+// 8's "exchange rate" between CC RMRs and communication. CC carries the
+// ablation knobs the experiment suite exercises: StrictInvalidate (price
+// failed CAS as invalidating) and EvictEvery (periodic spurious evictions,
+// Section 8's ideal-cache caveat).
+//
+// Pricing has one canonical implementation, the streaming one: a Scorer
+// names a model and mints an Accumulator whose Observe prices one
+// memsim.Event at a time in O(1) retained state, which is how core.Run and
+// the workload harness score without keeping a trace. The batch entry
+// points (Score, Annotate) are thin loops over the same accumulators for
+// tools that do retain events; equivalence between the two paths is
+// property-tested. A Report carries totals, per-process counts,
+// invalidations and messages; Max and Amortized are the paper-facing
+// aggregates.
+package model

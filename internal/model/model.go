@@ -1,13 +1,3 @@
-// Package model implements the RMR cost models of the paper's Section 2 and
-// the interconnect-message accounting of Section 8.
-//
-// A cost model scores an execution trace after the fact: the same run of
-// the simulator can be priced under the DSM rule (locality of the accessed
-// module), the loose CC rule used for the paper's upper bounds (repeated
-// reads of an uninvalidated location cost one RMR in total), and several
-// coherence-protocol message models (bus broadcast, ideal directory,
-// limited directory) that define Section 8's "exchange rate" between CC
-// RMRs and communication.
 package model
 
 import (

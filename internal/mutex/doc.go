@@ -1,0 +1,30 @@
+// Package mutex implements the mutual-exclusion substrate the paper's
+// related-work positioning (Section 3) builds on, and that the Section 7
+// queue-based signaling solution presupposes: spin locks spanning the
+// known RMR-complexity landscape.
+//
+//   - test-and-set and test-and-test-and-set locks: unbounded RMRs in both
+//     models under contention;
+//   - ticket lock (Fetch-And-Increment): bounded fairness but remote
+//     spinning, so O(contenders) RMRs per passage;
+//   - Anderson's array lock: O(1) RMRs per passage in the CC model, remote
+//     spinning in DSM;
+//   - MCS queue lock: O(1) RMRs per passage in both CC and DSM (each
+//     process spins on a flag in its own memory module);
+//   - Peterson tournament lock: reads/writes only, Θ(log N) RMRs per
+//     passage in the CC model (the read/write bound of [30, 22, 10, 5]);
+//   - bakery lock: the classic reads/writes-only doorway algorithm.
+//
+// Locks are program fragments over memsim.Proc — Acquire/Release compose
+// with larger simulated programs — and every lock also implements
+// ResumableLock, the frame-based form the goroutine-free engine tier
+// dispatches inline (see internal/memsim). CSProbe is the shared
+// critical-section passage probe (lost-update detection, completion
+// accounting) embedded by both this package's workload and the
+// semi-synchronous one.
+//
+// Run and RunStreaming drive a contended passage workload on the generic
+// harness (internal/harness): Run without KeepEvents retains the trace for
+// after-the-fact Score, matching the legacy behavior; RunStreaming applies
+// the config exactly as given, so a scoring-only run retains O(1) events.
+package mutex

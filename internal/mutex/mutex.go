@@ -1,21 +1,3 @@
-// Package mutex implements the mutual-exclusion substrate the paper's
-// related-work positioning (Section 3) builds on, and that the Section 7
-// queue-based signaling solution presupposes: spin locks spanning the known
-// RMR-complexity landscape.
-//
-//   - test-and-set and test-and-test-and-set locks: unbounded RMRs in both
-//     models under contention;
-//   - ticket lock (Fetch-And-Increment): bounded fairness but remote
-//     spinning, so O(contenders) RMRs per passage;
-//   - Anderson's array lock: O(1) RMRs per passage in the CC model, remote
-//     spinning in DSM;
-//   - MCS queue lock: O(1) RMRs per passage in both CC and DSM (each
-//     process spins on a flag in its own memory module);
-//   - Peterson tournament lock: reads/writes only, Θ(log N) RMRs per
-//     passage in the CC model (the read/write bound of [30, 22, 10, 5]).
-//
-// Locks are program fragments over memsim.Proc so they compose with larger
-// simulated programs.
 package mutex
 
 import (

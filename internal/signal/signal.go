@@ -1,12 +1,3 @@
-// Package signal specifies the paper's signaling problem (Section 4) and
-// implements every solution the paper states or sketches: the O(1)-RMR
-// cache-coherent flag algorithm of Section 5 and the five DSM-oriented
-// algorithms of Section 7. A trace-level safety checker verifies
-// Specification 4.1 on arbitrary interleavings.
-//
-// Conventions. Processes are numbered 0..N-1. Algorithms whose problem
-// variant fixes the signaler in advance use process N-1 as the designated
-// signaler. Booleans are encoded as 0 (false) and 1 (true).
 package signal
 
 import (

@@ -500,7 +500,7 @@ func AlgorithmByName(name string) (Algorithm, error) { return signal.ByName(name
 // Locks returns every mutual-exclusion lock in the repository.
 func Locks() []mutex.Algorithm { return mutex.All() }
 
-// Experiments regenerates the full experiment table suite of DESIGN.md §4.
+// Experiments regenerates the full E1–E12 experiment table suite.
 func Experiments() ([]*Table, error) { return core.Experiments() }
 
 // ExperimentsContext regenerates the experiment suite on up to workers

@@ -1,0 +1,31 @@
+#!/bin/sh
+# check_docs.sh — docs-consistency gate, run by the CI docs job.
+#
+# Asserts that every internal/* package carries a package-level godoc
+# comment ("// Package <name> ...") of at least three comment lines, so a
+# package can't silently regress to an undocumented stub. Run from the
+# repository root.
+set -eu
+
+fail=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    file=$(grep -l "^// Package $pkg " "$dir"*.go 2>/dev/null | head -n 1 || true)
+    if [ -z "$file" ]; then
+        echo "FAIL: package $pkg has no '// Package $pkg ...' comment" >&2
+        fail=1
+        continue
+    fi
+    # Count the contiguous comment lines of the block that starts at the
+    # package comment.
+    lines=$(awk '/^\/\/ Package /{on=1} on{ if ($0 ~ /^\/\//) n++; else exit } END{print n+0}' "$file")
+    if [ "$lines" -lt 3 ]; then
+        echo "FAIL: package $pkg's package comment is only $lines line(s) ($file) — write a real one" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "package comments ok ($(ls -d internal/*/ | wc -l | tr -d ' ') packages)"
