@@ -11,10 +11,12 @@
 // The backtracking engine shards the schedule tree across -workers
 // work-stealing workers (0 means one per core); results are identical for
 // every worker count. -dedup=false forces the sequential legacy replay
-// enumeration for A/B checks.
+// enumeration for A/B checks. -json prints the full result as one JSON
+// object for CI and scripts, instead of the text summary.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +27,24 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/signal"
 )
+
+// output is the -json document: the exploration result plus the workload
+// parameters that produced it, so one object reproduces the run. The
+// resolved worker-pool size is deliberately absent: it is machine-
+// dependent (GOMAXPROCS) while every counter here is not, so the document
+// is byte-identical across machines and -workers values.
+type output struct {
+	Algorithm       string `json:"algorithm"`
+	Waiters         int    `json:"waiters"`
+	Polls           int    `json:"polls"`
+	Depth           int    `json:"depth"`
+	Paths           int    `json:"paths"`
+	Truncated       int    `json:"truncated"`
+	StatesDeduped   int    `json:"statesDeduped"`
+	MaxDepthReached int    `json:"maxDepthReached"`
+	Engine          string `json:"engine"`
+	SpecHolds       bool   `json:"specHolds"`
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -43,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		"backtracking engine with state dedup; false forces the legacy replay enumeration (A/B checks)")
 	workers := fs.Int("workers", 0,
 		"exploration workers sharding the schedule tree (0 = one per core); results are identical for every count")
+	jsonOut := fs.Bool("json", false, "print the full result as one JSON object")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +110,20 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	elapsed := time.Since(start)
+	if *jsonOut {
+		return json.NewEncoder(out).Encode(output{
+			Algorithm:       alg.Name,
+			Waiters:         *waiters,
+			Polls:           *polls,
+			Depth:           *depth,
+			Paths:           res.Paths,
+			Truncated:       res.Truncated,
+			StatesDeduped:   res.StatesDeduped,
+			MaxDepthReached: res.MaxDepthReached,
+			Engine:          res.Engine.String(),
+			SpecHolds:       true, // a violation returns an error above
+		})
+	}
 	// The first two lines are deterministic for any worker count; the
 	// throughput line is the only timing-dependent output.
 	fmt.Fprintf(out, "%s: %d interleavings explored (%d truncated at depth %d), specification holds on all\n",

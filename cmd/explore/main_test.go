@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -78,6 +80,47 @@ func TestRunExploreWorkersIdenticalSummary(t *testing.T) {
 		if !strings.Contains(many.String(), "workers: "+workers+",") {
 			t.Fatalf("-workers %s not reported: %s", workers, many.String())
 		}
+	}
+}
+
+// TestRunExploreJSONRoundTrip: -json emits one object that unmarshals
+// back into the output type and re-marshals identically, and its counters
+// agree with the text summary's.
+func TestRunExploreJSONRoundTrip(t *testing.T) {
+	args := []string{"-alg", "queue", "-waiters", "2", "-polls", "2", "-depth", "9"}
+	var buf bytes.Buffer
+	if err := run(append(args, "-json"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	if strings.Count(strings.TrimSpace(raw), "\n") != 0 {
+		t.Fatalf("-json printed more than one object:\n%s", raw)
+	}
+	var doc output
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, raw)
+	}
+	again, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc2 output
+	if err := json.Unmarshal(again, &doc2); err != nil {
+		t.Fatal(err)
+	}
+	if doc != doc2 {
+		t.Fatalf("round trip changed the document:\n %+v\n %+v", doc, doc2)
+	}
+	if doc.Algorithm != "queue" || doc.Engine != "backtracking+dedup" || !doc.SpecHolds || doc.Paths == 0 {
+		t.Fatalf("document missing fields: %s", raw)
+	}
+	var text bytes.Buffer
+	if err := run(args, &text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), fmt.Sprintf("%d interleavings", doc.Paths)) ||
+		!strings.Contains(text.String(), fmt.Sprintf("states deduped: %d", doc.StatesDeduped)) {
+		t.Fatalf("JSON counters disagree with the text summary:\n%s\n%s", raw, text.String())
 	}
 }
 

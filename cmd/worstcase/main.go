@@ -1,0 +1,169 @@
+// Command worstcase synthesizes the schedule that maximizes a signaling
+// workload's RMR bill — internal/search as a CLI. Exhaustive mode reports
+// the exact worst case and its lexicographically least witness schedule;
+// sample mode reports a seeded Monte Carlo summary (max, mean, quantiles)
+// for configurations beyond exhaustive reach.
+//
+// Usage:
+//
+//	worstcase -alg flag -n 2 -depth 10 -mode exhaustive
+//	worstcase -alg queue -n 3 -polls 3 -depth 16 -model cc
+//	worstcase -alg flag -n 8 -depth 40 -mode sample -seed 1 -walks 4096
+//	worstcase -alg flag -n 2 -depth 10 -json
+//
+// Every stdout line is deterministic for the flag set (any worker count);
+// timing goes to stderr. -json prints the full result as one JSON object
+// instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/search"
+	"repro/internal/signal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "worstcase:", err)
+		os.Exit(1)
+	}
+}
+
+// modelByName resolves the -model flag.
+func modelByName(name string) (model.Scorer, error) {
+	switch name {
+	case "dsm":
+		return model.ModelDSM, nil
+	case "cc":
+		return model.ModelCC, nil
+	case "cc-wb":
+		return model.ModelCCWriteBack, nil
+	case "cc-dir-ideal":
+		return model.ModelCCDirIdeal, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (have dsm, cc, cc-wb, cc-dir-ideal)", name)
+	}
+}
+
+// output is the -json document: the search result plus the workload
+// parameters that produced it, so one object reproduces the run.
+type output struct {
+	Algorithm string `json:"algorithm"`
+	Model     string `json:"model"`
+	Waiters   int    `json:"waiters"`
+	Polls     int    `json:"polls"`
+	Depth     int    `json:"depth"`
+	*search.Result
+	// Workers shadows the embedded Result field out of the document: the
+	// resolved pool size is machine-dependent (GOMAXPROCS) while every
+	// search counter is not, so dropping it keeps the JSON byte-identical
+	// across machines and -workers values, like the text summary.
+	Workers int `json:"workers,omitempty"`
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("worstcase", flag.ContinueOnError)
+	algName := fs.String("alg", "flag", "signaling algorithm (see adversary -list)")
+	modelName := fs.String("model", "dsm", "cost model to maximize: dsm, cc, cc-wb, cc-dir-ideal")
+	waiters := fs.Int("n", 2, "number of polling waiters")
+	polls := fs.Int("polls", 2, "polls per waiter")
+	depth := fs.Int("depth", 10, "scheduling-choice depth bound")
+	mode := fs.String("mode", "exhaustive", "search mode: exhaustive or sample")
+	seed := fs.Int64("seed", 1, "base seed of sample mode (echoed in the result)")
+	walks := fs.Int("walks", 512, "random walks in sample mode")
+	workers := fs.Int("workers", 0,
+		"search workers (0 = one per core); results are identical for every count")
+	jsonOut := fs.Bool("json", false, "print the full result as one JSON object")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alg, err := signal.ByName(*algName)
+	if err != nil {
+		return err
+	}
+	if !alg.Variant.Polling {
+		return fmt.Errorf("%s has no Poll; worst-case search drives polling workloads", alg.Name)
+	}
+	scorer, err := modelByName(*modelName)
+	if err != nil {
+		return err
+	}
+	var m search.Mode
+	if err := m.UnmarshalText([]byte(*mode)); err != nil {
+		return err
+	}
+
+	n := *waiters + 2 // waiters, one spare, the signaler at N-1
+	scripts := make(map[memsim.PID][]memsim.CallKind, *waiters+1)
+	for i := 0; i < *waiters; i++ {
+		script := make([]memsim.CallKind, *polls)
+		for j := range script {
+			script[j] = memsim.CallPoll
+		}
+		scripts[memsim.PID(i)] = script
+	}
+	scripts[memsim.PID(n-1)] = []memsim.CallKind{memsim.CallSignal}
+
+	start := time.Now()
+	res, err := search.Run(search.Config{
+		Factory:  alg.New,
+		N:        n,
+		Scripts:  scripts,
+		MaxDepth: *depth,
+		Model:    scorer,
+		Mode:     m,
+		Workers:  *workers,
+		Seed:     *seed,
+		Walks:    *walks,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	// Timing and pool size are the only nondeterministic outputs; they go
+	// to stderr so stdout diffs cleanly against golden summaries.
+	fmt.Fprintf(errOut, "workers: %d, elapsed: %v\n", res.Workers, elapsed.Round(time.Millisecond))
+
+	if *jsonOut {
+		r := *res
+		r.Workers = 0 // machine-dependent; see output.Workers
+		doc := output{
+			Algorithm: alg.Name,
+			Model:     res.Model,
+			Waiters:   *waiters,
+			Polls:     *polls,
+			Depth:     *depth,
+			Result:    &r,
+		}
+		enc := json.NewEncoder(out)
+		return enc.Encode(doc)
+	}
+
+	switch res.Mode {
+	case search.ModeExhaustive:
+		fmt.Fprintf(out, "%s: worst %s cost over %d waiters x %d polls = %d RMRs (depth <= %d)\n",
+			alg.Name, res.Model, *waiters, *polls, res.WorstCost, *depth)
+		fmt.Fprintf(out, "witness: %s (truncated: %v)\n",
+			strings.Join(res.Schedule, " "), res.WitnessTruncated)
+		fmt.Fprintf(out, "mode: exhaustive, paths: %d, pruned: %d, truncated: %d, max depth reached: %d\n",
+			res.Paths, res.Pruned, res.Truncated, res.MaxDepthReached)
+	case search.ModeSample:
+		fmt.Fprintf(out, "%s: sampled worst %s cost over %d waiters x %d polls = %d RMRs (depth <= %d, seed %d, %d walks)\n",
+			alg.Name, res.Model, *waiters, *polls, res.WorstCost, *depth, res.Seed, res.Walks)
+		fmt.Fprintf(out, "witness: %s (truncated: %v)\n",
+			strings.Join(res.Schedule, " "), res.WitnessTruncated)
+		fmt.Fprintf(out, "mode: sample, mean: %.2f, p50: %d, p90: %d, p99: %d, truncated: %d, max depth reached: %d\n",
+			res.MeanCost, res.Q.P50, res.Q.P90, res.Q.P99, res.Truncated, res.MaxDepthReached)
+	}
+	return nil
+}

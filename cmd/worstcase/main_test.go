@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSmokeMatchesGolden: the deterministic stdout summaries of the CI
+// smoke commands match the committed golden files byte for byte (the CI
+// job runs the same diff against the built binary).
+func TestSmokeMatchesGolden(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"testdata/smoke_exhaustive.golden",
+			[]string{"-alg", "flag", "-n", "2", "-depth", "10", "-mode", "exhaustive"}},
+		{"testdata/smoke_sample.golden",
+			[]string{"-alg", "flag", "-n", "2", "-depth", "10", "-mode", "sample", "-seed", "1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			want, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			if err := run(tc.args, &out, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+			if out.String() != string(want) {
+				t.Fatalf("summary drifted from golden:\n got:\n%s want:\n%s", out.String(), want)
+			}
+		})
+	}
+}
+
+// TestSummaryDeterministicAcrossWorkers: stdout is identical for any
+// -workers value (only the stderr timing line may differ), the property
+// that lets the smoke job run without pinning a worker count.
+func TestSummaryDeterministicAcrossWorkers(t *testing.T) {
+	for _, mode := range []string{"exhaustive", "sample"} {
+		var base string
+		for i, workers := range []string{"1", "2", "8"} {
+			var out strings.Builder
+			args := []string{"-alg", "queue", "-n", "2", "-depth", "9", "-mode", mode,
+				"-seed", "3", "-walks", "64", "-workers", workers}
+			if err := run(args, &out, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				base = out.String()
+			} else if out.String() != base {
+				t.Fatalf("mode %s: -workers %s changed the summary:\n%s vs\n%s",
+					mode, workers, out.String(), base)
+			}
+		}
+	}
+}
+
+// TestJSONRoundTrip: -json emits one object that unmarshals back into the
+// output type and re-marshals identically, for both modes.
+func TestJSONRoundTrip(t *testing.T) {
+	for _, mode := range []string{"exhaustive", "sample"} {
+		var out strings.Builder
+		args := []string{"-alg", "flag", "-n", "2", "-depth", "8", "-mode", mode,
+			"-seed", "1", "-walks", "32", "-json"}
+		if err := run(args, &out, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		raw := out.String()
+		if strings.Count(strings.TrimSpace(raw), "\n") != 0 {
+			t.Fatalf("mode %s: -json printed more than one object:\n%s", mode, raw)
+		}
+		var doc output
+		if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+			t.Fatalf("mode %s: unmarshal: %v\n%s", mode, err, raw)
+		}
+		again, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc2 output
+		if err := json.Unmarshal(again, &doc2); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(doc, doc2) {
+			t.Fatalf("mode %s: round trip changed the document:\n %+v\n %+v", mode, doc, doc2)
+		}
+		if doc.Algorithm != "flag" || doc.Result == nil || doc.Result.Mode.String() != mode {
+			t.Fatalf("mode %s: document missing fields: %s", mode, raw)
+		}
+	}
+}
+
+// TestFlagValidation: unknown algorithms, models and modes are rejected;
+// non-polling algorithms are refused.
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-alg", "nope"},
+		{"-model", "numa"},
+		{"-mode", "psychic"},
+		{"-alg", "leader-blocking"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

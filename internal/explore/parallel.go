@@ -6,7 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"repro/internal/worksteal"
 )
 
 // Parallel sharded exploration. The schedule tree is embarrassingly
@@ -15,14 +16,12 @@ import (
 // worker as a bare []int. Each worker owns a private bengine (its own
 // machine, instance, frame snapshots and undo log — nothing mutable is
 // shared between executions) and drives the same backtracking DFS the
-// sequential engine runs. Work distribution is a work-stealing frontier:
-// every worker has a deque of subtree prefixes; it pushes and pops at the
-// bottom (LIFO, so its own work stays depth-first and cache-warm) and
-// steals from the top of other deques (FIFO, so thieves grab the
-// shallowest — largest — subtrees). A worker splits its current node,
-// pushing all siblings after the first as prefixes, only while the global
-// frontier is starving; otherwise it recurses locally with zero
-// coordination.
+// sequential engine runs. Work distribution is the shared work-stealing
+// frontier of internal/worksteal: every worker has a deque of subtree
+// prefixes (own work pops LIFO, thieves steal the shallowest — largest —
+// prefixes), and a worker splits its current node, pushing all siblings
+// after the first as prefixes, only while the global frontier is
+// starving; otherwise it recurses locally with zero coordination.
 //
 // Dedup is shared through the striped claim table (dedup.go), whose
 // claim-once rule is what makes the merged Result deterministic: identical
@@ -39,51 +38,7 @@ var errStopped = errors.New("explore: stopped")
 
 // task is one frontier entry: the choice-index prefix that re-reaches the
 // subtree root from the initial state.
-type task []int
-
-// deque is one worker's stealable frontier. A mutex suffices: pushes and
-// pops happen at most once per split or task, far off the per-node hot
-// path (a Chase-Lev lock-free deque would buy nothing at this
-// granularity).
-type deque struct {
-	mu    sync.Mutex
-	tasks []task
-}
-
-func (d *deque) push(t task) {
-	d.mu.Lock()
-	d.tasks = append(d.tasks, t)
-	d.mu.Unlock()
-}
-
-// popBottom removes the most recently pushed task — the owner's own,
-// deepest, depth-first continuation.
-func (d *deque) popBottom() (task, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := len(d.tasks)
-	if n == 0 {
-		return nil, false
-	}
-	t := d.tasks[n-1]
-	d.tasks[n-1] = nil
-	d.tasks = d.tasks[:n-1]
-	return t, true
-}
-
-// stealTop removes the oldest task — the shallowest prefix, rooting the
-// largest expected subtree, which amortizes the thief's replay cost best.
-func (d *deque) stealTop() (task, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.tasks) == 0 {
-		return nil, false
-	}
-	t := d.tasks[0]
-	d.tasks[0] = nil
-	d.tasks = d.tasks[1:]
-	return t, true
-}
+type task = worksteal.Task
 
 // failure is one property violation found by some worker.
 type failure struct {
@@ -94,31 +49,15 @@ type failure struct {
 
 // search is the state shared by all workers of one exploration.
 type search struct {
-	cfg     Config
-	workers int
-	table   *dedupTable // nil with dedup off
-	queues  []*deque
-	qlen    atomic.Int64 // tasks queued across all deques
-	active  atomic.Int64 // workers currently holding a task
-	stop    atomic.Bool
+	cfg      Config
+	workers  int
+	table    *dedupTable // nil with dedup off
+	frontier *worksteal.Frontier
+	stop     atomic.Bool
 
 	mu   sync.Mutex
 	fail *failure // lexicographically least failure so far
 	err  error    // first internal engine error
-}
-
-// hungry reports whether the frontier is starving: fewer queued tasks than
-// twice the worker count. Workers split their current node only while this
-// holds, which keeps task (and prefix-replay) overhead near zero once
-// every worker is saturated.
-func (s *search) hungry() bool {
-	return s.qlen.Load() < int64(2*s.workers)
-}
-
-// submit hands a subtree prefix to owner's deque.
-func (s *search) submit(owner int, t task) {
-	s.qlen.Add(1)
-	s.queues[owner].push(t)
 }
 
 // recordFailure keeps the lexicographically least failing schedule and
@@ -234,7 +173,7 @@ func (w *searcher) dfs(depth int) error {
 	// Split only internal nodes whose children are not forced leaves (a
 	// leaf task would replay the whole path to do one check) and only
 	// while the frontier is starving.
-	split := w.s.workers > 1 && len(choices) > 1 && depth+1 < w.s.cfg.MaxDepth && w.s.hungry()
+	split := w.s.workers > 1 && len(choices) > 1 && depth+1 < w.s.cfg.MaxDepth && w.s.frontier.Hungry()
 	// One snapshot serves every sibling: restore re-clones from the
 	// mark and leaves the engine exactly at this node's post-settle
 	// state, so the mark stays pristine across iterations.
@@ -244,7 +183,7 @@ func (w *searcher) dfs(depth int) error {
 			prefix := make(task, len(w.e.path)+1)
 			copy(prefix, w.e.path)
 			prefix[len(prefix)-1] = i
-			w.s.submit(w.id, prefix)
+			w.s.frontier.Submit(w.id, prefix)
 			continue
 		}
 		if err := w.e.apply(c, i); err != nil {
@@ -256,53 +195,6 @@ func (w *searcher) dfs(depth int) error {
 		w.e.restore(m)
 	}
 	return nil
-}
-
-// runLoop is one pool worker: drain the own deque bottom-first, steal from
-// siblings when empty, exit when every deque is empty and no worker holds
-// a task (tasks are only ever created by a worker holding one, so that
-// condition is stable).
-func (w *searcher) runLoop(wg *sync.WaitGroup) {
-	defer wg.Done()
-	backoff := time.Microsecond
-	for {
-		if w.s.stop.Load() {
-			return
-		}
-		w.s.active.Add(1)
-		t, ok := w.s.queues[w.id].popBottom()
-		if !ok {
-			t, ok = w.steal()
-		}
-		if !ok {
-			if w.s.active.Add(-1) == 0 && w.s.qlen.Load() == 0 {
-				return
-			}
-			time.Sleep(backoff)
-			if backoff < 256*time.Microsecond {
-				backoff *= 2
-			}
-			continue
-		}
-		backoff = time.Microsecond
-		w.s.qlen.Add(-1)
-		err := w.runTask(t)
-		w.s.active.Add(-1)
-		if err != nil && !errors.Is(err, errStopped) {
-			w.s.fatal(err)
-		}
-	}
-}
-
-// steal scans the other workers' deques round-robin from the right
-// neighbor, taking the top (shallowest) task of the first non-empty one.
-func (w *searcher) steal() (task, bool) {
-	for i := 1; i < w.s.workers; i++ {
-		if t, ok := w.s.queues[(w.id+i)%w.s.workers].stealTop(); ok {
-			return t, true
-		}
-	}
-	return nil, false
 }
 
 // runBacktrack drives the backtracking DFS — with or without state dedup —
@@ -336,15 +228,20 @@ func runBacktrack(cfg Config, dedup bool) (*Result, error) {
 			return merge(s, engine, searchers), err
 		}
 	} else {
-		s.queues = make([]*deque, workers)
-		for i := range s.queues {
-			s.queues[i] = &deque{}
-		}
-		s.submit(0, task{}) // the root subtree
+		s.frontier = worksteal.New(workers)
+		s.frontier.Submit(0, task{}) // the root subtree
 		var wg sync.WaitGroup
 		for _, w := range searchers {
+			w := w
 			wg.Add(1)
-			go w.runLoop(&wg)
+			go func() {
+				defer wg.Done()
+				s.frontier.Work(w.id, s.stop.Load, func(t task) {
+					if err := w.runTask(t); err != nil && !errors.Is(err, errStopped) {
+						s.fatal(err)
+					}
+				})
+			}()
 		}
 		wg.Wait()
 	}

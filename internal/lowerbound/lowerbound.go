@@ -155,6 +155,38 @@ type Certificate struct {
 	Regular bool
 	// Events is the final history's trace.
 	Events []memsim.Event
+	// Processes is the machine size the history ran on (the construction's
+	// starting N), and Owners the machine's module-ownership mapping in
+	// address order — together with Events, everything needed to re-price
+	// the history under any cost model.
+	Processes int
+	Owners    []memsim.PID
+}
+
+// OwnerFunc returns the history's module-ownership mapping in the form
+// the cost models consume (addresses beyond the recorded space are
+// global, i.e. NoOwner).
+func (c *Certificate) OwnerFunc() func(memsim.Addr) memsim.PID {
+	return func(a memsim.Addr) memsim.PID {
+		if int(a) < 0 || int(a) >= len(c.Owners) {
+			return memsim.NoOwner
+		}
+		return c.Owners[int(a)]
+	}
+}
+
+// RescoreStreaming re-prices the certificate's history event by event
+// through the streaming DSM accumulator — the single-pass scoring path of
+// the run pipeline — and returns the resulting report. The adversary
+// computes TotalRMRs through the batch model.Score during construction;
+// the two paths must agree exactly, which the cmd/adversary cross-check
+// test enforces for every attackable algorithm.
+func (c *Certificate) RescoreStreaming() *model.Report {
+	acc := model.ModelDSM.Begin(c.Processes, c.OwnerFunc())
+	for _, ev := range c.Events {
+		acc.Add(ev)
+	}
+	return model.FinalReport(acc)
 }
 
 // Exceeded reports whether the certificate witnesses TotalRMRs > C·K.

@@ -250,6 +250,11 @@ func (b *builder) certificate(v Verdict, s memsim.PID, stableCount int, detail s
 	}
 	events := append([]memsim.Event(nil), b.exec.Events()...)
 	rounds := append([]RoundReport(nil), b.rounds...)
+	m := b.exec.Machine()
+	owners := make([]memsim.PID, m.Size())
+	for a := range owners {
+		owners[a] = m.Owner(memsim.Addr(a))
+	}
 	return &Certificate{
 		Verdict:       v,
 		C:             b.cfg.C,
@@ -262,5 +267,7 @@ func (b *builder) certificate(v Verdict, s memsim.PID, stableCount int, detail s
 		Detail:        detail,
 		Regular:       regular,
 		Events:        events,
+		Processes:     b.n,
+		Owners:        owners,
 	}
 }

@@ -1,6 +1,10 @@
 package model
 
 import (
+	"fmt"
+	"io"
+	"sort"
+
 	"repro/internal/memsim"
 )
 
@@ -80,6 +84,142 @@ func FinalReport(a Accumulator) *Report {
 	}
 	return a.Report()
 }
+
+// ForkableAccumulator is an Accumulator whose per-run state can be copied
+// mid-run. Fork returns an independent accumulator in exactly the current
+// state: feeding the original and the fork the same further events yields
+// identical costs and reports, and feeding them different events never
+// affects one another. Backtracking searches (internal/search) fork the
+// accumulator at every tree node so a schedule prefix's pricing state can
+// be rewound by restoring the fork.
+//
+// Both architecture models' accumulators implement it.
+type ForkableAccumulator interface {
+	Accumulator
+	Fork() Accumulator
+}
+
+// ModelStateEncoder is an Accumulator that can write a canonical encoding
+// of its mutable pricing state (for CC: the simulated cache contents; for
+// DSM: nothing, the rule is stateless). The contract mirrors
+// memsim.StateEncoder: equal pricing states must encode equally, different
+// states differently, and the encoding must be engine-independent — a
+// function of machine addresses, process IDs and counters, never of heap
+// addresses or map iteration order — because searches compare encodings
+// produced by different workers' runs. The future cost of any event
+// sequence is a function of this state, which is what lets a search key
+// memoized subtree results on (machine state, model state, budget).
+type ModelStateEncoder interface {
+	Accumulator
+	EncodeModelState(w io.Writer)
+}
+
+// fork copies the shared running-total bookkeeping.
+func (s *reportState) fork() reportState {
+	cp := s.rep
+	cp.PerProc = append([]int(nil), s.rep.PerProc...)
+	return reportState{rep: cp}
+}
+
+// Fork implements ForkableAccumulator. The DSM rule is stateless per
+// event, so only the running totals are copied.
+func (a *dsmAccumulator) Fork() Accumulator {
+	return &dsmAccumulator{reportState: a.reportState.fork(), owner: a.owner}
+}
+
+// EncodeModelState implements ModelStateEncoder. The DSM rule prices every
+// event from the owner mapping alone, so there is no mutable state to
+// encode.
+func (a *dsmAccumulator) EncodeModelState(io.Writer) {}
+
+// Fork implements ForkableAccumulator: the simulated cache state (shared
+// and exclusive copies, eviction counters) is deep-copied.
+func (a *ccAccumulator) Fork() Accumulator {
+	cp := &ccAccumulator{
+		reportState: a.reportState.fork(),
+		cfg:         a.cfg,
+		n:           a.n,
+		shared:      make(map[memsim.Addr]map[memsim.PID]bool, len(a.shared)),
+		exclusive:   make(map[memsim.Addr]memsim.PID, len(a.exclusive)),
+	}
+	for addr, s := range a.shared {
+		if len(s) == 0 {
+			continue // deletions leave empty sets; drop them in the copy
+		}
+		cs := make(map[memsim.PID]bool, len(s))
+		for p := range s {
+			cs[p] = true
+		}
+		cp.shared[addr] = cs
+	}
+	for addr, p := range a.exclusive {
+		cp.exclusive[addr] = p
+	}
+	if a.accessCount != nil {
+		cp.accessCount = make(map[memsim.PID]int, len(a.accessCount))
+		for p, c := range a.accessCount {
+			cp.accessCount[p] = c
+		}
+	}
+	return cp
+}
+
+// EncodeModelState implements ModelStateEncoder: cached copies in address
+// order (sharer sets in PID order), exclusive owners in address order, and
+// — only under the eviction ablation — each process's access count modulo
+// the eviction period (counts with equal residue price every future event
+// identically). Empty sharer sets left behind by invalidations are
+// canonical no-ops and are skipped.
+func (a *ccAccumulator) EncodeModelState(w io.Writer) {
+	addrs := make([]int, 0, len(a.shared))
+	for addr, s := range a.shared {
+		if len(s) > 0 {
+			addrs = append(addrs, int(addr))
+		}
+	}
+	sort.Ints(addrs)
+	for _, addr := range addrs {
+		fmt.Fprintf(w, "s%d:", addr)
+		pids := make([]int, 0, len(a.shared[memsim.Addr(addr)]))
+		for p := range a.shared[memsim.Addr(addr)] {
+			pids = append(pids, int(p))
+		}
+		sort.Ints(pids)
+		for _, p := range pids {
+			fmt.Fprintf(w, "%d,", p)
+		}
+		io.WriteString(w, ";")
+	}
+	addrs = addrs[:0]
+	for addr := range a.exclusive {
+		addrs = append(addrs, int(addr))
+	}
+	sort.Ints(addrs)
+	for _, addr := range addrs {
+		fmt.Fprintf(w, "x%d=%d;", addr, a.exclusive[memsim.Addr(addr)])
+	}
+	if a.cfg.EvictEvery > 0 {
+		pids := make([]int, 0, len(a.accessCount))
+		for p := range a.accessCount {
+			if a.accessCount[p]%a.cfg.EvictEvery != 0 {
+				pids = append(pids, int(p))
+			}
+		}
+		sort.Ints(pids)
+		for _, p := range pids {
+			fmt.Fprintf(w, "e%d=%d;", p, a.accessCount[memsim.PID(p)]%a.cfg.EvictEvery)
+		}
+	}
+}
+
+// Compile-time checks: both accumulators support forking and canonical
+// state encoding, the two capabilities cost-directed search requires.
+var (
+	_ ForkableAccumulator = (*dsmAccumulator)(nil)
+	_ ForkableAccumulator = (*ccAccumulator)(nil)
+	_ ModelStateEncoder   = (*dsmAccumulator)(nil)
+	_ ModelStateEncoder   = (*ccAccumulator)(nil)
+)
 
 // dsmAccumulator streams the DSM rule: stateless per event, so it only
 // needs the owner mapping and the running totals.

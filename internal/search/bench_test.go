@@ -1,0 +1,50 @@
+package search_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/search"
+	"repro/internal/signal"
+)
+
+// BenchmarkWorstCaseExhaustive measures the memoized branch-and-bound on
+// the 3-waiter × 3-poll flag space at depth 14 — the certificate-
+// comparison workload — under both architectures (the CC runs carry the
+// cache state through every fork and memo key).
+func BenchmarkWorstCaseExhaustive(b *testing.B) {
+	for _, m := range []model.Scorer{model.ModelDSM, model.ModelCC} {
+		b.Run(m.Name(), func(b *testing.B) {
+			cfg := adversarial(signal.Flag())
+			cfg.Model = m
+			cfg.Workers = 1
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorstCaseSample measures the Monte Carlo mode (256 walks on
+// the queue algorithm, one fresh execution per walk).
+func BenchmarkWorstCaseSample(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			cfg := adversarial(signal.QueueSignal())
+			cfg.Mode = search.ModeSample
+			cfg.Seed = 1
+			cfg.Walks = 256
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,28 @@
+// Package search synthesizes worst-case-cost schedules: given an
+// algorithm, a workload script and a cost model, it finds the
+// interleaving that maximizes the model's RMR bill — the executable form
+// of the paper's worst-case complexity claims, where internal/explore
+// answers "does the specification hold on every schedule" and
+// internal/lowerbound replays one hand-built adversary.
+//
+// Two modes share one Config/Result surface. Exhaustive mode is a
+// branch-and-bound depth-first search over a single live resumable
+// execution: frames snapshot via memsim.CloneResumable, shared memory
+// rewinds through the machine's undo log, and a per-path cost accumulator
+// (model.ForkableAccumulator) is forked at every tree node so the pricing
+// state backtracks with the schedule. A striped memo table keyed by
+// canonical (machine state, model state, remaining depth budget) stores
+// each subtree's exact maximal tail cost and lexicographically least
+// witness tail; every later arrival at the pair — whatever cost its
+// prefix accumulated — is cut and reuses the stored result. Work-stealing
+// workers on the explorer's prefix-handoff pattern share the table, and
+// every Result field is deterministic for any worker count. Sample mode
+// runs N independent seeded random walks for configurations beyond
+// exhaustive reach and reports max, mean and quantiles, with the seed in
+// the Result so every number reproduces.
+//
+// Replay re-executes a witness (a choice-index sequence) on a fresh
+// memsim.Execution and re-prices it through the streaming accumulator — an
+// independent code path that the property tests use to certify that the
+// reported worst cost is exactly realizable.
+package search

@@ -1,0 +1,282 @@
+package search
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/memsim"
+	"repro/internal/model"
+)
+
+// The exhaustive engine keeps one live execution per worker for the whole
+// search, exactly like the explorer's backtracking engine: process state
+// lives in resumable frames snapshotted per tree node with
+// memsim.CloneResumable, and shared memory rewinds through the machine's
+// ApplyLogged/Revert undo log. What search adds is the cost dimension — a
+// model accumulator rides along the current path, is fed every access as
+// it is applied, and is forked into each node snapshot so backtracking
+// rewinds the pricing state too.
+
+// sPhase mirrors the controller's view of one process.
+type sPhase uint8
+
+const (
+	sIdle sPhase = iota
+	sPending
+	sDone
+)
+
+// choice is one scheduling decision: apply pid's pending access, or start
+// pid's next scripted call.
+type choice struct {
+	pid   memsim.PID
+	start bool
+}
+
+// String renders the choice compactly, e.g. "p0" or "p1+".
+func (c choice) String() string {
+	if c.start {
+		return fmt.Sprintf("p%d+", c.pid)
+	}
+	return fmt.Sprintf("p%d", c.pid)
+}
+
+// sengine is the mutable search state: one machine, one frame per
+// process, the machine undo log, and the priced path so far.
+type sengine struct {
+	mach     *memsim.Machine
+	inst     memsim.ResumableInstance
+	n        int
+	scripts  map[memsim.PID][]memsim.CallKind
+	frames   []memsim.Resumable
+	phase    []sPhase
+	pending  []memsim.Access
+	rets     []memsim.Value
+	kinds    []memsim.CallKind
+	progress []int
+	undos    []memsim.Undo
+	path     []int // applied choice indices, for task prefixes
+
+	// acc prices the current path; cost is its running RMR total (the
+	// objective). Both rewind via node snapshots.
+	acc  model.Accumulator
+	cost int
+}
+
+func newSengine(cfg Config) (*sengine, error) {
+	m := memsim.NewMachine(cfg.N)
+	inst, err := cfg.Factory(m, cfg.N)
+	if err != nil {
+		return nil, fmt.Errorf("deploy instance: %w", err)
+	}
+	ri, ok := inst.(memsim.ResumableInstance)
+	if !ok {
+		return nil, fmt.Errorf("search: %T has no resumable tier; exhaustive search needs one (use ModeSample)", inst)
+	}
+	acc := cfg.Model.Begin(cfg.N, m.Owner)
+	if _, ok := acc.(model.ForkableAccumulator); !ok {
+		return nil, fmt.Errorf("search: %s accumulator %T cannot fork; exhaustive search needs model.ForkableAccumulator (use ModeSample)",
+			cfg.Model.Name(), acc)
+	}
+	if _, ok := acc.(model.ModelStateEncoder); !ok {
+		return nil, fmt.Errorf("search: %s accumulator %T has no canonical state encoding; exhaustive search needs model.ModelStateEncoder (use ModeSample)",
+			cfg.Model.Name(), acc)
+	}
+	return &sengine{
+		mach:     m,
+		inst:     ri,
+		n:        cfg.N,
+		scripts:  cfg.Scripts,
+		frames:   make([]memsim.Resumable, cfg.N),
+		phase:    make([]sPhase, cfg.N),
+		pending:  make([]memsim.Access, cfg.N),
+		rets:     make([]memsim.Value, cfg.N),
+		kinds:    make([]memsim.CallKind, cfg.N),
+		progress: make([]int, cfg.N),
+		acc:      acc,
+	}, nil
+}
+
+// advance feeds prev into pid's frame and records its next scheduling
+// point.
+func (e *sengine) advance(pid memsim.PID, prev memsim.Result) {
+	if acc, ok := e.frames[pid].Next(prev); ok {
+		e.pending[pid] = acc
+		e.phase[pid] = sPending
+	} else {
+		e.rets[pid] = e.frames[pid].Return()
+		e.phase[pid] = sDone
+	}
+}
+
+// settle collects completed calls (eagerly, with the explorer's poll-stop
+// rule) and returns the open scheduling choices in deterministic order.
+func (e *sengine) settle() []choice {
+	var choices []choice
+	for pid := 0; pid < e.n; pid++ {
+		p := memsim.PID(pid)
+		script, ok := e.scripts[p]
+		if !ok {
+			continue
+		}
+		if e.phase[p] == sDone {
+			if e.kinds[p] == memsim.CallPoll && e.rets[p] != 0 {
+				// The waiter observed the signal; the problem statement
+				// says it stops polling.
+				e.progress[p] = len(script)
+			}
+			e.phase[p] = sIdle
+			e.frames[p] = nil
+		}
+		if e.phase[p] == sPending {
+			choices = append(choices, choice{pid: p})
+			continue
+		}
+		if e.phase[p] == sIdle && e.progress[p] < len(script) {
+			choices = append(choices, choice{pid: p, start: true})
+		}
+	}
+	return choices
+}
+
+// apply performs one scheduling decision and prices it: starting a call
+// costs nothing; an applied access is fed to the accumulator and its RMR
+// verdict added to the running path cost. idx is c's index in the node's
+// settled choice set, recorded so any tree position can be re-reached from
+// the root by index sequence alone. It returns the step's RMR cost (0 or
+// 1).
+func (e *sengine) apply(c choice, idx int) (int, error) {
+	p := c.pid
+	step := 0
+	if c.start {
+		kind := e.scripts[p][e.progress[p]]
+		r, err := e.inst.ResumableProgram(p, kind)
+		if err != nil {
+			return 0, fmt.Errorf("search: start %v on p%d: %w", kind, p, err)
+		}
+		e.progress[p]++
+		e.kinds[p] = kind
+		e.frames[p] = r
+		e.advance(p, memsim.Result{})
+	} else {
+		res, undo := e.mach.ApplyLogged(p, e.pending[p])
+		e.undos = append(e.undos, undo)
+		cost := e.acc.Add(memsim.Event{
+			Kind: memsim.EvAccess, PID: p, Proc: e.kinds[p].String(),
+			Acc: e.pending[p], Res: res,
+		})
+		if cost.RMR {
+			step = 1
+			e.cost++
+		}
+		e.advance(p, res)
+	}
+	e.path = append(e.path, idx)
+	return step, nil
+}
+
+// mark is one node's snapshot: cloned frames, the small per-process
+// scheduler arrays, the high-water mark of the undo log, and the forked
+// pricing state.
+type mark struct {
+	frames   []memsim.Resumable
+	phase    []sPhase
+	pending  []memsim.Access
+	rets     []memsim.Value
+	kinds    []memsim.CallKind
+	progress []int
+	undos    int
+	path     int
+	acc      model.Accumulator
+	cost     int
+}
+
+func (e *sengine) save() mark {
+	m := mark{
+		frames:   make([]memsim.Resumable, e.n),
+		phase:    append([]sPhase(nil), e.phase...),
+		pending:  append([]memsim.Access(nil), e.pending...),
+		rets:     append([]memsim.Value(nil), e.rets...),
+		kinds:    append([]memsim.CallKind(nil), e.kinds...),
+		progress: append([]int(nil), e.progress...),
+		undos:    len(e.undos),
+		path:     len(e.path),
+		acc:      e.acc.(model.ForkableAccumulator).Fork(),
+		cost:     e.cost,
+	}
+	for i, f := range e.frames {
+		m.frames[i] = memsim.CloneResumable(f)
+	}
+	return m
+}
+
+// restore winds the engine back to m: machine undos revert in reverse
+// order, the scheduler arrays copy back, and the accumulator is re-forked
+// from the mark so it stays pristine for further siblings.
+func (e *sengine) restore(m mark) {
+	for i := len(e.undos) - 1; i >= m.undos; i-- {
+		e.mach.Revert(e.undos[i])
+	}
+	e.undos = e.undos[:m.undos]
+	for i := range m.frames {
+		e.frames[i] = memsim.CloneResumable(m.frames[i])
+	}
+	copy(e.phase, m.phase)
+	copy(e.pending, m.pending)
+	copy(e.rets, m.rets)
+	copy(e.kinds, m.kinds)
+	copy(e.progress, m.progress)
+	e.path = e.path[:m.path]
+	e.acc = m.acc.(model.ForkableAccumulator).Fork()
+	e.cost = m.cost
+}
+
+// stateKey hashes the canonical post-settle state: machine word values,
+// will-succeed LL reservations, each scripted process's frame (encoded by
+// content via memsim.EncodeFrameState), pending access and script
+// position — and, unlike the explorer's key, the cost model's canonical
+// mutable state (the CC cache contents), because the maximal tail cost
+// from a node is a function of machine state AND pricing state. What the
+// key deliberately omits: the accumulated path cost (a memoized tail is
+// exact for any prefix cost — that is the cut's whole power), per-process
+// call counts (they only number trace events) and the explorer's
+// specification-monitor bits (costs are prefix-insensitive, so merging
+// histories with different spec-relevant pasts is sound here). 128-bit
+// FNV keeps accidental collisions out of reach for any bounded search.
+func (e *sengine) stateKey() [16]byte {
+	h := fnv.New128a()
+	for a := 0; a < e.mach.Size(); a++ {
+		fmt.Fprintf(h, "w%d;", e.mach.Load(memsim.Addr(a)))
+	}
+	for pid := 0; pid < e.n; pid++ {
+		if addr, ok := e.mach.LLState(memsim.PID(pid)); ok {
+			fmt.Fprintf(h, "ll%d=%d;", pid, addr)
+		}
+	}
+	for pid := 0; pid < e.n; pid++ {
+		p := memsim.PID(pid)
+		if _, ok := e.scripts[p]; !ok {
+			continue
+		}
+		kind := memsim.CallKind(0)
+		if e.phase[p] != sIdle {
+			kind = e.kinds[p] // the in-flight call drives the poll-stop rule
+		}
+		fmt.Fprintf(h, "p%d:%d,%d,%d;", pid, e.phase[p], e.progress[p], kind)
+		if e.phase[p] == sPending {
+			acc := e.pending[p]
+			fmt.Fprintf(h, "a%d,%d,%d,%d;", acc.Op, acc.Addr, acc.Arg1, acc.Arg2)
+		}
+		if f := e.frames[p]; f != nil {
+			io.WriteString(h, "f")
+			memsim.EncodeFrameState(h, f)
+			io.WriteString(h, ";")
+		}
+	}
+	io.WriteString(h, "m")
+	e.acc.(model.ModelStateEncoder).EncodeModelState(h)
+	var key [16]byte
+	copy(key[:], h.Sum(nil))
+	return key
+}

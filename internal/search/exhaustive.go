@@ -1,0 +1,342 @@
+package search
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/worksteal"
+)
+
+// Exhaustive mode: a branch-and-bound DFS over the schedule tree, sharded
+// across work-stealing workers on the prefix-handoff frontier shared with
+// the explorer (internal/worksteal: any node is reachable from the root
+// by its choice-index sequence, so a subtree hands off as a bare []int).
+//
+// The cut is a memo table over the search DAG: each (canonical state,
+// remaining budget) pair is claimed by its first visitor, which computes
+// and publishes the subtree's exact answer — the maximal tail cost and
+// the lexicographically least tail achieving it. Both are functions of
+// the pair alone (the canonical state includes the pricing state, and
+// per-step costs are state-determined), so every later arrival reuses the
+// entry regardless of the cost its own prefix accumulated. That is a
+// strictly stronger cut than classic (cost so far, budget) dominance: a
+// dominance rule must re-explore a state reached with higher prefix cost,
+// and its equal-cost corner is unsound for lexicographically-least
+// witnesses (see docs/ARCHITECTURE.md). Because an entry is exact, a
+// parent combines children as max(step cost + child tail cost), breaking
+// ties toward the smallest choice index — which makes the root answer the
+// global maximum with its lexicographically least witness, for any worker
+// count and any claim-race outcome.
+//
+// Unlike the explorer, a parent cannot skip a handed-off sibling: it
+// needs the child's answer to take the max. Handoff therefore publishes
+// sibling prefixes as *prefetch* tasks — a thief computes the subtree
+// into the memo table — and the parent still walks every child, turning
+// stolen subtrees into waits on their memo entries. Waits cannot
+// deadlock: a visitor only ever waits on entries of strictly smaller
+// budget, so the wait graph is acyclic. Counters stay deterministic
+// because only edge visits (a parent walking its child) count: each
+// non-root node is computed-or-adopted by exactly one edge visit and
+// every further edge visit counts one prune, so Pruned is exactly
+// (DAG edges) − (non-root DAG nodes), a function of the configuration.
+
+// errStopped unwinds a worker's DFS once another worker has hit an
+// internal error; it never escapes runExhaustive.
+var errStopped = errors.New("search: stopped")
+
+// task is one frontier entry: the choice-index prefix that re-reaches the
+// subtree root from the initial state.
+type task = worksteal.Task
+
+// memoKey identifies one subtree root of the search DAG.
+type memoKey struct {
+	state  [16]byte
+	budget int
+}
+
+// memoEntry is one claimed subtree. The claimer fills cost and tail, then
+// closes done; after done is closed both fields are immutable and any
+// worker may read them.
+type memoEntry struct {
+	done chan struct{}
+	cost int   // maximal tail cost from the pair
+	tail []int // lexicographically least tail achieving cost
+	// adopted marks that an edge visit has taken responsibility for the
+	// entry. The first edge visit to arrive (claimer or not) adopts it
+	// silently; each further edge visit counts one prune — bookkeeping
+	// that makes Pruned independent of which visitor won the claim race
+	// (prefetch task roots never adopt and never count).
+	adopted bool
+}
+
+const memoStripes = 64
+
+type memoStripe struct {
+	mu sync.Mutex
+	m  map[memoKey]*memoEntry
+}
+
+// memoTable is the striped claim-and-reuse table shared by all workers.
+type memoTable struct {
+	stripes [memoStripes]memoStripe
+}
+
+func newMemoTable() *memoTable {
+	t := &memoTable{}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[memoKey]*memoEntry)
+	}
+	return t
+}
+
+// claim atomically claims key. won=true means the caller must compute the
+// subtree and publish the entry; won=false that some visitor already has
+// (or is), and wasAdopted reports whether a previous edge visit had
+// already taken responsibility (the caller's prune accounting).
+func (t *memoTable) claim(key memoKey, fromEdge bool) (e *memoEntry, won, wasAdopted bool) {
+	s := &t.stripes[binary.LittleEndian.Uint64(key.state[:8])%memoStripes]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[key]; ok {
+		wasAdopted = e.adopted
+		if fromEdge {
+			e.adopted = true
+		}
+		return e, false, wasAdopted
+	}
+	e = &memoEntry{done: make(chan struct{}), adopted: fromEdge}
+	s.m[key] = e
+	return e, true, false
+}
+
+// bnb is the state shared by all workers of one exhaustive search.
+type bnb struct {
+	cfg      Config
+	workers  int
+	table    *memoTable
+	frontier *worksteal.Frontier
+	abort    chan struct{}
+	stop     sync.Once
+
+	mu       sync.Mutex
+	err      error // first internal engine error
+	rootCost int
+	rootTail []int
+	rootSet  bool
+}
+
+func (s *bnb) stopped() bool {
+	select {
+	case <-s.abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// fatal records the first internal engine error and aborts all workers
+// (including any blocked waiting on a memo entry).
+func (s *bnb) fatal(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.stop.Do(func() { close(s.abort) })
+}
+
+// hunter is one worker: a private engine plus local result tallies,
+// merged after the pool joins.
+type hunter struct {
+	s    *bnb
+	id   int
+	e    *sengine
+	root mark
+
+	paths     int
+	truncated int
+	pruned    int
+	maxDepth  int
+}
+
+func newHunter(s *bnb, id int) (*hunter, error) {
+	e, err := newSengine(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &hunter{s: s, id: id, e: e, root: e.save()}, nil
+}
+
+// runTask rewinds the worker's engine to the initial state, replays the
+// prefix by choice index (pure positioning: no counters, no claims), and
+// searches the subtree. The empty prefix is the root task; its answer is
+// the search result.
+func (w *hunter) runTask(t task) error {
+	w.e.restore(w.root)
+	for step, idx := range t {
+		choices := w.e.settle()
+		if idx >= len(choices) {
+			return fmt.Errorf("search: internal: task choice %d out of range at depth %d", idx, step)
+		}
+		if _, err := w.e.apply(choices[idx], idx); err != nil {
+			return err
+		}
+	}
+	cost, tail, err := w.dfs(len(t), len(t) == 0)
+	if err != nil {
+		return err
+	}
+	if len(t) == 0 {
+		w.s.mu.Lock()
+		w.s.rootCost, w.s.rootTail, w.s.rootSet = cost, tail, true
+		w.s.mu.Unlock()
+	}
+	return nil
+}
+
+// dfs computes the exact answer for the subtree at the engine's current
+// position: the maximal tail cost and the lexicographically least tail
+// achieving it. fromEdge marks visits that arrive by a parent walking its
+// child (plus the root), the only visits that touch counters; prefetch
+// task roots pass false.
+func (w *hunter) dfs(depth int, fromEdge bool) (int, []int, error) {
+	if w.s.stopped() {
+		return 0, nil, errStopped
+	}
+	if depth > w.maxDepth {
+		w.maxDepth = depth
+	}
+	choices := w.e.settle()
+	budget := w.s.cfg.MaxDepth - depth
+	if len(choices) == 0 || budget == 0 {
+		// A leaf is scored, not memoized: its answer is trivial and each
+		// arriving schedule is one maximal history, mirroring the
+		// explorer's path accounting.
+		if fromEdge {
+			w.paths++
+			if len(choices) != 0 {
+				w.truncated++
+			}
+		}
+		return 0, nil, nil
+	}
+	entry, won, wasAdopted := w.s.table.claim(memoKey{state: w.e.stateKey(), budget: budget}, fromEdge)
+	if !won {
+		if !fromEdge {
+			// A prefetch task root that lost the claim race: the subtree
+			// is already covered and runTask discards a prefetch task's
+			// answer, so return to the frontier instead of idling on the
+			// racing worker's computation.
+			return 0, nil, nil
+		}
+		if wasAdopted {
+			w.pruned++
+		}
+		select {
+		case <-entry.done:
+		case <-w.s.abort:
+			return 0, nil, errStopped
+		}
+		return entry.cost, entry.tail, nil
+	}
+	// Publish sibling subtrees as prefetch tasks only while the frontier
+	// is starving, and never forced leaves (a leaf task would replay the
+	// whole prefix to score one history).
+	split := w.s.workers > 1 && len(choices) > 1 && budget > 1 && w.s.frontier.Hungry()
+	if split {
+		for i := 1; i < len(choices); i++ {
+			prefix := make(task, len(w.e.path)+1)
+			copy(prefix, w.e.path)
+			prefix[len(prefix)-1] = i
+			w.s.frontier.Submit(w.id, prefix)
+		}
+	}
+	m := w.e.save()
+	best, bestTail := -1, []int(nil)
+	for i, c := range choices {
+		step, err := w.e.apply(c, i)
+		if err != nil {
+			return 0, nil, err
+		}
+		tailCost, tail, err := w.dfs(depth+1, true)
+		if err != nil {
+			return 0, nil, err
+		}
+		if total := step + tailCost; total > best {
+			best = total
+			bestTail = append(append(make([]int, 0, len(tail)+1), i), tail...)
+		}
+		w.e.restore(m)
+	}
+	entry.cost, entry.tail = best, bestTail
+	close(entry.done)
+	return best, bestTail, nil
+}
+
+// runExhaustive drives the branch-and-bound search across cfg.Workers
+// workers on the shared work-stealing frontier. Every Result field is
+// identical for every worker count.
+func runExhaustive(cfg Config) (*Result, error) {
+	s := &bnb{
+		cfg:     cfg,
+		workers: cfg.Workers,
+		table:   newMemoTable(),
+		abort:   make(chan struct{}),
+	}
+	hunters := make([]*hunter, s.workers)
+	for i := range hunters {
+		w, err := newHunter(s, i)
+		if err != nil {
+			return nil, err
+		}
+		hunters[i] = w
+	}
+
+	if s.workers == 1 {
+		if err := hunters[0].runTask(task{}); err != nil && !errors.Is(err, errStopped) {
+			return nil, err
+		}
+	} else {
+		s.frontier = worksteal.New(s.workers)
+		s.frontier.Submit(0, task{}) // the root subtree
+		var wg sync.WaitGroup
+		for _, w := range hunters {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.frontier.Work(w.id, s.stopped, func(t task) {
+					if err := w.runTask(t); err != nil && !errors.Is(err, errStopped) {
+						s.fatal(err)
+					}
+				})
+			}()
+		}
+		wg.Wait()
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.rootSet {
+		return nil, errors.New("search: internal: root subtree never completed")
+	}
+
+	res := &Result{
+		Mode:      ModeExhaustive,
+		Model:     cfg.Model.Name(),
+		WorstCost: s.rootCost,
+		Witness:   s.rootTail,
+		Workers:   s.workers,
+	}
+	for _, w := range hunters {
+		res.Paths += w.paths
+		res.Truncated += w.truncated
+		res.Pruned += w.pruned
+		if w.maxDepth > res.MaxDepthReached {
+			res.MaxDepthReached = w.maxDepth
+		}
+	}
+	return res, nil
+}

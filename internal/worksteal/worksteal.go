@@ -1,0 +1,139 @@
+// Package worksteal is the work-stealing frontier shared by the
+// explorer's sharded enumeration and the searcher's branch-and-bound:
+// per-worker deques of subtree prefixes (a tree node is reachable from
+// the root by its choice-index sequence, so subtrees hand off between
+// workers as bare []int tasks), owner pops LIFO at the bottom so its own
+// work stays depth-first and cache-warm, thieves steal the oldest —
+// shallowest, largest — prefix at the top, and the pool loop spins down
+// with exponential idle backoff once every deque is empty and no worker
+// holds a task (tasks are only created by a worker holding one, so that
+// condition is stable).
+package worksteal
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one frontier entry: the choice-index prefix that re-reaches a
+// subtree root from the initial state.
+type Task []int
+
+// deque is one worker's stealable frontier. A mutex suffices: pushes and
+// pops happen at most once per split or task, far off the per-node hot
+// path (a Chase-Lev lock-free deque would buy nothing at this
+// granularity).
+type deque struct {
+	mu    sync.Mutex
+	tasks []Task
+}
+
+func (d *deque) push(t Task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+// popBottom removes the most recently pushed task — the owner's own,
+// deepest, depth-first continuation.
+func (d *deque) popBottom() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil, false
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	return t, true
+}
+
+// stealTop removes the oldest task — the shallowest prefix, rooting the
+// largest expected subtree, which amortizes the thief's replay cost best.
+func (d *deque) stealTop() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil, false
+	}
+	t := d.tasks[0]
+	d.tasks[0] = nil
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// Frontier is the shared task state of one sharded traversal.
+type Frontier struct {
+	workers int
+	queues  []*deque
+	qlen    atomic.Int64 // tasks queued across all deques
+	active  atomic.Int64 // workers currently holding a task
+}
+
+// New returns a frontier for the given worker count.
+func New(workers int) *Frontier {
+	f := &Frontier{workers: workers, queues: make([]*deque, workers)}
+	for i := range f.queues {
+		f.queues[i] = &deque{}
+	}
+	return f
+}
+
+// Hungry reports whether the frontier is starving: fewer queued tasks
+// than twice the worker count. Callers split their current node into
+// stealable prefixes only while this holds, which keeps task (and
+// prefix-replay) overhead near zero once every worker is saturated.
+func (f *Frontier) Hungry() bool {
+	return f.qlen.Load() < int64(2*f.workers)
+}
+
+// Submit hands a subtree prefix to owner's deque.
+func (f *Frontier) Submit(owner int, t Task) {
+	f.qlen.Add(1)
+	f.queues[owner].push(t)
+}
+
+// Work drives worker id's loop: drain the own deque bottom-first, steal
+// from siblings when empty, exit when every deque is empty and no worker
+// holds a task, or when stopped reports true. run owns error handling
+// (record and trip the stop signal); the loop itself never fails.
+func (f *Frontier) Work(id int, stopped func() bool, run func(Task)) {
+	backoff := time.Microsecond
+	for {
+		if stopped() {
+			return
+		}
+		f.active.Add(1)
+		t, ok := f.queues[id].popBottom()
+		if !ok {
+			t, ok = f.steal(id)
+		}
+		if !ok {
+			if f.active.Add(-1) == 0 && f.qlen.Load() == 0 {
+				return
+			}
+			time.Sleep(backoff)
+			if backoff < 256*time.Microsecond {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = time.Microsecond
+		f.qlen.Add(-1)
+		run(t)
+		f.active.Add(-1)
+	}
+}
+
+// steal scans the other workers' deques round-robin from the right
+// neighbor, taking the top (shallowest) task of the first non-empty one.
+func (f *Frontier) steal(id int) (Task, bool) {
+	for i := 1; i < f.workers; i++ {
+		if t, ok := f.queues[(id+i)%f.workers].stealTop(); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,93 @@
+package worksteal
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDequeOrder: the owner pops LIFO at the bottom while thieves steal
+// FIFO at the top.
+func TestDequeOrder(t *testing.T) {
+	d := &deque{}
+	d.push(Task{1})
+	d.push(Task{2})
+	d.push(Task{3})
+	if got, ok := d.popBottom(); !ok || got[0] != 3 {
+		t.Fatalf("popBottom = %v, want [3]", got)
+	}
+	if got, ok := d.stealTop(); !ok || got[0] != 1 {
+		t.Fatalf("stealTop = %v, want [1]", got)
+	}
+	if got, ok := d.popBottom(); !ok || got[0] != 2 {
+		t.Fatalf("popBottom = %v, want [2]", got)
+	}
+	if _, ok := d.popBottom(); ok {
+		t.Fatal("popBottom on empty deque succeeded")
+	}
+	if _, ok := d.stealTop(); ok {
+		t.Fatal("stealTop on empty deque succeeded")
+	}
+}
+
+// TestWorkDrainsAndTerminates: tasks submitted from within tasks are all
+// executed exactly once across stealing workers, and every worker's loop
+// exits once the frontier drains.
+func TestWorkDrainsAndTerminates(t *testing.T) {
+	const workers, fanout, depth = 4, 3, 4
+	f := New(workers)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	f.Submit(0, Task{})
+	for id := 0; id < workers; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Work(id, func() bool { return false }, func(t Task) {
+				ran.Add(1)
+				if len(t) < depth {
+					for i := 0; i < fanout; i++ {
+						child := append(append(Task{}, t...), i)
+						f.Submit(id, child)
+					}
+				}
+			})
+		}()
+	}
+	wg.Wait()
+	want := int64(0)
+	for d, n := 0, 1; d <= depth; d, n = d+1, n*fanout {
+		want += int64(n) // full fanout-ary tree of the given depth
+	}
+	if ran.Load() != want {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), want)
+	}
+}
+
+// TestWorkStops: a true stop signal ends every loop promptly even with
+// tasks still queued.
+func TestWorkStops(t *testing.T) {
+	f := New(2)
+	for i := 0; i < 100; i++ {
+		f.Submit(0, Task{i})
+	}
+	var stop atomic.Bool
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Work(id, stop.Load, func(Task) {
+				ran.Add(1)
+				stop.Store(true)
+			})
+		}()
+	}
+	wg.Wait()
+	if ran.Load() == 0 || ran.Load() > 2 {
+		t.Fatalf("ran %d tasks after stop, want 1..2", ran.Load())
+	}
+}

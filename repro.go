@@ -59,6 +59,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mutex"
 	"repro/internal/sched"
+	"repro/internal/search"
 	"repro/internal/signal"
 )
 
@@ -490,6 +491,35 @@ func Run(cfg Config) (*Result, error) {
 // Adversary executes the Section 6 lower-bound construction and returns
 // its certificate.
 func Adversary(cfg AdversaryConfig) (*Certificate, error) { return lowerbound.Run(cfg) }
+
+// Worst-case schedule search (internal/search): where Adversary replays
+// the paper's hand-built lower-bound strategy, SearchWorstCase *finds* the
+// schedule that maximizes a cost model's RMR bill for a concrete
+// algorithm and workload — exhaustively (exact worst cost plus its
+// lexicographically least witness) or by seeded Monte Carlo sampling for
+// configurations beyond exhaustive reach.
+type (
+	// SearchConfig describes a worst-case schedule search.
+	SearchConfig = search.Config
+	// SearchResult is the outcome of a worst-case schedule search.
+	SearchResult = search.Result
+	// SearchMode selects exhaustive enumeration or Monte Carlo sampling.
+	SearchMode = search.Mode
+)
+
+// The worst-case search modes.
+const (
+	// SearchExhaustive enumerates every schedule up to the depth bound.
+	SearchExhaustive = search.ModeExhaustive
+	// SearchSample runs seeded random walks.
+	SearchSample = search.ModeSample
+)
+
+// SearchWorstCase synthesizes the schedule that maximizes the configured
+// cost model's RMR total. The reported witness always replays to exactly
+// the reported cost, and every Result field is deterministic for any
+// worker count; see internal/search for the engine.
+func SearchWorstCase(cfg SearchConfig) (*SearchResult, error) { return search.Run(cfg) }
 
 // Algorithms returns every signaling algorithm in the repository.
 func Algorithms() []Algorithm { return signal.All() }

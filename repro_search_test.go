@@ -1,0 +1,58 @@
+package repro_test
+
+import (
+	"testing"
+
+	repro "repro"
+	"repro/internal/memsim"
+)
+
+// TestSearchWorstCaseFacade: the facade wires the three subsystems
+// together end to end — the exhaustive worst case dominates both the
+// sampled maximum and the lower-bound adversary's certificate for the
+// same algorithm and process count.
+func TestSearchWorstCaseFacade(t *testing.T) {
+	alg, err := repro.AlgorithmByName("flag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := repro.SearchConfig{
+		Factory: alg.New,
+		N:       4,
+		Scripts: map[memsim.PID][]memsim.CallKind{
+			0: {memsim.CallPoll, memsim.CallPoll, memsim.CallPoll},
+			1: {memsim.CallPoll, memsim.CallPoll, memsim.CallPoll},
+			2: {memsim.CallPoll, memsim.CallPoll, memsim.CallPoll},
+			3: {memsim.CallSignal},
+		},
+		MaxDepth: 14,
+		Model:    repro.DSM,
+	}
+	worst, err := repro.SearchWorstCase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Mode != repro.SearchExhaustive || worst.WorstCost < 1 || len(worst.Witness) == 0 {
+		t.Fatalf("implausible exhaustive result: %+v", worst)
+	}
+
+	sc := cfg
+	sc.Mode = repro.SearchSample
+	sc.Seed = 1
+	sc.Walks = 64
+	sampled, err := repro.SearchWorstCase(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.WorstCost > worst.WorstCost {
+		t.Fatalf("sampled max %d exceeds exhaustive worst case %d", sampled.WorstCost, worst.WorstCost)
+	}
+
+	cert, err := repro.Adversary(repro.AdversaryConfig{Algorithm: alg, N: 4, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.TotalRMRs > worst.WorstCost {
+		t.Fatalf("certificate %d exceeds exhaustive worst case %d", cert.TotalRMRs, worst.WorstCost)
+	}
+}

@@ -1,0 +1,67 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and emit machine-readable results.
+#
+# Runs `go test -bench -benchmem` across the module and writes one JSON
+# array to BENCH_results.json (override with OUT), one object per
+# benchmark: {"name", "iterations", "ns_per_op", "bytes_per_op",
+# "allocs_per_op"}. CI and trend tooling consume the JSON; the raw `go
+# test` output streams to stderr so interactive runs stay readable.
+#
+# Environment knobs:
+#   BENCH     benchmark regexp (default ".")
+#   BENCHTIME passed to -benchtime (default "1x" — a smoke pass; use e.g.
+#             "100ms" or "3s" for real measurements)
+#   PKGS      package pattern (default "./...")
+#   OUT       output path (default "BENCH_results.json")
+#
+# Run from the repository root.
+set -eu
+
+BENCH="${BENCH:-.}"
+BENCHTIME="${BENCHTIME:-1x}"
+PKGS="${PKGS:-./...}"
+OUT="${OUT:-BENCH_results.json}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# No pipeline here: POSIX sh has no pipefail, and `go test | tee` would
+# report tee's exit status, letting a failing benchmark suite slip through
+# set -e. Capture the status explicitly, then replay the output.
+status=0
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem "$PKGS" > "$raw" 2>&1 || status=$?
+cat "$raw" >&2
+if [ "$status" -ne 0 ]; then
+    echo "bench.sh: go test -bench failed (exit $status)" >&2
+    exit "$status"
+fi
+
+# A -benchmem result line looks like:
+#   BenchmarkName-8   123   456.7 ns/op   890 B/op   12 allocs/op
+# Sub-benchmarks keep their slash-joined names. Lines without the ns/op
+# column (failures, package headers) are skipped.
+awk '
+$1 ~ /^Benchmark/ {
+    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (bytes == "") bytes = "null"
+    if (allocs == "") allocs = "null"
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, bytes, allocs
+}
+BEGIN { printf "[\n" }
+END { if (n) printf "\n"; printf "]\n" }
+' "$raw" > "$OUT"
+
+count=$(grep -c '"name"' "$OUT" || true)
+if [ "$count" -eq 0 ]; then
+    echo "bench.sh: no benchmark results parsed" >&2
+    exit 1
+fi
+echo "bench.sh: wrote $count results to $OUT" >&2
