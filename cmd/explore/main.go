@@ -7,12 +7,16 @@
 //	explore -alg queue -waiters 2 -polls 2 -depth 10
 //	explore -alg single-waiter -waiters 1 -polls 3 -depth 12
 //	explore -alg queue -waiters 3 -polls 3 -depth 20 -workers 8
+//	explore -alg queue -waiters 3 -depth 16 -checkpoint run.rpck
 //
 // The backtracking engine shards the schedule tree across -workers
 // work-stealing workers (0 means one per core); results are identical for
 // every worker count. -dedup=false forces the sequential legacy replay
 // enumeration for A/B checks. -json prints the full result as one JSON
-// object for CI and scripts, instead of the text summary.
+// object for CI and scripts, instead of the text summary. With
+// -checkpoint the run snapshots between committed units, and a killed run
+// (or a -stop-after interruption; exit code 3) resumes with -resume to
+// the byte-identical deterministic summary of an uninterrupted run.
 package main
 
 import (
@@ -23,32 +27,17 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/errs"
 	"repro/internal/explore"
-	"repro/internal/memsim"
-	"repro/internal/signal"
+	"repro/internal/jobspec"
 )
-
-// output is the -json document: the exploration result plus the workload
-// parameters that produced it, so one object reproduces the run. The
-// resolved worker-pool size is deliberately absent: it is machine-
-// dependent (GOMAXPROCS) while every counter here is not, so the document
-// is byte-identical across machines and -workers values.
-type output struct {
-	Algorithm       string `json:"algorithm"`
-	Waiters         int    `json:"waiters"`
-	Polls           int    `json:"polls"`
-	Depth           int    `json:"depth"`
-	Paths           int    `json:"paths"`
-	Truncated       int    `json:"truncated"`
-	StatesDeduped   int    `json:"statesDeduped"`
-	MaxDepthReached int    `json:"maxDepthReached"`
-	Engine          string `json:"engine"`
-	SpecHolds       bool   `json:"specHolds"`
-}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
+		if errs.IsInterrupt(err) {
+			os.Exit(3) // interrupted, snapshot intact: resume with -resume
+		}
 		os.Exit(1)
 	}
 }
@@ -64,70 +53,56 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0,
 		"exploration workers sharding the schedule tree (0 = one per core); results are identical for every count")
 	jsonOut := fs.Bool("json", false, "print the full result as one JSON object")
+	ckPath := fs.String("checkpoint", "",
+		"snapshot file for a durable exploration; a killed run resumes with -resume")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint snapshot instead of starting fresh")
+	shardDepth := fs.Int("shard-depth", 0, "checkpoint unit prefix depth (0 = default 3)")
+	stopAfter := fs.Int("stop-after", 0,
+		"deterministically interrupt after this many committed units (testing; exits 3)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	alg, err := signal.ByName(*algName)
+	dv := *dedup
+	spec := jobspec.Spec{
+		Kind:    jobspec.KindExplore,
+		Alg:     *algName,
+		Waiters: *waiters,
+		Polls:   *polls,
+		Depth:   *depth,
+		Dedup:   &dv,
+		Workers: *workers,
+	}
+	cfg, err := spec.ExploreConfig()
 	if err != nil {
 		return err
 	}
-	if !alg.Variant.Polling {
-		return fmt.Errorf("%s has no Poll; the explorer checks polling semantics", alg.Name)
-	}
 
-	n := *waiters + 2 // waiters, one spare, the signaler at N-1
-	scripts := make(map[memsim.PID][]memsim.CallKind, *waiters+1)
-	for i := 0; i < *waiters; i++ {
-		script := make([]memsim.CallKind, *polls)
-		for j := range script {
-			script[j] = memsim.CallPoll
-		}
-		scripts[memsim.PID(i)] = script
-	}
-	scripts[memsim.PID(n-1)] = []memsim.CallKind{memsim.CallSignal}
-
-	engine := explore.EngineAuto
-	if !*dedup {
-		engine = explore.EngineReplay
-	}
 	start := time.Now()
-	res, err := explore.Run(explore.Config{
-		Factory:  alg.New,
-		N:        n,
-		Scripts:  scripts,
-		MaxDepth: *depth,
-		Engine:   engine,
-		Workers:  *workers,
-		Check: func(events []memsim.Event) error {
-			if vs := signal.CheckSpec(events); len(vs) > 0 {
-				return vs[0]
-			}
-			return nil
-		},
-	})
+	var res *explore.Result
+	if *ckPath != "" {
+		res, err = explore.RunCheckpointed(cfg, explore.Checkpoint{
+			Path:       *ckPath,
+			Tag:        spec.Alg,
+			ShardDepth: *shardDepth,
+			Resume:     *resume,
+			StopAfter:  *stopAfter,
+		})
+	} else {
+		res, err = explore.Run(cfg)
+	}
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 	if *jsonOut {
-		return json.NewEncoder(out).Encode(output{
-			Algorithm:       alg.Name,
-			Waiters:         *waiters,
-			Polls:           *polls,
-			Depth:           *depth,
-			Paths:           res.Paths,
-			Truncated:       res.Truncated,
-			StatesDeduped:   res.StatesDeduped,
-			MaxDepthReached: res.MaxDepthReached,
-			Engine:          res.Engine.String(),
-			SpecHolds:       true, // a violation returns an error above
-		})
+		// A violation returns an error above, so the doc always passes.
+		return json.NewEncoder(out).Encode(jobspec.NewExploreDoc(&spec, res, ""))
 	}
 	// The first two lines are deterministic for any worker count; the
 	// throughput line is the only timing-dependent output.
 	fmt.Fprintf(out, "%s: %d interleavings explored (%d truncated at depth %d), specification holds on all\n",
-		alg.Name, res.Paths, res.Truncated, *depth)
+		spec.Alg, res.Paths, res.Truncated, spec.Depth)
 	fmt.Fprintf(out, "engine: %s, states deduped: %d, max depth reached: %d\n",
 		res.Engine, res.StatesDeduped, res.MaxDepthReached)
 	nodes := res.Paths + res.StatesDeduped

@@ -4,8 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/errs"
+	"repro/internal/jobspec"
 )
 
 func TestRunExplore(t *testing.T) {
@@ -96,7 +101,7 @@ func TestRunExploreJSONRoundTrip(t *testing.T) {
 	if strings.Count(strings.TrimSpace(raw), "\n") != 0 {
 		t.Fatalf("-json printed more than one object:\n%s", raw)
 	}
-	var doc output
+	var doc jobspec.ExploreDoc
 	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
 		t.Fatalf("unmarshal: %v\n%s", err, raw)
 	}
@@ -104,7 +109,7 @@ func TestRunExploreJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var doc2 output
+	var doc2 jobspec.ExploreDoc
 	if err := json.Unmarshal(again, &doc2); err != nil {
 		t.Fatal(err)
 	}
@@ -121,6 +126,72 @@ func TestRunExploreJSONRoundTrip(t *testing.T) {
 	if !strings.Contains(text.String(), fmt.Sprintf("%d interleavings", doc.Paths)) ||
 		!strings.Contains(text.String(), fmt.Sprintf("states deduped: %d", doc.StatesDeduped)) {
 		t.Fatalf("JSON counters disagree with the text summary:\n%s\n%s", raw, text.String())
+	}
+}
+
+// TestExploreCheckpointedSummaryMatchesPlain: -checkpoint changes
+// durability, not output — the deterministic summary lines (and the
+// -json document) are byte-identical to a plain run's.
+func TestExploreCheckpointedSummaryMatchesPlain(t *testing.T) {
+	args := []string{"-alg", "queue", "-waiters", "2", "-polls", "2", "-depth", "10"}
+	ck := filepath.Join(t.TempDir(), "run.rpck")
+
+	var plain, durable bytes.Buffer
+	if err := run(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-checkpoint", ck), &durable); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := summary(t, durable.String()), summary(t, plain.String()); got != want {
+		t.Fatalf("checkpointed summary drifted:\n got:\n%s want:\n%s", got, want)
+	}
+
+	var plainJSON, durableJSON bytes.Buffer
+	if err := run(append(args, "-json"), &plainJSON); err != nil {
+		t.Fatal(err)
+	}
+	ck2 := filepath.Join(t.TempDir(), "run.rpck")
+	if err := run(append(args, "-json", "-checkpoint", ck2), &durableJSON); err != nil {
+		t.Fatal(err)
+	}
+	if durableJSON.String() != plainJSON.String() {
+		t.Fatalf("checkpointed -json drifted:\n got:%s want:%s", durableJSON.String(), plainJSON.String())
+	}
+}
+
+// TestExploreStopAfterResume: -stop-after interrupts with the snapshot on
+// disk, and -resume finishes with the deterministic summary of an
+// uninterrupted run.
+func TestExploreStopAfterResume(t *testing.T) {
+	args := []string{"-alg", "flag", "-waiters", "2", "-polls", "2", "-depth", "10"}
+	var plain bytes.Buffer
+	if err := run(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	ck := filepath.Join(t.TempDir(), "run.rpck")
+	durable := append(append([]string(nil), args...), "-checkpoint", ck)
+
+	err := run(append(durable, "-stop-after", "1"), io.Discard)
+	if !errs.IsInterrupt(err) {
+		t.Fatalf("-stop-after returned %v, want an Interrupt", err)
+	}
+	var resumed bytes.Buffer
+	if err := run(append(durable, "-resume"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := summary(t, resumed.String()), summary(t, plain.String()); got != want {
+		t.Fatalf("resumed summary drifted:\n got:\n%s want:\n%s", got, want)
+	}
+}
+
+// TestExploreCheckpointRejectsReplayEngine: the replay engine has no unit
+// decomposition; asking it to checkpoint is an invalid-input Failure.
+func TestExploreCheckpointRejectsReplayEngine(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "run.rpck")
+	err := run([]string{"-dedup=false", "-checkpoint", ck}, io.Discard)
+	if !errs.IsFailure(err) || errs.CodeOf(err) != errs.CodeInvalid {
+		t.Fatalf("got %v, want invalid Failure", err)
 	}
 }
 

@@ -11,9 +11,18 @@
 //	worstcase -alg flag -n 8 -depth 40 -mode sample -seed 1 -walks 4096
 //	worstcase -alg flag -n 2 -depth 10 -json
 //
-// Every stdout line is deterministic for the flag set (any worker count);
-// timing goes to stderr. -json prints the full result as one JSON object
-// instead.
+// Deep exhaustive runs can be made durable and distributed:
+//
+//	worstcase -alg queue -n 3 -depth 14 -checkpoint run.rpck   # snapshot between units
+//	worstcase -alg queue -n 3 -depth 14 -checkpoint run.rpck -resume
+//	worstcase -alg queue -n 3 -depth 14 -shards 4              # 4 worker processes
+//	worstcase ... -progress 5s                                 # states/sec on stderr
+//
+// A checkpointed run that is killed (or deterministically stopped with
+// -stop-after; exit code 3) resumes from its snapshot and produces the
+// byte-identical result of an uninterrupted run. Every stdout line is
+// deterministic for the flag set (any worker count); timing and progress
+// go to stderr. -json prints the full result as one JSON object instead.
 package main
 
 import (
@@ -22,52 +31,24 @@ import (
 	"fmt"
 	"io"
 	"os"
+	osignal "os/signal"
 	"strings"
 	"time"
 
-	"repro/internal/memsim"
-	"repro/internal/model"
+	"repro/internal/errs"
+	"repro/internal/jobspec"
+	"repro/internal/progress"
 	"repro/internal/search"
-	"repro/internal/signal"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "worstcase:", err)
+		if errs.IsInterrupt(err) {
+			os.Exit(3) // interrupted, snapshot intact: resume with -resume
+		}
 		os.Exit(1)
 	}
-}
-
-// modelByName resolves the -model flag.
-func modelByName(name string) (model.Scorer, error) {
-	switch name {
-	case "dsm":
-		return model.ModelDSM, nil
-	case "cc":
-		return model.ModelCC, nil
-	case "cc-wb":
-		return model.ModelCCWriteBack, nil
-	case "cc-dir-ideal":
-		return model.ModelCCDirIdeal, nil
-	default:
-		return nil, fmt.Errorf("unknown model %q (have dsm, cc, cc-wb, cc-dir-ideal)", name)
-	}
-}
-
-// output is the -json document: the search result plus the workload
-// parameters that produced it, so one object reproduces the run.
-type output struct {
-	Algorithm string `json:"algorithm"`
-	Model     string `json:"model"`
-	Waiters   int    `json:"waiters"`
-	Polls     int    `json:"polls"`
-	Depth     int    `json:"depth"`
-	*search.Result
-	// Workers shadows the embedded Result field out of the document: the
-	// resolved pool size is machine-dependent (GOMAXPROCS) while every
-	// search counter is not, so dropping it keeps the JSON byte-identical
-	// across machines and -workers values, like the text summary.
-	Workers int `json:"workers,omitempty"`
 }
 
 func run(args []string, out, errOut io.Writer) error {
@@ -83,49 +64,97 @@ func run(args []string, out, errOut io.Writer) error {
 	workers := fs.Int("workers", 0,
 		"search workers (0 = one per core); results are identical for every count")
 	jsonOut := fs.Bool("json", false, "print the full result as one JSON object")
+	ckPath := fs.String("checkpoint", "",
+		"snapshot file for a durable exhaustive run; a killed run resumes with -resume")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint snapshot instead of starting fresh")
+	shardDepth := fs.Int("shard-depth", 0, "checkpoint/shard unit prefix depth (0 = default 3)")
+	stopAfter := fs.Int("stop-after", 0,
+		"deterministically interrupt after this many committed units (testing; exits 3)")
+	shards := fs.Int("shards", 0, "shard the exhaustive search across this many worker OS processes")
+	shardWorker := fs.Bool("shard-worker", false,
+		"internal: serve shard-unit requests as JSON lines on stdin/stdout")
+	progressEvery := fs.Duration("progress", 0,
+		"emit states/sec + checkpoint-age lines to stderr at this interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	alg, err := signal.ByName(*algName)
+	spec := jobspec.Spec{
+		Kind:    jobspec.KindWorstcase,
+		Alg:     *algName,
+		Model:   *modelName,
+		Waiters: *waiters,
+		Polls:   *polls,
+		Depth:   *depth,
+		Mode:    *mode,
+		Seed:    *seed,
+		Walks:   *walks,
+		Workers: *workers,
+	}
+	cfg, err := spec.SearchConfig()
 	if err != nil {
-		return err
-	}
-	if !alg.Variant.Polling {
-		return fmt.Errorf("%s has no Poll; worst-case search drives polling workloads", alg.Name)
-	}
-	scorer, err := modelByName(*modelName)
-	if err != nil {
-		return err
-	}
-	var m search.Mode
-	if err := m.UnmarshalText([]byte(*mode)); err != nil {
 		return err
 	}
 
-	n := *waiters + 2 // waiters, one spare, the signaler at N-1
-	scripts := make(map[memsim.PID][]memsim.CallKind, *waiters+1)
-	for i := 0; i < *waiters; i++ {
-		script := make([]memsim.CallKind, *polls)
-		for j := range script {
-			script[j] = memsim.CallPoll
-		}
-		scripts[memsim.PID(i)] = script
+	if *shardWorker {
+		// Worker processes speak only the unit protocol on stdout; the
+		// coordinator owns all reporting.
+		return serveShardUnits(cfg, os.Stdin, out)
 	}
-	scripts[memsim.PID(n-1)] = []memsim.CallKind{memsim.CallSignal}
+
+	var meter *progress.Meter
+	if *progressEvery > 0 {
+		meter = progress.NewMeter()
+		cfg.Meter = meter
+		stop := meter.Start(errOut, *progressEvery)
+		defer stop()
+	}
+	durable := *ckPath != "" || *shards > 1
+	if durable && cfg.Mode != search.ModeExhaustive {
+		return errs.Failure(errs.CodeInvalid,
+			"only exhaustive mode checkpoints or shards (sample walks are cheap to rerun)")
+	}
+	var interrupt chan struct{}
+	if durable {
+		// SIGINT becomes a clean between-units stop: the snapshot on disk
+		// stays valid and -resume continues the run.
+		sig := make(chan os.Signal, 1)
+		osignal.Notify(sig, os.Interrupt)
+		defer close(sig)        // after Stop: lets the watcher goroutine exit
+		defer osignal.Stop(sig) // runs first, so close never races a delivery
+		interrupt = make(chan struct{})
+		go func() {
+			if _, ok := <-sig; ok {
+				close(interrupt)
+			}
+		}()
+	}
 
 	start := time.Now()
-	res, err := search.Run(search.Config{
-		Factory:  alg.New,
-		N:        n,
-		Scripts:  scripts,
-		MaxDepth: *depth,
-		Model:    scorer,
-		Mode:     m,
-		Workers:  *workers,
-		Seed:     *seed,
-		Walks:    *walks,
-	})
+	var res *search.Result
+	switch {
+	case *shards > 1:
+		res, err = runCoordinator(cfg, spec, shardOpts{
+			shards:     *shards,
+			shardDepth: *shardDepth,
+			checkpoint: *ckPath,
+			resume:     *resume,
+			stopAfter:  *stopAfter,
+			interrupt:  interrupt,
+			meter:      meter,
+		}, errOut)
+	case *ckPath != "":
+		res, err = search.RunCheckpointed(cfg, search.Checkpoint{
+			Path:       *ckPath,
+			Tag:        spec.Alg,
+			ShardDepth: *shardDepth,
+			Resume:     *resume,
+			StopAfter:  *stopAfter,
+			Interrupt:  interrupt,
+		})
+	default:
+		res, err = search.Run(cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -135,31 +164,20 @@ func run(args []string, out, errOut io.Writer) error {
 	fmt.Fprintf(errOut, "workers: %d, elapsed: %v\n", res.Workers, elapsed.Round(time.Millisecond))
 
 	if *jsonOut {
-		r := *res
-		r.Workers = 0 // machine-dependent; see output.Workers
-		doc := output{
-			Algorithm: alg.Name,
-			Model:     res.Model,
-			Waiters:   *waiters,
-			Polls:     *polls,
-			Depth:     *depth,
-			Result:    &r,
-		}
-		enc := json.NewEncoder(out)
-		return enc.Encode(doc)
+		return json.NewEncoder(out).Encode(jobspec.NewWorstcaseDoc(&spec, res))
 	}
 
 	switch res.Mode {
 	case search.ModeExhaustive:
 		fmt.Fprintf(out, "%s: worst %s cost over %d waiters x %d polls = %d RMRs (depth <= %d)\n",
-			alg.Name, res.Model, *waiters, *polls, res.WorstCost, *depth)
+			spec.Alg, res.Model, spec.Waiters, spec.Polls, res.WorstCost, spec.Depth)
 		fmt.Fprintf(out, "witness: %s (truncated: %v)\n",
 			strings.Join(res.Schedule, " "), res.WitnessTruncated)
 		fmt.Fprintf(out, "mode: exhaustive, paths: %d, pruned: %d, truncated: %d, max depth reached: %d\n",
 			res.Paths, res.Pruned, res.Truncated, res.MaxDepthReached)
 	case search.ModeSample:
 		fmt.Fprintf(out, "%s: sampled worst %s cost over %d waiters x %d polls = %d RMRs (depth <= %d, seed %d, %d walks)\n",
-			alg.Name, res.Model, *waiters, *polls, res.WorstCost, *depth, res.Seed, res.Walks)
+			spec.Alg, res.Model, spec.Waiters, spec.Polls, res.WorstCost, spec.Depth, res.Seed, res.Walks)
 		fmt.Fprintf(out, "witness: %s (truncated: %v)\n",
 			strings.Join(res.Schedule, " "), res.WitnessTruncated)
 		fmt.Fprintf(out, "mode: sample, mean: %.2f, p50: %d, p90: %d, p99: %d, truncated: %d, max depth reached: %d\n",

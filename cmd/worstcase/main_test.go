@@ -2,12 +2,37 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/errs"
+	"repro/internal/jobspec"
 )
+
+// TestMain doubles as the shard-worker entry point: runCoordinator
+// re-executes os.Executable(), which under `go test` is this test binary.
+// The env hook routes such a re-execution into run() before the testing
+// package touches the command line.
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		var args []string
+		if err := json.Unmarshal([]byte(os.Getenv(workerArgsEnv)), &args); err != nil {
+			fmt.Fprintln(os.Stderr, "worstcase:", err)
+			os.Exit(1)
+		}
+		if err := run(args, os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "worstcase:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // TestSmokeMatchesGolden: the deterministic stdout summaries of the CI
 // smoke commands match the committed golden files byte for byte (the CI
@@ -63,7 +88,7 @@ func TestSummaryDeterministicAcrossWorkers(t *testing.T) {
 }
 
 // TestJSONRoundTrip: -json emits one object that unmarshals back into the
-// output type and re-marshals identically, for both modes.
+// document type and re-marshals identically, for both modes.
 func TestJSONRoundTrip(t *testing.T) {
 	for _, mode := range []string{"exhaustive", "sample"} {
 		var out strings.Builder
@@ -76,7 +101,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		if strings.Count(strings.TrimSpace(raw), "\n") != 0 {
 			t.Fatalf("mode %s: -json printed more than one object:\n%s", mode, raw)
 		}
-		var doc output
+		var doc jobspec.WorstcaseDoc
 		if err := json.Unmarshal([]byte(raw), &doc); err != nil {
 			t.Fatalf("mode %s: unmarshal: %v\n%s", mode, err, raw)
 		}
@@ -84,7 +109,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var doc2 output
+		var doc2 jobspec.WorstcaseDoc
 		if err := json.Unmarshal(again, &doc2); err != nil {
 			t.Fatal(err)
 		}
@@ -98,16 +123,132 @@ func TestJSONRoundTrip(t *testing.T) {
 }
 
 // TestFlagValidation: unknown algorithms, models and modes are rejected;
-// non-polling algorithms are refused.
+// non-polling algorithms are refused; sample mode neither checkpoints nor
+// shards.
 func TestFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
 		{"-alg", "nope"},
 		{"-model", "numa"},
 		{"-mode", "psychic"},
 		{"-alg", "leader-blocking"},
+		{"-mode", "sample", "-checkpoint", "x.rpck"},
+		{"-mode", "sample", "-shards", "2"},
 	} {
 		if err := run(args, io.Discard, io.Discard); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}
+	}
+}
+
+// mustRun runs the CLI in-process and returns its stdout.
+func mustRun(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out, io.Discard); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return out.String()
+}
+
+// TestCheckpointedSummaryMatchesPlain: -checkpoint changes durability,
+// not output — stdout (including -json) is byte-identical to a plain run.
+func TestCheckpointedSummaryMatchesPlain(t *testing.T) {
+	base := []string{"-alg", "queue", "-n", "2", "-polls", "2", "-depth", "9"}
+	for _, extra := range [][]string{nil, {"-json"}} {
+		args := append(append([]string(nil), base...), extra...)
+		plain := mustRun(t, args...)
+		ck := filepath.Join(t.TempDir(), "run.rpck")
+		got := mustRun(t, append(args, "-checkpoint", ck, "-progress", "50ms")...)
+		if got != plain {
+			t.Fatalf("checkpointed stdout drifted (%v):\n got:\n%s want:\n%s", extra, got, plain)
+		}
+	}
+}
+
+// TestStopAfterResume: -stop-after interrupts with the snapshot on disk,
+// and -resume finishes with stdout byte-identical to an uninterrupted run.
+func TestStopAfterResume(t *testing.T) {
+	base := []string{"-alg", "flag", "-n", "2", "-depth", "10"}
+	plain := mustRun(t, base...)
+	ck := filepath.Join(t.TempDir(), "run.rpck")
+	args := append(append([]string(nil), base...), "-checkpoint", ck)
+
+	err := run(append(args, "-stop-after", "1"), io.Discard, io.Discard)
+	if !errs.IsInterrupt(err) {
+		t.Fatalf("-stop-after returned %v, want an Interrupt", err)
+	}
+	if _, statErr := os.Stat(ck); statErr != nil {
+		t.Fatalf("no snapshot after the interrupt: %v", statErr)
+	}
+	got := mustRun(t, append(args, "-resume")...)
+	if got != plain {
+		t.Fatalf("resumed stdout drifted:\n got:\n%s want:\n%s", got, plain)
+	}
+
+	// Resuming a finished run recomputes only the spine and agrees again.
+	again := mustRun(t, append(args, "-resume")...)
+	if again != plain {
+		t.Fatalf("second resume drifted:\n got:\n%s want:\n%s", again, plain)
+	}
+}
+
+// TestShardedEndToEnd: -shards spawns real worker processes (this test
+// binary, re-executed via the TestMain hook) and reproduces the plain
+// run's worst cost and witness exactly. The path/prune tallies form the
+// documented fresh-table-per-unit regime, so only the first two summary
+// lines are compared against the plain run; the full sharded output must
+// be identical across shard counts.
+func TestShardedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	base := []string{"-alg", "flag", "-n", "2", "-depth", "10"}
+	plain := mustRun(t, base...)
+	sharded2 := mustRun(t, append(append([]string(nil), base...), "-shards", "2")...)
+	sharded3 := mustRun(t, append(append([]string(nil), base...), "-shards", "3")...)
+	if sharded2 != sharded3 {
+		t.Fatalf("shard count changed the summary:\n%s vs\n%s", sharded2, sharded3)
+	}
+	plainLines := strings.SplitN(plain, "\n", 3)
+	shardLines := strings.SplitN(sharded2, "\n", 3)
+	for i := 0; i < 2; i++ {
+		if shardLines[i] != plainLines[i] {
+			t.Fatalf("sharded line %d drifted:\n got: %s\nwant: %s", i, shardLines[i], plainLines[i])
+		}
+	}
+}
+
+// TestShardedStopResume: a sharded coordinator interrupted by -stop-after
+// resumes from its snapshot to the byte-identical output of an
+// uninterrupted sharded run.
+func TestShardedStopResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	base := []string{"-alg", "flag", "-n", "2", "-depth", "10", "-shards", "2"}
+	full := mustRun(t, base...)
+	ck := filepath.Join(t.TempDir(), "run.rpck")
+	args := append(append([]string(nil), base...), "-checkpoint", ck)
+
+	err := run(append(args, "-stop-after", "1"), io.Discard, io.Discard)
+	if !errs.IsInterrupt(err) {
+		t.Fatalf("-stop-after returned %v, want an Interrupt", err)
+	}
+	got := mustRun(t, append(args, "-resume")...)
+	if got != full {
+		t.Fatalf("resumed sharded stdout drifted:\n got:\n%s want:\n%s", got, full)
+	}
+}
+
+// TestShardedRejectsUnsharded: the two snapshot regimes cannot resume
+// into each other — the fingerprints differ by the sharded marker.
+func TestShardedRejectsUnsharded(t *testing.T) {
+	base := []string{"-alg", "flag", "-n", "2", "-depth", "10"}
+	ck := filepath.Join(t.TempDir(), "run.rpck")
+	mustRun(t, append(append([]string(nil), base...), "-checkpoint", ck)...)
+	err := run(append(append([]string(nil), base...), "-shards", "2", "-checkpoint", ck, "-resume"),
+		io.Discard, io.Discard)
+	if !errs.IsFailure(err) || errs.CodeOf(err) != errs.CodeConflict {
+		t.Fatalf("sharded resume of an unsharded snapshot returned %v, want a conflict Failure", err)
 	}
 }

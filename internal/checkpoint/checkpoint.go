@@ -1,0 +1,424 @@
+// Package checkpoint serializes search and exploration state to a
+// versioned, length-prefixed on-disk format, making deep runs durable: a
+// snapshot carries the unit list (the frontier of subtree prefixes the
+// run is partitioned into), the committed-unit set, the accumulated
+// counters, and the memo/dedup table entries those committed units
+// produced — everything a resumed run needs to continue and finish with
+// byte-identical results to an uninterrupted one.
+//
+// The format is a fixed header (magic "RPCK", a version number, a CRC-32
+// and the body length, so truncation and corruption are rejected on
+// read, and future versions are rejected with a clear error instead of a
+// misparse) followed by one little-endian body. Write is atomic: the
+// snapshot lands under a temporary name, is fsynced, and renames over
+// the target, so a crash mid-write leaves the previous snapshot intact.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/errs"
+)
+
+// Kind names the subsystem a snapshot belongs to; resuming a search from
+// an exploration snapshot (or vice versa) is rejected.
+type Kind uint8
+
+// The snapshot kinds.
+const (
+	KindSearch  Kind = 1
+	KindExplore Kind = 2
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case KindSearch:
+		return "search"
+	case KindExplore:
+		return "explore"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Counters are the deterministic result tallies accumulated by committed
+// units. Search uses Pruned, exploration uses Deduped; the unused field
+// stays zero.
+type Counters struct {
+	Paths           int `json:"paths"`
+	Truncated       int `json:"truncated"`
+	Pruned          int `json:"pruned"`
+	Deduped         int `json:"deduped"`
+	MaxDepthReached int `json:"maxDepthReached"`
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Paths += o.Paths
+	c.Truncated += o.Truncated
+	c.Pruned += o.Pruned
+	c.Deduped += o.Deduped
+	if o.MaxDepthReached > c.MaxDepthReached {
+		c.MaxDepthReached = o.MaxDepthReached
+	}
+}
+
+// Entry is one table record: a claimed (canonical state, remaining
+// budget) pair. Search entries additionally carry the subtree's exact
+// answer (maximal tail cost, lexicographically least tail) and the
+// adoption bit of the prune accounting; exploration entries are bare
+// claims.
+type Entry struct {
+	State   [16]byte `json:"state"`
+	Budget  int      `json:"budget"`
+	Cost    int      `json:"cost"`
+	Tail    []int    `json:"tail"`
+	Adopted bool     `json:"adopted"`
+}
+
+// Snapshot is one durable point of a run.
+type Snapshot struct {
+	// Kind is the owning subsystem.
+	Kind Kind
+	// Fingerprint identifies the configuration (algorithm, scripts,
+	// depth, model, sharding regime). Resume rejects a mismatch: a
+	// snapshot is only meaningful against the exact run that wrote it.
+	Fingerprint string
+	// ShardDepth is the unit prefix depth the run was partitioned at.
+	ShardDepth int
+	// Units are the subtree prefixes (work-stealing frontier handles)
+	// the run processes, in the deterministic enumeration order.
+	Units [][]int
+	// Done holds the indices into Units of committed units, in commit
+	// order. Units not listed must be (re)processed on resume.
+	Done []uint32
+	// Counters are the tallies accumulated by the committed units (plus,
+	// for explorations, the shallow pass that enumerated the units).
+	Counters Counters
+	// Entries is the table state produced by the committed units.
+	Entries []Entry
+}
+
+// DoneSet returns Done as a set.
+func (s *Snapshot) DoneSet() map[uint32]bool {
+	m := make(map[uint32]bool, len(s.Done))
+	for _, i := range s.Done {
+		m[i] = true
+	}
+	return m
+}
+
+// SortEntries orders Entries canonically (by state bytes, then budget)
+// so identical table contents serialize to identical bytes.
+func (s *Snapshot) SortEntries() {
+	sort.Slice(s.Entries, func(i, j int) bool {
+		if c := bytes.Compare(s.Entries[i].State[:], s.Entries[j].State[:]); c != 0 {
+			return c < 0
+		}
+		return s.Entries[i].Budget < s.Entries[j].Budget
+	})
+}
+
+const (
+	magic   = "RPCK"
+	version = 1
+	// headerSize is magic + u16 version + u32 crc + u64 body length.
+	headerSize = 4 + 2 + 4 + 8
+)
+
+// Write atomically persists s to path: encode, write to a temporary file
+// in the same directory, fsync, rename. The previous snapshot at path
+// survives any crash before the rename commits.
+func Write(path string, s *Snapshot) error {
+	body, err := encodeBody(s)
+	if err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], version)
+	binary.LittleEndian.PutUint32(hdr[6:10], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint64(hdr[10:18], uint64(len(body)))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(body)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: commit %s: %w", path, err)
+	}
+	return nil
+}
+
+// Read loads and validates the snapshot at path. A missing file, a wrong
+// magic, an unsupported version, a truncated body and a CRC mismatch are
+// all distinct Failures.
+func Read(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, errs.Failuref(errs.CodeNotFound, "checkpoint: no snapshot at %s", path)
+		}
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(raw) < headerSize || string(raw[:4]) != magic {
+		return nil, errs.Failuref(errs.CodeInvalid, "checkpoint: %s is not a snapshot (bad magic)", path)
+	}
+	if v := binary.LittleEndian.Uint16(raw[4:6]); v != version {
+		return nil, errs.Failuref(errs.CodeInvalid,
+			"checkpoint: %s is format version %d, this build reads version %d", path, v, version)
+	}
+	wantCRC := binary.LittleEndian.Uint32(raw[6:10])
+	bodyLen := binary.LittleEndian.Uint64(raw[10:18])
+	body := raw[headerSize:]
+	if uint64(len(body)) != bodyLen {
+		return nil, errs.Failuref(errs.CodeInvalid,
+			"checkpoint: %s truncated: body is %d bytes, header promises %d", path, len(body), bodyLen)
+	}
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, errs.Failuref(errs.CodeInvalid, "checkpoint: %s corrupt: CRC mismatch", path)
+	}
+	s, err := decodeBody(bytes.NewReader(body))
+	if err != nil {
+		return nil, errs.Failuref(errs.CodeInvalid, "checkpoint: %s undecodable: %v", path, err)
+	}
+	return s, nil
+}
+
+// The body encoding: every integer little-endian, every sequence length-
+// prefixed with a u32 count. Field order is fixed by these two
+// functions; any change bumps the format version.
+
+func encodeBody(s *Snapshot) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte(byte(s.Kind))
+	if err := putString(&b, s.Fingerprint); err != nil {
+		return nil, err
+	}
+	putI64(&b, int64(s.ShardDepth))
+	putU32(&b, uint32(len(s.Units)))
+	for _, u := range s.Units {
+		if err := putIntSlice(&b, u); err != nil {
+			return nil, err
+		}
+	}
+	putU32(&b, uint32(len(s.Done)))
+	for _, d := range s.Done {
+		putU32(&b, d)
+	}
+	putI64(&b, int64(s.Counters.Paths))
+	putI64(&b, int64(s.Counters.Truncated))
+	putI64(&b, int64(s.Counters.Pruned))
+	putI64(&b, int64(s.Counters.Deduped))
+	putI64(&b, int64(s.Counters.MaxDepthReached))
+	putU32(&b, uint32(len(s.Entries)))
+	for _, e := range s.Entries {
+		b.Write(e.State[:])
+		putI64(&b, int64(e.Budget))
+		putI64(&b, int64(e.Cost))
+		if err := putIntSlice(&b, e.Tail); err != nil {
+			return nil, err
+		}
+		if e.Adopted {
+			b.WriteByte(1)
+		} else {
+			b.WriteByte(0)
+		}
+	}
+	return b.Bytes(), nil
+}
+
+func decodeBody(r *bytes.Reader) (*Snapshot, error) {
+	s := &Snapshot{}
+	kind, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	s.Kind = Kind(kind)
+	if s.Fingerprint, err = getString(r); err != nil {
+		return nil, err
+	}
+	sd, err := getI64(r)
+	if err != nil {
+		return nil, err
+	}
+	s.ShardDepth = int(sd)
+	nUnits, err := getU32(r)
+	if err != nil {
+		return nil, err
+	}
+	s.Units = make([][]int, nUnits)
+	for i := range s.Units {
+		if s.Units[i], err = getIntSlice(r); err != nil {
+			return nil, err
+		}
+	}
+	nDone, err := getU32(r)
+	if err != nil {
+		return nil, err
+	}
+	s.Done = make([]uint32, nDone)
+	for i := range s.Done {
+		if s.Done[i], err = getU32(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, dst := range []*int{
+		&s.Counters.Paths, &s.Counters.Truncated, &s.Counters.Pruned,
+		&s.Counters.Deduped, &s.Counters.MaxDepthReached,
+	} {
+		v, err := getI64(r)
+		if err != nil {
+			return nil, err
+		}
+		*dst = int(v)
+	}
+	nEntries, err := getU32(r)
+	if err != nil {
+		return nil, err
+	}
+	s.Entries = make([]Entry, nEntries)
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		if _, err := io.ReadFull(r, e.State[:]); err != nil {
+			return nil, err
+		}
+		bu, err := getI64(r)
+		if err != nil {
+			return nil, err
+		}
+		e.Budget = int(bu)
+		co, err := getI64(r)
+		if err != nil {
+			return nil, err
+		}
+		e.Cost = int(co)
+		if e.Tail, err = getIntSlice(r); err != nil {
+			return nil, err
+		}
+		ad, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		e.Adopted = ad != 0
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", r.Len())
+	}
+	return s, nil
+}
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.Write(buf[:])
+}
+
+func putI64(b *bytes.Buffer, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	b.Write(buf[:])
+}
+
+func putString(b *bytes.Buffer, s string) error {
+	if len(s) > math.MaxUint32 {
+		return fmt.Errorf("checkpoint: string too long")
+	}
+	putU32(b, uint32(len(s)))
+	b.WriteString(s)
+	return nil
+}
+
+// putIntSlice encodes choice-index sequences; every element fits i32 (a
+// choice set never exceeds the process count).
+func putIntSlice(b *bytes.Buffer, v []int) error {
+	if len(v) > math.MaxUint32 {
+		return fmt.Errorf("checkpoint: slice too long")
+	}
+	putU32(b, uint32(len(v)))
+	for _, x := range v {
+		if x > math.MaxInt32 || x < math.MinInt32 {
+			return fmt.Errorf("checkpoint: index %d overflows i32", x)
+		}
+		putU32(b, uint32(int32(x)))
+	}
+	return nil
+}
+
+func getU32(r *bytes.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func getI64(r *bytes.Reader) (int64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func getString(r *bytes.Reader) (string, error) {
+	n, err := getU32(r)
+	if err != nil {
+		return "", err
+	}
+	if uint64(n) > uint64(r.Len()) {
+		return "", fmt.Errorf("string length %d exceeds remaining %d", n, r.Len())
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func getIntSlice(r *bytes.Reader) ([]int, error) {
+	n, err := getU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n)*4 > uint64(r.Len()) {
+		return nil, fmt.Errorf("slice length %d exceeds remaining %d bytes", n, r.Len())
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := getU32(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(int32(v))
+	}
+	return out, nil
+}

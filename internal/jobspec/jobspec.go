@@ -1,0 +1,285 @@
+// Package jobspec is the shared vocabulary of the three job surfaces —
+// cmd/explore, cmd/worstcase and the cmd/reprod job server: one Spec
+// describes a polling workload (algorithm, waiters × polls, depth,
+// model, mode), normalizes to the same defaults every surface has
+// always used, and compiles to the explore/search Configs; one Doc type
+// per kind mirrors the CLIs' round-trip-tested -json documents
+// byte-identically, so a result served over HTTP diffs cleanly against
+// a result printed by the CLI. Centralizing the scripts construction
+// (waiters poll at PIDs 0..w-1, one spare, the signaler at N-1) keeps
+// the three mains from drifting apart.
+package jobspec
+
+import (
+	"fmt"
+
+	"repro/internal/errs"
+	"repro/internal/explore"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/search"
+	"repro/internal/signal"
+)
+
+// The job kinds.
+const (
+	KindExplore   = "explore"
+	KindWorstcase = "worstcase"
+)
+
+// Spec is one job description — the JSON body POSTed to the reprod
+// server, and the normalized form of the CLI flag sets.
+type Spec struct {
+	// Kind is "explore" or "worstcase".
+	Kind string `json:"kind"`
+	// Alg names the signaling algorithm (signal.ByName); default "flag".
+	Alg string `json:"alg,omitempty"`
+	// Waiters and Polls shape the workload: Waiters polling processes at
+	// PIDs 0..Waiters-1, Polls calls each, one signaler at PID N-1, with
+	// N = Waiters+2. Defaults 2 and 2.
+	Waiters int `json:"waiters,omitempty"`
+	Polls   int `json:"polls,omitempty"`
+	// Depth bounds the schedule depth; default 10.
+	Depth int `json:"depth,omitempty"`
+	// Model is the worst-case cost model (dsm, cc, cc-wb, cc-dir-ideal);
+	// default "dsm". Worstcase only.
+	Model string `json:"model,omitempty"`
+	// Mode is "exhaustive" or "sample"; default "exhaustive". Worstcase
+	// only.
+	Mode string `json:"mode,omitempty"`
+	// Seed and Walks parameterize sample mode; defaults 1 and 512.
+	Seed  int64 `json:"seed,omitempty"`
+	Walks int   `json:"walks,omitempty"`
+	// Dedup selects the explorer engine; nil means true (backtracking
+	// with state dedup), false forces the legacy replay enumeration.
+	Dedup *bool `json:"dedup,omitempty"`
+	// Workers overrides the worker count (0 = one per core). Results are
+	// identical for every value.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Normalize validates s and fills every defaulted field in place. It is
+// idempotent; every compile method calls it first. Errors are
+// errs.CodeInvalid Failures, ready for an HTTP 400.
+func (s *Spec) Normalize() error {
+	switch s.Kind {
+	case KindExplore, KindWorstcase:
+	default:
+		return errs.Failuref(errs.CodeInvalid, "jobspec: unknown kind %q (have %q, %q)",
+			s.Kind, KindExplore, KindWorstcase)
+	}
+	if s.Alg == "" {
+		s.Alg = "flag"
+	}
+	alg, err := signal.ByName(s.Alg)
+	if err != nil {
+		return errs.Failuref(errs.CodeInvalid, "jobspec: %v", err)
+	}
+	if !alg.Variant.Polling {
+		return errs.Failuref(errs.CodeInvalid,
+			"jobspec: %s has no Poll; jobs drive polling workloads", alg.Name)
+	}
+	if s.Waiters <= 0 {
+		s.Waiters = 2
+	}
+	if s.Polls <= 0 {
+		s.Polls = 2
+	}
+	if s.Depth <= 0 {
+		s.Depth = 10
+	}
+	if s.Kind == KindWorstcase {
+		if s.Model == "" {
+			s.Model = "dsm"
+		}
+		if _, err := ModelByName(s.Model); err != nil {
+			return errs.Failuref(errs.CodeInvalid, "jobspec: %v", err)
+		}
+		if s.Mode == "" {
+			s.Mode = "exhaustive"
+		}
+		var m search.Mode
+		if err := m.UnmarshalText([]byte(s.Mode)); err != nil {
+			return errs.Failuref(errs.CodeInvalid, "jobspec: %v", err)
+		}
+		if s.Seed == 0 {
+			s.Seed = 1
+		}
+		if s.Walks <= 0 {
+			s.Walks = 512
+		}
+	}
+	return nil
+}
+
+// ModelByName resolves a cost-model name the way the worstcase CLI
+// always has.
+func ModelByName(name string) (model.Scorer, error) {
+	switch name {
+	case "dsm":
+		return model.ModelDSM, nil
+	case "cc":
+		return model.ModelCC, nil
+	case "cc-wb":
+		return model.ModelCCWriteBack, nil
+	case "cc-dir-ideal":
+		return model.ModelCCDirIdeal, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (have dsm, cc, cc-wb, cc-dir-ideal)", name)
+	}
+}
+
+// Scripts compiles the workload shape shared by every surface: N =
+// Waiters+2 processes, waiters polling at PIDs 0..Waiters-1, the
+// signaler at PID N-1, one spare in between.
+func (s *Spec) Scripts() (n int, scripts map[memsim.PID][]memsim.CallKind) {
+	n = s.Waiters + 2
+	scripts = make(map[memsim.PID][]memsim.CallKind, s.Waiters+1)
+	for i := 0; i < s.Waiters; i++ {
+		script := make([]memsim.CallKind, s.Polls)
+		for j := range script {
+			script[j] = memsim.CallPoll
+		}
+		scripts[memsim.PID(i)] = script
+	}
+	scripts[memsim.PID(n-1)] = []memsim.CallKind{memsim.CallSignal}
+	return n, scripts
+}
+
+// SearchConfig compiles a worstcase Spec into the search Config.
+func (s *Spec) SearchConfig() (search.Config, error) {
+	if err := s.Normalize(); err != nil {
+		return search.Config{}, err
+	}
+	if s.Kind != KindWorstcase {
+		return search.Config{}, errs.Failuref(errs.CodeInvalid,
+			"jobspec: %s spec cannot compile to a search config", s.Kind)
+	}
+	alg, err := signal.ByName(s.Alg)
+	if err != nil {
+		return search.Config{}, err
+	}
+	scorer, err := ModelByName(s.Model)
+	if err != nil {
+		return search.Config{}, err
+	}
+	var m search.Mode
+	if err := m.UnmarshalText([]byte(s.Mode)); err != nil {
+		return search.Config{}, err
+	}
+	n, scripts := s.Scripts()
+	return search.Config{
+		Factory:  alg.New,
+		N:        n,
+		Scripts:  scripts,
+		MaxDepth: s.Depth,
+		Model:    scorer,
+		Mode:     m,
+		Workers:  s.Workers,
+		Seed:     s.Seed,
+		Walks:    s.Walks,
+	}, nil
+}
+
+// ExploreConfig compiles an explore Spec into the explorer Config, with
+// the Specification 4.1 check every surface uses.
+func (s *Spec) ExploreConfig() (explore.Config, error) {
+	if err := s.Normalize(); err != nil {
+		return explore.Config{}, err
+	}
+	if s.Kind != KindExplore {
+		return explore.Config{}, errs.Failuref(errs.CodeInvalid,
+			"jobspec: %s spec cannot compile to an explore config", s.Kind)
+	}
+	alg, err := signal.ByName(s.Alg)
+	if err != nil {
+		return explore.Config{}, err
+	}
+	engine := explore.EngineAuto
+	if s.Dedup != nil && !*s.Dedup {
+		engine = explore.EngineReplay
+	}
+	n, scripts := s.Scripts()
+	return explore.Config{
+		Factory:  alg.New,
+		N:        n,
+		Scripts:  scripts,
+		MaxDepth: s.Depth,
+		Engine:   engine,
+		Workers:  s.Workers,
+		Check: func(events []memsim.Event) error {
+			if vs := signal.CheckSpec(events); len(vs) > 0 {
+				return vs[0]
+			}
+			return nil
+		},
+	}, nil
+}
+
+// WorstcaseDoc mirrors cmd/worstcase's -json document byte-identically:
+// workload parameters, then the embedded search result with the
+// machine-dependent Workers field shadowed out.
+type WorstcaseDoc struct {
+	Algorithm string `json:"algorithm"`
+	Model     string `json:"model"`
+	Waiters   int    `json:"waiters"`
+	Polls     int    `json:"polls"`
+	Depth     int    `json:"depth"`
+	*search.Result
+	// Workers shadows the embedded Result field out of the document: the
+	// resolved pool size is machine-dependent (GOMAXPROCS) while every
+	// search counter is not, so dropping it keeps the JSON byte-identical
+	// across machines and worker counts.
+	Workers int `json:"workers,omitempty"`
+}
+
+// NewWorstcaseDoc assembles the document from a normalized spec and its
+// result (res is copied; the caller's value is not zeroed).
+func NewWorstcaseDoc(s *Spec, res *search.Result) *WorstcaseDoc {
+	r := *res
+	r.Workers = 0 // machine-dependent; see WorstcaseDoc.Workers
+	return &WorstcaseDoc{
+		Algorithm: s.Alg,
+		Model:     r.Model,
+		Waiters:   s.Waiters,
+		Polls:     s.Polls,
+		Depth:     s.Depth,
+		Result:    &r,
+	}
+}
+
+// ExploreDoc mirrors cmd/explore's -json document byte-identically on
+// passing runs, with one service-surface extension: Violation (absent on
+// the CLI, which exits non-zero instead) carries the counterexample
+// message when the specification fails.
+type ExploreDoc struct {
+	Algorithm       string `json:"algorithm"`
+	Waiters         int    `json:"waiters"`
+	Polls           int    `json:"polls"`
+	Depth           int    `json:"depth"`
+	Paths           int    `json:"paths"`
+	Truncated       int    `json:"truncated"`
+	StatesDeduped   int    `json:"statesDeduped"`
+	MaxDepthReached int    `json:"maxDepthReached"`
+	Engine          string `json:"engine"`
+	SpecHolds       bool   `json:"specHolds"`
+	Violation       string `json:"violation,omitempty"`
+}
+
+// NewExploreDoc assembles the document from a normalized spec, its
+// result, and the violation message ("" when the spec holds).
+func NewExploreDoc(s *Spec, res *explore.Result, violation string) *ExploreDoc {
+	return &ExploreDoc{
+		Algorithm:       s.Alg,
+		Waiters:         s.Waiters,
+		Polls:           s.Polls,
+		Depth:           s.Depth,
+		Paths:           res.Paths,
+		Truncated:       res.Truncated,
+		StatesDeduped:   res.StatesDeduped,
+		MaxDepthReached: res.MaxDepthReached,
+		Engine:          res.Engine.String(),
+		SpecHolds:       violation == "",
+		Violation:       violation,
+	}
+}

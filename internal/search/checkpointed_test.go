@@ -1,0 +1,208 @@
+package search_test
+
+// Durability properties of the checkpointed search: an uninterrupted
+// checkpointed run, a killed-and-resumed run (at every kill point), and
+// a cross-process-style sharded merge must all reproduce the plain
+// in-memory engine's Result — for the witness fields exactly in all
+// regimes, and byte-for-byte (counters included) in the shared-table
+// checkpointed regime, on every seed config under both DSM and CC.
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/errs"
+	"repro/internal/model"
+	"repro/internal/search"
+)
+
+// ckModels is the model axis of the durability properties (per the
+// issue: DSM and CC).
+func ckModels() []model.Scorer {
+	return []model.Scorer{model.ModelDSM, model.ModelCC}
+}
+
+// resumeToCompletion drives RunCheckpointed with repeated deterministic
+// kills (stop every `step` units) until the run finally completes,
+// returning the result and the number of interrupted invocations.
+func resumeToCompletion(t *testing.T, cfg search.Config, ck search.Checkpoint, step int) (*search.Result, int) {
+	t.Helper()
+	kills := 0
+	for attempt := 0; ; attempt++ {
+		if attempt > 10000 {
+			t.Fatal("resume loop did not converge")
+		}
+		run := ck
+		run.Resume = attempt > 0
+		run.StopAfter = step
+		res, err := search.RunCheckpointed(cfg, run)
+		if err == nil {
+			return res, kills
+		}
+		if !errs.IsInterrupt(err) {
+			t.Fatalf("attempt %d: %v (class %v)", attempt, err, errs.Classify(err))
+		}
+		kills++
+	}
+}
+
+// TestCheckpointedMatchesPlain: an uninterrupted checkpointed run equals
+// the plain run byte-for-byte, on every seed config × model.
+func TestCheckpointedMatchesPlain(t *testing.T) {
+	for name, cfg := range seedConfigs() {
+		for _, m := range ckModels() {
+			cfg := cfg
+			cfg.Model = m
+			t.Run(name+"/"+m.Name(), func(t *testing.T) {
+				t.Parallel()
+				want, err := search.Run(cfg)
+				if err != nil {
+					t.Fatalf("plain run: %v", err)
+				}
+				got, err := search.RunCheckpointed(cfg, search.Checkpoint{
+					Path: filepath.Join(t.TempDir(), "run.rpck"), Tag: name,
+				})
+				if err != nil {
+					t.Fatalf("checkpointed run: %v", err)
+				}
+				assertByteIdentical(t, want, got)
+			})
+		}
+	}
+}
+
+// TestKillResumeByteIdentical: killing after every single committed unit
+// and resuming still converges to the byte-identical plain Result, on
+// every seed config × model.
+func TestKillResumeByteIdentical(t *testing.T) {
+	for name, cfg := range seedConfigs() {
+		for _, m := range ckModels() {
+			cfg := cfg
+			cfg.Model = m
+			t.Run(name+"/"+m.Name(), func(t *testing.T) {
+				t.Parallel()
+				want, err := search.Run(cfg)
+				if err != nil {
+					t.Fatalf("plain run: %v", err)
+				}
+				ck := search.Checkpoint{Path: filepath.Join(t.TempDir(), "run.rpck"), Tag: name}
+				got, kills := resumeToCompletion(t, cfg, ck, 1)
+				if kills == 0 {
+					t.Fatal("test exercised no kills (config has no units?)")
+				}
+				assertByteIdentical(t, want, got)
+
+				// Resuming the already-complete snapshot redoes only the
+				// spine pass and reproduces the result again.
+				again, err := search.RunCheckpointed(cfg, search.Checkpoint{
+					Path: ck.Path, Tag: name, Resume: true,
+				})
+				if err != nil {
+					t.Fatalf("resume after completion: %v", err)
+				}
+				assertByteIdentical(t, want, again)
+			})
+		}
+	}
+}
+
+// TestShardedMatchesPlain: computing every unit against a private table
+// (the cross-process regime) and merging yields the plain WorstCost and
+// lexicographically least Witness; the merged counter regime is itself
+// deterministic under permutation of the unit results.
+func TestShardedMatchesPlain(t *testing.T) {
+	for _, name := range []string{"flag-2proc", "multi-signaler"} {
+		cfg := seedConfigs()[name]
+		for _, m := range ckModels() {
+			cfg := cfg
+			cfg.Model = m
+			t.Run(name+"/"+m.Name(), func(t *testing.T) {
+				t.Parallel()
+				want, err := search.Run(cfg)
+				if err != nil {
+					t.Fatalf("plain run: %v", err)
+				}
+				units, err := search.ExpandUnits(cfg, 3)
+				if err != nil {
+					t.Fatalf("expand: %v", err)
+				}
+				if len(units) == 0 {
+					t.Fatal("no units")
+				}
+				results := make([]*search.UnitResult, len(units))
+				for i, u := range units {
+					if results[i], err = search.ComputeUnit(cfg, u); err != nil {
+						t.Fatalf("unit %v: %v", u, err)
+					}
+				}
+				merged, err := search.MergeUnits(cfg, results)
+				if err != nil {
+					t.Fatalf("merge: %v", err)
+				}
+				if merged.WorstCost != want.WorstCost || !reflect.DeepEqual(merged.Witness, want.Witness) {
+					t.Fatalf("sharded answer (%d, %v) != plain (%d, %v)",
+						merged.WorstCost, merged.Witness, want.WorstCost, want.Witness)
+				}
+				if !reflect.DeepEqual(merged.Schedule, want.Schedule) {
+					t.Fatalf("sharded schedule diverges: %v vs %v", merged.Schedule, want.Schedule)
+				}
+
+				// Any assignment of units to workers hands MergeUnits the
+				// same multiset; a permutation must not move any field.
+				rev := make([]*search.UnitResult, len(results))
+				for i := range results {
+					rev[i] = results[len(results)-1-i]
+				}
+				merged2, err := search.MergeUnits(cfg, rev)
+				if err != nil {
+					t.Fatalf("merge permuted: %v", err)
+				}
+				assertByteIdentical(t, merged, merged2)
+			})
+		}
+	}
+}
+
+// TestResumeRejectsMismatch: a snapshot only resumes the exact
+// configuration that wrote it.
+func TestResumeRejectsMismatch(t *testing.T) {
+	cfg := seedConfigs()["flag-2proc"]
+	path := filepath.Join(t.TempDir(), "run.rpck")
+	if _, err := search.RunCheckpointed(cfg, search.Checkpoint{Path: path, Tag: "flag"}); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+	deeper := cfg
+	deeper.MaxDepth = cfg.MaxDepth + 1
+	_, err := search.RunCheckpointed(deeper, search.Checkpoint{Path: path, Tag: "flag", Resume: true})
+	if err == nil {
+		t.Fatal("depth-changed resume accepted")
+	}
+	if errs.CodeOf(err) != errs.CodeConflict {
+		t.Fatalf("mismatch resume: code %q, want %q (%v)", errs.CodeOf(err), errs.CodeConflict, err)
+	}
+	if _, err := search.RunCheckpointed(cfg, search.Checkpoint{Path: path, Tag: "other", Resume: true}); errs.CodeOf(err) != errs.CodeConflict {
+		t.Fatalf("tag-changed resume: %v", err)
+	}
+}
+
+// assertByteIdentical fails unless the two results agree structurally
+// and serialize to identical JSON bytes.
+func assertByteIdentical(t *testing.T, want, got *search.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("results differ:\n got %+v\nwant %+v", got, want)
+	}
+	wb, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wb) != string(gb) {
+		t.Fatalf("JSON bytes differ:\n got %s\nwant %s", gb, wb)
+	}
+}

@@ -95,8 +95,13 @@ func newMemoTable() *memoTable {
 // subtree and publish the entry; won=false that some visitor already has
 // (or is), and wasAdopted reports whether a previous edge visit had
 // already taken responsibility (the caller's prune accounting).
+// stripeOf maps a key to its stripe.
+func stripeOf(key memoKey) uint64 {
+	return binary.LittleEndian.Uint64(key.state[:8]) % memoStripes
+}
+
 func (t *memoTable) claim(key memoKey, fromEdge bool) (e *memoEntry, won, wasAdopted bool) {
-	s := &t.stripes[binary.LittleEndian.Uint64(key.state[:8])%memoStripes]
+	s := &t.stripes[stripeOf(key)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.m[key]; ok {
@@ -159,6 +164,7 @@ type hunter struct {
 	truncated int
 	pruned    int
 	maxDepth  int
+	ticks     int // node visits not yet flushed to cfg.Meter
 }
 
 func newHunter(s *bnb, id int) (*hunter, error) {
@@ -185,6 +191,10 @@ func (w *hunter) runTask(t task) error {
 		}
 	}
 	cost, tail, err := w.dfs(len(t), len(t) == 0)
+	if w.s.cfg.Meter != nil && w.ticks > 0 {
+		w.s.cfg.Meter.Add(w.ticks)
+		w.ticks = 0
+	}
 	if err != nil {
 		return err
 	}
@@ -204,6 +214,15 @@ func (w *hunter) runTask(t task) error {
 func (w *hunter) dfs(depth int, fromEdge bool) (int, []int, error) {
 	if w.s.stopped() {
 		return 0, nil, errStopped
+	}
+	if w.s.cfg.Meter != nil {
+		// Batched liveness ticks: one atomic add per 1024 nodes keeps the
+		// meter invisible on the hot path (the remainder flushes in
+		// runTask).
+		if w.ticks++; w.ticks == 1024 {
+			w.s.cfg.Meter.Add(w.ticks)
+			w.ticks = 0
+		}
 	}
 	if depth > w.maxDepth {
 		w.maxDepth = depth

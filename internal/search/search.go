@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/memsim"
 	"repro/internal/model"
+	"repro/internal/progress"
 )
 
 // Mode selects how the schedule space is searched.
@@ -89,6 +90,10 @@ type Config struct {
 	// Walks is the number of random walks sample mode performs (zero
 	// means 512).
 	Walks int
+	// Meter, when non-nil, receives batched node-visit ticks from the
+	// exhaustive engine so a CLI can report states/sec on stderr. It has
+	// no effect on the Result.
+	Meter *progress.Meter
 }
 
 // Quantiles summarizes the sampled cost distribution (nearest-rank).
@@ -152,29 +157,14 @@ type Result struct {
 // replays to exactly WorstCost — Run verifies this internally before
 // returning.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Factory == nil {
-		return nil, errors.New("search: config requires a Factory")
-	}
-	if cfg.N < 1 {
-		return nil, fmt.Errorf("search: need at least 1 process, got %d", cfg.N)
-	}
-	if cfg.MaxDepth <= 0 {
-		cfg.MaxDepth = 12
-	}
-	if cfg.Model == nil {
-		cfg.Model = model.ModelDSM
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.Walks <= 0 {
-		cfg.Walks = 512
+	cfg, err := normalize(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	var res *Result
-	var err error
 	switch cfg.Mode {
-	case ModeExhaustive, 0:
+	case ModeExhaustive:
 		res, err = runExhaustive(cfg)
 	case ModeSample:
 		res, err = runSample(cfg)
@@ -184,22 +174,57 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := auditResult(cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
-	// Self-audit: the witness must re-price to exactly the reported worst
-	// cost on the independent replay path. A mismatch means an engine bug
-	// (a memo key that merged states with different futures), never a
-	// caller error.
+// normalize validates cfg and resolves every defaulted field, so the
+// plain, checkpointed and sharded run paths all see the same resolved
+// configuration.
+func normalize(cfg Config) (Config, error) {
+	if cfg.Factory == nil {
+		return cfg, errors.New("search: config requires a Factory")
+	}
+	if cfg.N < 1 {
+		return cfg, fmt.Errorf("search: need at least 1 process, got %d", cfg.N)
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 12
+	}
+	if cfg.Model == nil {
+		cfg.Model = model.ModelDSM
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeExhaustive
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Walks <= 0 {
+		cfg.Walks = 512
+	}
+	return cfg, nil
+}
+
+// auditResult is the self-audit every run path ends with: the witness
+// must re-price to exactly the reported worst cost on the independent
+// replay path. A mismatch means an engine bug (a memo key that merged
+// states with different futures), never a caller error. On success the
+// replay's rendered schedule and truncation flag land in res.
+func auditResult(cfg Config, res *Result) error {
 	rep, err := Replay(cfg, res.Witness)
 	if err != nil {
-		return nil, fmt.Errorf("search: internal: witness replay failed: %w", err)
+		return fmt.Errorf("search: internal: witness replay failed: %w", err)
 	}
 	if rep.Cost.Total != res.WorstCost {
-		return nil, fmt.Errorf("search: internal: witness replays to %d RMRs, engine reported %d",
+		return fmt.Errorf("search: internal: witness replays to %d RMRs, engine reported %d",
 			rep.Cost.Total, res.WorstCost)
 	}
 	res.Schedule = rep.Schedule
 	res.WitnessTruncated = rep.Truncated
-	return res, nil
+	return nil
 }
 
 // lexLess orders schedules by their choice-index sequences. Two distinct

@@ -1,0 +1,58 @@
+#!/bin/sh
+# bench_diff.sh — guard against ns/op regressions vs the committed baseline.
+#
+# Re-runs the benchmark suite (via bench.sh) and compares every benchmark
+# that also appears in the baseline JSON; any ns/op growth beyond the
+# threshold fails the script with a table of offenders. Benchmarks added
+# since the baseline are ignored (they have nothing to regress from).
+#
+# Usage: scripts/bench_diff.sh [baseline.json] [current.json]
+#   With no current.json, a fresh suite run is measured into a temp file.
+#
+# Environment knobs:
+#   THRESHOLD  max tolerated ns/op growth in percent (default 25)
+#   BENCHTIME  forwarded to bench.sh for the fresh run (default 100ms)
+#
+# Absolute ns/op differs across machines, so cross-machine comparisons
+# (committed baseline vs CI hardware) are advisory — CI runs this with
+# continue-on-error. On one machine it is a hard gate.
+#
+# Run from the repository root.
+set -eu
+
+BASE="${1:-BENCH_results.json}"
+CUR="${2:-}"
+THRESHOLD="${THRESHOLD:-25}"
+
+if [ ! -f "$BASE" ]; then
+    echo "bench_diff.sh: baseline $BASE not found" >&2
+    exit 1
+fi
+
+tmp=""
+if [ -z "$CUR" ]; then
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp"' EXIT
+    CUR="$tmp"
+    BENCHTIME="${BENCHTIME:-100ms}" OUT="$CUR" ./scripts/bench.sh
+fi
+
+regressions=$(jq -n --slurpfile base "$BASE" --slurpfile cur "$CUR" --argjson t "$THRESHOLD" '
+    ($base[0] | map({(.name): .ns_per_op}) | add) as $b
+    | $cur[0]
+    | map(select($b[.name] != null and $b[.name] > 0))
+    | map({name, base: $b[.name], now: .ns_per_op,
+           pct: (((.ns_per_op - $b[.name]) / $b[.name]) * 100 | floor)})
+    | map(select(.pct > $t))
+')
+
+compared=$(jq -n --slurpfile base "$BASE" --slurpfile cur "$CUR" '
+    ($base[0] | map(.name)) as $names | $cur[0] | map(select(.name as $n | $names | index($n))) | length')
+echo "bench_diff.sh: compared $compared benchmarks against $BASE (threshold ${THRESHOLD}%)" >&2
+
+if [ "$(printf '%s' "$regressions" | jq 'length')" -ne 0 ]; then
+    echo "bench_diff.sh: ns/op regressions beyond ${THRESHOLD}%:" >&2
+    printf '%s\n' "$regressions" | jq -r '.[] | "  \(.name): \(.base) -> \(.now) ns/op (+\(.pct)%)"' >&2
+    exit 1
+fi
+echo "bench_diff.sh: no regressions beyond ${THRESHOLD}%" >&2

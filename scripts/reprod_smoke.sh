@@ -1,0 +1,89 @@
+#!/bin/sh
+# reprod_smoke.sh — end-to-end smoke of the reprod job server.
+#
+# Builds cmd/reprod, starts it against a temp data directory, waits for
+# /healthz, submits one worstcase and one explore job, polls both to
+# completion, and byte-diffs each served result document against the
+# committed goldens (which are exactly the matching CLIs' -json output).
+# The worstcase result must also report verified=true — the server's
+# independent witness-replay check.
+#
+# Environment knobs:
+#   ADDR       listen address (default 127.0.0.1:8177)
+#   BUILDFLAGS extra go build flags, e.g. "-race" in CI
+#
+# Run from the repository root.
+set -eu
+
+ADDR="${ADDR:-127.0.0.1:8177}"
+BUILDFLAGS="${BUILDFLAGS:-}"
+BASE="http://$ADDR/api/v1"
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# shellcheck disable=SC2086 # BUILDFLAGS is intentionally word-split
+go build $BUILDFLAGS -o "$work/reprod" ./cmd/reprod
+"$work/reprod" -addr "$ADDR" -data "$work/data" &
+server_pid=$!
+
+ready=0
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$ready" -ne 1 ]; then
+    echo "reprod_smoke.sh: server never became healthy on $ADDR" >&2
+    exit 1
+fi
+curl -fsS "http://$ADDR/healthz" | jq -e '.status == "ok"' >/dev/null
+
+submit() {
+    curl -fsS -X POST -H 'Content-Type: application/json' -d "$1" "$BASE/jobs" | jq -r .id
+}
+
+wait_done() {
+    id=$1
+    for _ in $(seq 1 600); do
+        status=$(curl -fsS "$BASE/jobs/$id" | jq -r .status)
+        case "$status" in
+        done) return 0 ;;
+        failed | canceled)
+            echo "reprod_smoke.sh: job $id ended $status:" >&2
+            curl -fsS "$BASE/jobs/$id" >&2
+            return 1
+            ;;
+        esac
+        sleep 0.1
+    done
+    echo "reprod_smoke.sh: job $id timed out" >&2
+    return 1
+}
+
+wc_id=$(submit '{"kind":"worstcase","alg":"flag","waiters":2,"polls":2,"depth":10}')
+ex_id=$(submit '{"kind":"explore","alg":"queue","waiters":2,"polls":2,"depth":9}')
+echo "reprod_smoke.sh: submitted worstcase=$wc_id explore=$ex_id" >&2
+
+wait_done "$wc_id"
+wait_done "$ex_id"
+
+curl -fsS "$BASE/jobs/$wc_id" | jq -e '.verified == true' >/dev/null ||
+    { echo "reprod_smoke.sh: worstcase result not replay-verified" >&2; exit 1; }
+
+curl -fsS "$BASE/jobs/$wc_id" | jq -c .result | diff cmd/reprod/testdata/job_worstcase.golden - ||
+    { echo "reprod_smoke.sh: worstcase result drifted from golden" >&2; exit 1; }
+curl -fsS "$BASE/jobs/$ex_id" | jq -c .result | diff cmd/reprod/testdata/job_explore.golden - ||
+    { echo "reprod_smoke.sh: explore result drifted from golden" >&2; exit 1; }
+
+# The stream endpoint must end on the same terminal document.
+curl -fsS "$BASE/jobs/$wc_id/stream" | tail -n 1 | jq -e '.status == "done"' >/dev/null
+
+echo "reprod_smoke.sh: ok" >&2
