@@ -30,6 +30,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/explore"
 	"repro/internal/jobspec"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -59,9 +60,17 @@ func run(args []string, out io.Writer) error {
 	shardDepth := fs.Int("shard-depth", 0, "checkpoint unit prefix depth (0 = default 3)")
 	stopAfter := fs.Int("stop-after", 0,
 		"deterministically interrupt after this many committed units (testing; exits 3)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProf() // covers clean exits and the exit-code-3 interrupt path
 
 	dv := *dedup
 	spec := jobspec.Spec{

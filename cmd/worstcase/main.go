@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/errs"
 	"repro/internal/jobspec"
+	"repro/internal/prof"
 	"repro/internal/progress"
 	"repro/internal/search"
 )
@@ -75,9 +76,17 @@ func run(args []string, out, errOut io.Writer) error {
 		"internal: serve shard-unit requests as JSON lines on stdin/stdout")
 	progressEvery := fs.Duration("progress", 0,
 		"emit states/sec + checkpoint-age lines to stderr at this interval (0 = off)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProf() // covers clean exits and the SIGINT exit-code-3 path
 
 	spec := jobspec.Spec{
 		Kind:    jobspec.KindWorstcase,

@@ -129,8 +129,14 @@ func (s *Snapshot) SortEntries() {
 }
 
 const (
-	magic   = "RPCK"
-	version = 1
+	magic = "RPCK"
+	// version 2: the persisted State hashes are computed over the binary
+	// canonical state encoding (memsim's append-based encoder). Version 1
+	// snapshots hashed the legacy reflective text walk; the two partitions
+	// are equivalent but the hash *values* differ, so preloading a v1 table
+	// into a v2 run would silently corrupt claim-once accounting. v1 files
+	// are therefore rejected with a distinct message instead of upgraded.
+	version = 2
 	// headerSize is magic + u16 version + u32 crc + u64 body length.
 	headerSize = 4 + 2 + 4 + 8
 )
@@ -189,7 +195,14 @@ func Read(path string) (*Snapshot, error) {
 	if len(raw) < headerSize || string(raw[:4]) != magic {
 		return nil, errs.Failuref(errs.CodeInvalid, "checkpoint: %s is not a snapshot (bad magic)", path)
 	}
-	if v := binary.LittleEndian.Uint16(raw[4:6]); v != version {
+	switch v := binary.LittleEndian.Uint16(raw[4:6]); v {
+	case version:
+	case 1:
+		return nil, errs.Failuref(errs.CodeInvalid,
+			"checkpoint: %s is a format version 1 snapshot, written before the state-encoding change; "+
+				"its state hashes are incompatible with this build (version %d) — delete it and rerun from scratch",
+			path, version)
+	default:
 		return nil, errs.Failuref(errs.CodeInvalid,
 			"checkpoint: %s is format version %d, this build reads version %d", path, v, version)
 	}

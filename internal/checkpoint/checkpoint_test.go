@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/checkpoint"
@@ -98,6 +99,34 @@ func TestVersionMismatch(t *testing.T) {
 	}
 	if !errs.IsFailure(err) {
 		t.Fatalf("version mismatch is %v, want Failure", errs.Classify(err))
+	}
+}
+
+// TestStaleV1Rejected: a version 1 snapshot — written before the binary
+// state-encoding change, with text-walk state hashes — is rejected
+// cleanly with a message explaining the incompatibility, never preloaded.
+func TestStaleV1Rejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.rpck")
+	if err := checkpoint.Write(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint16(raw[4:6], 1)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = checkpoint.Read(path)
+	if err == nil {
+		t.Fatal("version 1 snapshot accepted")
+	}
+	if !errs.IsFailure(err) {
+		t.Fatalf("v1 rejection is %v, want Failure", errs.Classify(err))
+	}
+	if !strings.Contains(err.Error(), "state-encoding change") {
+		t.Fatalf("v1 rejection does not explain the incompatibility: %v", err)
 	}
 }
 

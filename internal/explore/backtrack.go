@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -68,7 +69,7 @@ type bengine struct {
 	mach     *memsim.Machine
 	inst     memsim.ResumableInstance
 	n        int
-	scripts  map[memsim.PID][]memsim.CallKind
+	scripts  [][]memsim.CallKind // dense per-pid view of Config.Scripts; nil = unscripted
 	frames   []memsim.Resumable
 	phase    []bPhase
 	pending  []memsim.Access
@@ -90,6 +91,16 @@ type bengine struct {
 	sigStarted  bool   // some Signal call has begun
 	sigEnded    bool   // some Signal call has completed
 	afterSigEnd []bool // per process: open call began after the first Signal completed
+
+	// Hot-path scratch, all engine-owned and reused node to node: the
+	// state-key build buffer, per-(pid, start) precomputed choice
+	// descriptions, per-depth settle buffers, and the free list of
+	// released node snapshots. See "hot-path memory discipline" in
+	// docs/ARCHITECTURE.md.
+	keyBuf     []byte
+	descs      [][2]string
+	choiceBufs [][]choice
+	markPool   []*mark
 }
 
 func newBengine(cfg Config) (*bengine, error) {
@@ -102,11 +113,15 @@ func newBengine(cfg Config) (*bengine, error) {
 	if !ok {
 		return nil, fmt.Errorf("explore: %T has no resumable tier; use EngineReplay", inst)
 	}
+	descs := make([][2]string, cfg.N)
+	for pid := range descs {
+		descs[pid] = [2]string{fmt.Sprintf("p%d", pid), fmt.Sprintf("p%d+", pid)}
+	}
 	return &bengine{
 		mach:     m,
 		inst:     ri,
 		n:        cfg.N,
-		scripts:  cfg.Scripts,
+		scripts:  denseScripts(cfg.N, cfg.Scripts),
 		frames:   make([]memsim.Resumable, cfg.N),
 		phase:    make([]bPhase, cfg.N),
 		pending:  make([]memsim.Access, cfg.N),
@@ -116,7 +131,27 @@ func newBengine(cfg Config) (*bengine, error) {
 		progress: make([]int, cfg.N),
 
 		afterSigEnd: make([]bool, cfg.N),
+
+		descs: descs,
 	}, nil
+}
+
+// denseScripts flattens the per-pid script map into a pid-indexed slice so
+// the settle/apply/stateKey hot loops index instead of hashing. A nil row
+// means the pid is unscripted; a present-but-empty script stays non-nil
+// (the pid is scripted, with nothing to run).
+func denseScripts(n int, scripts map[memsim.PID][]memsim.CallKind) [][]memsim.CallKind {
+	dense := make([][]memsim.CallKind, n)
+	for p, s := range scripts {
+		if int(p) < 0 || int(p) >= n {
+			continue
+		}
+		if s == nil {
+			s = []memsim.CallKind{}
+		}
+		dense[p] = s
+	}
+	return dense
 }
 
 func (e *bengine) emit(ev memsim.Event) {
@@ -140,11 +175,28 @@ func (e *bengine) advance(pid memsim.PID, prev memsim.Result) {
 // earliest consistent position, exactly like the replay engine) and returns
 // the open scheduling choices in deterministic order.
 func (e *bengine) settle() []choice {
-	var choices []choice
+	return e.settleInto(nil)
+}
+
+// settleAt is settle writing into the engine's depth-indexed choice
+// buffer: the DFS settles each node exactly once and recursion uses deeper
+// buffers, so one buffer per depth makes the settle loop allocation-free
+// after warm-up. The returned slice is valid until the same depth settles
+// again.
+func (e *bengine) settleAt(depth int) []choice {
+	for len(e.choiceBufs) <= depth {
+		e.choiceBufs = append(e.choiceBufs, make([]choice, 0, e.n))
+	}
+	choices := e.settleInto(e.choiceBufs[depth][:0])
+	e.choiceBufs[depth] = choices
+	return choices
+}
+
+func (e *bengine) settleInto(choices []choice) []choice {
 	for pid := 0; pid < e.n; pid++ {
 		p := memsim.PID(pid)
-		script, ok := e.scripts[p]
-		if !ok {
+		script := e.scripts[p]
+		if script == nil {
 			continue
 		}
 		if e.phase[p] == bDone {
@@ -207,14 +259,22 @@ func (e *bengine) apply(c choice, idx int) error {
 		})
 		e.advance(p, res)
 	}
-	e.desc = append(e.desc, c.String())
+	if c.start {
+		e.desc = append(e.desc, e.descs[c.pid][1])
+	} else {
+		e.desc = append(e.desc, e.descs[c.pid][0])
+	}
 	e.path = append(e.path, idx)
 	return nil
 }
 
 // mark is one node's snapshot: cloned frames plus the small per-process
 // scheduler arrays, and the high-water marks of the append-only logs
-// (events, undo records, choice descriptions).
+// (events, undo records, choice descriptions). Marks come from the
+// engine's free list: save pops (or allocates) one and copies the engine
+// state into its arrays, release pushes it back, and the retained frame
+// clones become the copy targets of the next save of the slot — so the
+// steady-state save/restore/release cycle allocates nothing.
 type mark struct {
 	frames   []memsim.Resumable
 	phase    []bPhase
@@ -233,40 +293,67 @@ type mark struct {
 	afterSigEnd []bool
 }
 
-func (e *bengine) save() mark {
-	m := mark{
-		frames:   make([]memsim.Resumable, e.n),
-		phase:    append([]bPhase(nil), e.phase...),
-		pending:  append([]memsim.Access(nil), e.pending...),
-		rets:     append([]memsim.Value(nil), e.rets...),
-		calls:    append([]int(nil), e.calls...),
-		kinds:    append([]memsim.CallKind(nil), e.kinds...),
-		progress: append([]int(nil), e.progress...),
-		events:   len(e.events),
-		seq:      e.seq,
-		undos:    len(e.undos),
-		desc:     len(e.desc),
-
-		sigStarted:  e.sigStarted,
-		sigEnded:    e.sigEnded,
-		afterSigEnd: append([]bool(nil), e.afterSigEnd...),
+func newMark(n int) *mark {
+	return &mark{
+		frames:      make([]memsim.Resumable, n),
+		phase:       make([]bPhase, n),
+		pending:     make([]memsim.Access, n),
+		rets:        make([]memsim.Value, n),
+		calls:       make([]int, n),
+		kinds:       make([]memsim.CallKind, n),
+		progress:    make([]int, n),
+		afterSigEnd: make([]bool, n),
 	}
+}
+
+func (e *bengine) save() *mark {
+	var m *mark
+	if n := len(e.markPool); n > 0 {
+		m = e.markPool[n-1]
+		e.markPool = e.markPool[:n-1]
+	} else {
+		m = newMark(e.n)
+	}
+	copy(m.phase, e.phase)
+	copy(m.pending, e.pending)
+	copy(m.rets, e.rets)
+	copy(m.calls, e.calls)
+	copy(m.kinds, e.kinds)
+	copy(m.progress, e.progress)
+	m.events = len(e.events)
+	m.seq = e.seq
+	m.undos = len(e.undos)
+	m.desc = len(e.desc)
+	m.sigStarted = e.sigStarted
+	m.sigEnded = e.sigEnded
+	copy(m.afterSigEnd, e.afterSigEnd)
+	// Mark-owned frames never alias engine-owned frames: CloneResumableInto
+	// copies content into the mark's retained clone (or makes a fresh one),
+	// so further engine steps cannot disturb the snapshot.
 	for i, f := range e.frames {
-		m.frames[i] = memsim.CloneResumable(f)
+		m.frames[i] = memsim.CloneResumableInto(m.frames[i], f)
 	}
 	return m
 }
 
+// release returns a mark to the engine's free list once no sibling will
+// restore from it again. The retained frame clones are the reuse targets
+// of the next save.
+func (e *bengine) release(m *mark) {
+	e.markPool = append(e.markPool, m)
+}
+
 // restore winds the engine back to m: machine undos revert in reverse
 // order, the scheduler arrays copy back, and the logs truncate. Frames are
-// re-cloned so the mark stays pristine for further siblings.
-func (e *bengine) restore(m mark) {
+// re-cloned (into the engine's current frames, reusing their allocations)
+// so the mark stays pristine for further siblings.
+func (e *bengine) restore(m *mark) {
 	for i := len(e.undos) - 1; i >= m.undos; i-- {
 		e.mach.Revert(e.undos[i])
 	}
 	e.undos = e.undos[:m.undos]
 	for i := range m.frames {
-		e.frames[i] = memsim.CloneResumable(m.frames[i])
+		e.frames[i] = memsim.CloneResumableInto(e.frames[i], m.frames[i])
 	}
 	copy(e.phase, m.phase)
 	copy(e.pending, m.pending)
@@ -288,10 +375,49 @@ func (e *bengine) restore(m mark) {
 // affect future behavior), the specification-monitor bits (two states with
 // different spec-relevant pasts must never merge), plus each scripted
 // process's frame, pending access, call count and script position. Frames
-// encode through memsim.EncodeFrameState, so sub-frames hash by content
-// rather than by (clone-dependent) heap address. 128-bit FNV keeps
-// accidental collisions out of reach for any bounded exploration.
+// encode through memsim.AppendFrameState, so sub-frames hash by content
+// rather than by (clone-dependent) heap address. The encoding is built
+// into the engine's reusable scratch buffer and hashed through the
+// inlined 128-bit FNV (memsim.HashKey128) — no allocation per node — and it induces
+// exactly the partition of the legacy text walk (stateKeyLegacy, kept as
+// the differential-test oracle): every component is self-delimiting and
+// renders the same canonical facts.
 func (e *bengine) stateKey() [16]byte {
+	b := e.mach.AppendKeyState(e.keyBuf[:0])
+	b = append(b, boolBit(e.sigStarted)|boolBit(e.sigEnded)<<1)
+	for pid := 0; pid < e.n; pid++ {
+		p := memsim.PID(pid)
+		if e.scripts[p] == nil {
+			continue
+		}
+		b = append(b, byte(e.phase[p]),
+			boolBit(e.phase[p] != bIdle && e.afterSigEnd[p]))
+		b = binary.AppendUvarint(b, uint64(e.calls[p]))
+		b = binary.AppendUvarint(b, uint64(e.progress[p]))
+		if e.phase[p] == bPending {
+			acc := e.pending[p]
+			b = append(b, byte(acc.Op))
+			b = binary.AppendUvarint(b, uint64(acc.Addr))
+			b = binary.AppendVarint(b, acc.Arg1)
+			b = binary.AppendVarint(b, acc.Arg2)
+		}
+		b = memsim.AppendKeyFrameState(b, e.frames[p])
+	}
+	e.keyBuf = b
+	return memsim.HashKey128(b)
+}
+
+func boolBit(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// stateKeyLegacy is the original reflective fmt-walk state key. It is the
+// oracle of the encoder-equivalence tests: the binary stateKey must merge
+// exactly the states this key merges, for every algorithm.
+func (e *bengine) stateKeyLegacy() [16]byte {
 	h := fnv.New128a()
 	for a := 0; a < e.mach.Size(); a++ {
 		fmt.Fprintf(h, "w%d;", e.mach.Load(memsim.Addr(a)))
@@ -304,7 +430,7 @@ func (e *bengine) stateKey() [16]byte {
 	fmt.Fprintf(h, "sig%v,%v;", e.sigStarted, e.sigEnded)
 	for pid := 0; pid < e.n; pid++ {
 		p := memsim.PID(pid)
-		if _, ok := e.scripts[p]; !ok {
+		if e.scripts[p] == nil {
 			continue
 		}
 		fmt.Fprintf(h, "p%d:%d,%d,%d,%v;", pid, e.phase[p], e.calls[p], e.progress[p],

@@ -80,28 +80,6 @@ func Fingerprint(tag string, cfg Config, shardDepth int, dedup bool) string {
 	return b.String()
 }
 
-// export drains the claim table into bare checkpoint entries (claims
-// carry no payload; cost/tail stay zero).
-func (t *dedupTable) export() []checkpoint.Entry {
-	var out []checkpoint.Entry
-	for i := range t.stripes {
-		s := &t.stripes[i]
-		s.mu.Lock()
-		for k := range s.claimed {
-			out = append(out, checkpoint.Entry{State: k.state, Budget: k.budget})
-		}
-		s.mu.Unlock()
-	}
-	return out
-}
-
-// preload re-claims persisted pairs.
-func (t *dedupTable) preload(entries []checkpoint.Entry) {
-	for _, en := range entries {
-		t.claim(en.State, en.Budget)
-	}
-}
-
 type xtally struct{ paths, truncated, deduped int }
 
 func xgrab(w *searcher) xtally {
@@ -130,7 +108,7 @@ func (w *searcher) shallowPass(d int, units *[][]int) error {
 		if depth > w.maxDepth {
 			w.maxDepth = depth
 		}
-		choices := w.e.settle()
+		choices := w.e.settleAt(depth)
 		if len(choices) == 0 || depth >= w.s.cfg.MaxDepth {
 			w.paths++
 			if len(choices) != 0 {
@@ -160,6 +138,7 @@ func (w *searcher) shallowPass(d int, units *[][]int) error {
 			}
 			w.e.restore(m)
 		}
+		w.e.release(m)
 		return nil
 	}
 	return walk(0)
@@ -171,7 +150,7 @@ func (w *searcher) shallowPass(d int, units *[][]int) error {
 func (w *searcher) runUnit(t task) error {
 	w.e.restore(w.root)
 	for step, idx := range t {
-		choices := w.e.settle()
+		choices := w.e.settleAt(step)
 		if idx >= len(choices) {
 			return fmt.Errorf("explore: internal: unit choice %d out of range at depth %d", idx, step)
 		}
@@ -179,7 +158,7 @@ func (w *searcher) runUnit(t task) error {
 			return err
 		}
 	}
-	choices := w.e.settle()
+	choices := w.e.settleAt(len(t))
 	m := w.e.save()
 	for i, c := range choices {
 		if err := w.e.apply(c, i); err != nil {
@@ -190,6 +169,7 @@ func (w *searcher) runUnit(t task) error {
 		}
 		w.e.restore(m)
 	}
+	w.e.release(m)
 	return nil
 }
 

@@ -3,6 +3,8 @@ package explore
 import (
 	"encoding/binary"
 	"sync"
+
+	"repro/internal/checkpoint"
 )
 
 // The dedup table implements the claim-once pruning rule shared by every
@@ -20,25 +22,36 @@ import (
 //
 // The table is striped: claims hash to one of dedupStripes independently
 // locked shards, so workers contend only when their states collide on a
-// stripe. The per-claim critical section is a single map lookup+insert.
+// stripe. Within a stripe the claim set is an open-addressing table over
+// the interned 128-bit state hash itself — linear probing from a probe
+// start taken from the key's second half (the stripe index consumes the
+// first half), power-of-two growth at 75% load — so the per-claim critical
+// section is a short probe run over a flat slot array with no per-entry
+// allocation and no map-header hashing of the already-hashed key. The
+// claim-once semantics are exactly the striped map's: one winner per
+// distinct (state, budget) pair, everyone else loses, which is all the
+// determinism argument above needs.
 
 // dedupStripes is the number of independently locked shards. It only needs
 // to comfortably exceed any plausible worker count; claims are spread by
 // state hash, so contention on a stripe is ~workers/dedupStripes.
 const dedupStripes = 64
 
-// dedupKey identifies one claimable subtree root: the canonical state hash
-// and the remaining depth budget. Budget is part of the key because a
-// subtree explored with less budget is a truncation of the same subtree
-// with more — the pairs are different nodes of the search DAG.
-type dedupKey struct {
+// dedupSlot is one open-addressing slot: the interned state hash plus the
+// remaining depth budget biased by one, so the zero value doubles as the
+// empty-slot sentinel for any budget ≥ 0. Budget is part of the claim
+// identity because a subtree explored with less budget is a truncation of
+// the same subtree with more — the pairs are different nodes of the search
+// DAG.
+type dedupSlot struct {
 	state  [16]byte
-	budget int
+	budget int32 // claimed budget + 1; 0 = empty
 }
 
 type dedupStripe struct {
-	mu      sync.Mutex
-	claimed map[dedupKey]struct{}
+	mu    sync.Mutex
+	slots []dedupSlot // power-of-two length
+	used  int
 }
 
 // dedupTable is the sharded claim set.
@@ -49,7 +62,7 @@ type dedupTable struct {
 func newDedupTable() *dedupTable {
 	t := &dedupTable{}
 	for i := range t.stripes {
-		t.stripes[i].claimed = make(map[dedupKey]struct{})
+		t.stripes[i].slots = make([]dedupSlot, 64)
 	}
 	return t
 }
@@ -58,13 +71,69 @@ func newDedupTable() *dedupTable {
 // won: true means the caller must explore the subtree, false that some
 // worker already has (or is), so the caller prunes.
 func (t *dedupTable) claim(state [16]byte, budget int) bool {
-	k := dedupKey{state: state, budget: budget}
+	b := int32(budget) + 1
 	s := &t.stripes[binary.LittleEndian.Uint64(state[:8])%dedupStripes]
 	s.mu.Lock()
-	_, dup := s.claimed[k]
-	if !dup {
-		s.claimed[k] = struct{}{}
+	mask := uint64(len(s.slots) - 1)
+	i := binary.LittleEndian.Uint64(state[8:16]) & mask
+	for {
+		sl := &s.slots[i]
+		if sl.budget == 0 {
+			sl.state = state
+			sl.budget = b
+			s.used++
+			if s.used*4 >= len(s.slots)*3 {
+				s.grow()
+			}
+			s.mu.Unlock()
+			return true
+		}
+		if sl.budget == b && sl.state == state {
+			s.mu.Unlock()
+			return false
+		}
+		i = (i + 1) & mask
 	}
-	s.mu.Unlock()
-	return !dup
+}
+
+// grow doubles the slot array and re-probes every occupied slot. Called
+// with the stripe lock held.
+func (s *dedupStripe) grow() {
+	old := s.slots
+	s.slots = make([]dedupSlot, 2*len(old))
+	mask := uint64(len(s.slots) - 1)
+	for _, sl := range old {
+		if sl.budget == 0 {
+			continue
+		}
+		i := binary.LittleEndian.Uint64(sl.state[8:16]) & mask
+		for s.slots[i].budget != 0 {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = sl
+	}
+}
+
+// export drains the claim table into bare checkpoint entries (claims
+// carry no payload; cost/tail stay zero).
+func (t *dedupTable) export() []checkpoint.Entry {
+	var out []checkpoint.Entry
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		for _, sl := range s.slots {
+			if sl.budget != 0 {
+				out = append(out, checkpoint.Entry{State: sl.state, Budget: int(sl.budget) - 1})
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// preload re-claims persisted pairs.
+func (t *dedupTable) preload(entries []checkpoint.Entry) {
+	for _, en := range entries {
+		t.claim(en.State, en.Budget)
+	}
 }

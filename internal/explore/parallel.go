@@ -106,7 +106,7 @@ type searcher struct {
 	s    *search
 	id   int
 	e    *bengine
-	root mark // pristine initial state, for resetting between tasks
+	root *mark // pristine initial state, for resetting between tasks
 
 	paths     int
 	truncated int
@@ -130,7 +130,7 @@ func newSearcher(s *search, id int) (*searcher, error) {
 func (w *searcher) runTask(t task) error {
 	w.e.restore(w.root)
 	for step, idx := range t {
-		choices := w.e.settle()
+		choices := w.e.settleAt(step)
 		if idx >= len(choices) {
 			return fmt.Errorf("explore: internal: task choice %d out of range at depth %d", idx, step)
 		}
@@ -154,7 +154,7 @@ func (w *searcher) dfs(depth int) error {
 	if depth > w.maxDepth {
 		w.maxDepth = depth
 	}
-	choices := w.e.settle()
+	choices := w.e.settleAt(depth)
 	if len(choices) == 0 || depth >= w.s.cfg.MaxDepth {
 		w.paths++
 		if len(choices) != 0 {
@@ -176,7 +176,8 @@ func (w *searcher) dfs(depth int) error {
 	split := w.s.workers > 1 && len(choices) > 1 && depth+1 < w.s.cfg.MaxDepth && w.s.frontier.Hungry()
 	// One snapshot serves every sibling: restore re-clones from the
 	// mark and leaves the engine exactly at this node's post-settle
-	// state, so the mark stays pristine across iterations.
+	// state, so the mark stays pristine across iterations. The mark
+	// returns to the engine's free list once the last sibling is done.
 	m := w.e.save()
 	for i, c := range choices {
 		if split && i > 0 {
@@ -194,6 +195,7 @@ func (w *searcher) dfs(depth int) error {
 		}
 		w.e.restore(m)
 	}
+	w.e.release(m)
 	return nil
 }
 

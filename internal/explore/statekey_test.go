@@ -1,0 +1,140 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/signal"
+)
+
+// Differential state-key tests: the binary stateKey and the legacy
+// reflective stateKeyLegacy must induce the same partition over engine
+// states, for every listed algorithm — equal legacy keys if and only if
+// equal binary keys, across every node of a bounded exploration tree.
+// This is the property the dedup table's claim-once determinism rests on
+// after the encoder swap.
+
+// partitionConfig builds the per-algorithm workload the partition walk
+// quantifies over: two pollers, one signaler, bounded depth.
+func partitionConfig(alg signal.Algorithm) Config {
+	return Config{
+		Factory: alg.New,
+		N:       4,
+		Scripts: map[memsim.PID][]memsim.CallKind{
+			0: {memsim.CallPoll, memsim.CallPoll},
+			1: {memsim.CallPoll},
+			3: {memsim.CallSignal},
+		},
+		MaxDepth: 7,
+	}
+}
+
+// keyWalk explores the schedule tree to maxDepth and checks at every node
+// that the legacy-key → binary-key relation stays a bijection. The binary
+// side uses the raw encoded key bytes (e.keyBuf after stateKey), not just
+// the 128-bit hash, so an encoding that accidentally merged states would
+// be caught even if the hashes happened to collide the same way.
+func keyWalk(t *testing.T, e *bengine, maxDepth int) int {
+	t.Helper()
+	legacyToBin := map[[16]byte]string{}
+	binToLegacy := map[string][16]byte{}
+	nodes := 0
+	var walk func(depth int)
+	walk = func(depth int) {
+		choices := e.settleAt(depth)
+		legacy := e.stateKeyLegacy()
+		e.stateKey()
+		bin := string(e.keyBuf)
+		nodes++
+		if prev, ok := legacyToBin[legacy]; ok {
+			if prev != bin {
+				t.Fatalf("legacy key maps to two binary keys at depth %d", depth)
+			}
+		} else {
+			legacyToBin[legacy] = bin
+		}
+		if prev, ok := binToLegacy[bin]; ok {
+			if prev != legacy {
+				t.Fatalf("binary key maps to two legacy keys at depth %d", depth)
+			}
+		} else {
+			binToLegacy[bin] = legacy
+		}
+		if len(choices) == 0 || depth >= maxDepth {
+			return
+		}
+		m := e.save()
+		for i, c := range choices {
+			if err := e.apply(c, i); err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			walk(depth + 1)
+			e.restore(m)
+		}
+		e.release(m)
+	}
+	walk(0)
+	if len(legacyToBin) < 2 {
+		t.Fatalf("partition walk is vacuous: %d distinct states", len(legacyToBin))
+	}
+	return nodes
+}
+
+// TestStateKeyPartitionMatchesLegacy: for every algorithm the explorer
+// lists, the binary and legacy state keys partition the reachable engine
+// states identically.
+func TestStateKeyPartitionMatchesLegacy(t *testing.T) {
+	for _, alg := range signal.All() {
+		t.Run(alg.Name, func(t *testing.T) {
+			cfg := partitionConfig(alg)
+			if !backtrackable(cfg) {
+				t.Skipf("%s has no resumable tier for this script", alg.Name)
+			}
+			e, err := newBengine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes := keyWalk(t, e, cfg.MaxDepth)
+			t.Logf("%d nodes walked", nodes)
+		})
+	}
+}
+
+// TestStateKeyZeroAllocs pins the hot path's allocation discipline: one
+// encode+hash of a steady-state node allocates nothing, and one
+// snapshot/restore cycle on a pooled node allocates nothing, once the
+// engine's scratch buffers and free lists are warm.
+func TestStateKeyZeroAllocs(t *testing.T) {
+	cfg := partitionConfig(signal.QueueSignal())
+	e, err := newBengine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: settle and descend a couple of steps so frames are live,
+	// then exercise the key and snapshot paths once to size the scratch.
+	for depth := 0; depth < 3; depth++ {
+		choices := e.settleAt(depth)
+		if len(choices) == 0 {
+			break
+		}
+		if err := e.apply(choices[0], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.settleAt(3)
+	e.stateKey()
+	m := e.save()
+	e.restore(m)
+	e.release(m)
+
+	if n := testing.AllocsPerRun(100, func() { e.stateKey() }); n != 0 {
+		t.Errorf("stateKey allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		m := e.save()
+		e.restore(m)
+		e.release(m)
+	}); n != 0 {
+		t.Errorf("save/restore/release cycle allocates %v per run, want 0", n)
+	}
+}

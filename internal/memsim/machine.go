@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"encoding/binary"
 	"fmt"
 )
 
@@ -211,6 +212,27 @@ func (m *Machine) LLState(pid PID) (Addr, bool) {
 		return 0, false
 	}
 	return l.addr, true
+}
+
+// AppendKeyState appends the machine's behaviorally relevant state to dst
+// in canonical binary form: every word value plus each process's canonical
+// LL reservation (see LLState). It is the hot-path counterpart of hashing
+// word values and LLState pairs through fmt — two machines append equal
+// bytes exactly when their word values and canonical reservations agree.
+func (m *Machine) AppendKeyState(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.words)))
+	for i := range m.words {
+		dst = binary.AppendVarint(dst, int64(m.words[i].val))
+	}
+	for p := 0; p < m.n; p++ {
+		if addr, ok := m.LLState(PID(p)); ok {
+			dst = append(dst, 1)
+			dst = binary.AppendUvarint(dst, uint64(addr))
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
 }
 
 // overwrite applies a nontrivial operation: it stores v, bumps the version

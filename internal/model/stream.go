@@ -1,9 +1,10 @@
 package model
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
+	"math/bits"
 
 	"repro/internal/memsim"
 )
@@ -114,11 +115,47 @@ type ModelStateEncoder interface {
 	EncodeModelState(w io.Writer)
 }
 
+// ReusingForker is a ForkableAccumulator that can additionally fork into
+// the backing storage of a discarded accumulator: ForkReuse(spare) behaves
+// exactly like Fork but recycles spare's allocations when spare is a
+// compatible accumulator (same Scorer, same Begin parameters). spare must
+// not be used by the caller afterwards. Backtracking searches restore a
+// node by forking the saved accumulator into the one being discarded, so
+// the per-node save/restore cycle stops allocating.
+type ReusingForker interface {
+	ForkableAccumulator
+	ForkReuse(spare Accumulator) Accumulator
+}
+
+// ModelStateAppender is the allocation-free counterpart of
+// ModelStateEncoder: AppendModelState appends the canonical pricing-state
+// encoding to dst and returns the extended buffer. The binary and the text
+// encodings must induce the same state partition — equal pricing states
+// append equal bytes, different states different bytes.
+type ModelStateAppender interface {
+	Accumulator
+	AppendModelState(dst []byte) []byte
+}
+
 // fork copies the shared running-total bookkeeping.
 func (s *reportState) fork() reportState {
 	cp := s.rep
 	cp.PerProc = append([]int(nil), s.rep.PerProc...)
 	return reportState{rep: cp}
+}
+
+// forkInto copies the running totals into dst, reusing dst's PerProc
+// backing array when it is large enough.
+func (s *reportState) forkInto(dst *reportState) {
+	pp := dst.rep.PerProc
+	if cap(pp) < len(s.rep.PerProc) {
+		pp = make([]int, len(s.rep.PerProc))
+	} else {
+		pp = pp[:len(s.rep.PerProc)]
+	}
+	copy(pp, s.rep.PerProc)
+	dst.rep = s.rep
+	dst.rep.PerProc = pp
 }
 
 // Fork implements ForkableAccumulator. The DSM rule is stateless per
@@ -127,98 +164,187 @@ func (a *dsmAccumulator) Fork() Accumulator {
 	return &dsmAccumulator{reportState: a.reportState.fork(), owner: a.owner}
 }
 
+// ForkReuse implements ReusingForker.
+func (a *dsmAccumulator) ForkReuse(spare Accumulator) Accumulator {
+	sp, ok := spare.(*dsmAccumulator)
+	if !ok || sp == nil {
+		return a.Fork()
+	}
+	a.reportState.forkInto(&sp.reportState)
+	sp.owner = a.owner
+	return sp
+}
+
 // EncodeModelState implements ModelStateEncoder. The DSM rule prices every
 // event from the owner mapping alone, so there is no mutable state to
 // encode.
 func (a *dsmAccumulator) EncodeModelState(io.Writer) {}
 
-// Fork implements ForkableAccumulator: the simulated cache state (shared
-// and exclusive copies, eviction counters) is deep-copied.
+// AppendModelState implements ModelStateAppender; like EncodeModelState it
+// appends nothing.
+func (a *dsmAccumulator) AppendModelState(dst []byte) []byte { return dst }
+
+// Fork implements ForkableAccumulator: the simulated cache state (sharer
+// bitmasks, exclusive owners, eviction counters) is copied into fresh
+// backing arrays.
 func (a *ccAccumulator) Fork() Accumulator {
-	cp := &ccAccumulator{
-		reportState: a.reportState.fork(),
-		cfg:         a.cfg,
-		n:           a.n,
-		shared:      make(map[memsim.Addr]map[memsim.PID]bool, len(a.shared)),
-		exclusive:   make(map[memsim.Addr]memsim.PID, len(a.exclusive)),
+	return a.ForkReuse(nil)
+}
+
+// ForkReuse implements ReusingForker: the fork writes into spare's backing
+// arrays when spare is a discarded ccAccumulator, so a steady-state
+// save/restore cycle allocates nothing.
+func (a *ccAccumulator) ForkReuse(spare Accumulator) Accumulator {
+	cp, ok := spare.(*ccAccumulator)
+	if !ok || cp == nil {
+		cp = &ccAccumulator{}
 	}
-	for addr, s := range a.shared {
-		if len(s) == 0 {
-			continue // deletions leave empty sets; drop them in the copy
-		}
-		cs := make(map[memsim.PID]bool, len(s))
-		for p := range s {
-			cs[p] = true
-		}
-		cp.shared[addr] = cs
-	}
-	for addr, p := range a.exclusive {
-		cp.exclusive[addr] = p
-	}
-	if a.accessCount != nil {
-		cp.accessCount = make(map[memsim.PID]int, len(a.accessCount))
-		for p, c := range a.accessCount {
-			cp.accessCount[p] = c
-		}
-	}
+	a.reportState.forkInto(&cp.reportState)
+	cp.cfg = a.cfg
+	cp.n = a.n
+	cp.words = a.words
+	cp.sharers = copyInto(cp.sharers, a.sharers)
+	cp.exclusive = copyInto(cp.exclusive, a.exclusive)
+	cp.accessCount = copyInto(cp.accessCount, a.accessCount)
 	return cp
+}
+
+// copyInto copies src into dst's backing array, growing dst only when its
+// capacity is insufficient. A nil src yields a nil slice.
+func copyInto[T any](dst, src []T) []T {
+	if src == nil {
+		return nil
+	}
+	if cap(dst) < len(src) {
+		dst = make([]T, len(src))
+	} else {
+		dst = dst[:len(src)]
+	}
+	copy(dst, src)
+	return dst
 }
 
 // EncodeModelState implements ModelStateEncoder: cached copies in address
 // order (sharer sets in PID order), exclusive owners in address order, and
 // — only under the eviction ablation — each process's access count modulo
 // the eviction period (counts with equal residue price every future event
-// identically). Empty sharer sets left behind by invalidations are
-// canonical no-ops and are skipped.
+// identically). Addresses with no sharers are canonical no-ops and are
+// skipped. The output is byte-for-byte the rendering the historical
+// map-based accumulator produced, so state keys survive the flat-slice
+// representation unchanged.
 func (a *ccAccumulator) EncodeModelState(w io.Writer) {
-	addrs := make([]int, 0, len(a.shared))
-	for addr, s := range a.shared {
-		if len(s) > 0 {
-			addrs = append(addrs, int(addr))
+	for addr := 0; addr < a.numAddrs(); addr++ {
+		row := a.row(memsim.Addr(addr))
+		if rowEmpty(row) {
+			continue
 		}
-	}
-	sort.Ints(addrs)
-	for _, addr := range addrs {
 		fmt.Fprintf(w, "s%d:", addr)
-		pids := make([]int, 0, len(a.shared[memsim.Addr(addr)]))
-		for p := range a.shared[memsim.Addr(addr)] {
-			pids = append(pids, int(p))
-		}
-		sort.Ints(pids)
-		for _, p := range pids {
-			fmt.Fprintf(w, "%d,", p)
+		for p := 0; p < a.n; p++ {
+			if row[p/64]&(1<<(p%64)) != 0 {
+				fmt.Fprintf(w, "%d,", p)
+			}
 		}
 		io.WriteString(w, ";")
 	}
-	addrs = addrs[:0]
-	for addr := range a.exclusive {
-		addrs = append(addrs, int(addr))
-	}
-	sort.Ints(addrs)
-	for _, addr := range addrs {
-		fmt.Fprintf(w, "x%d=%d;", addr, a.exclusive[memsim.Addr(addr)])
+	for addr := 0; addr < a.numAddrs(); addr++ {
+		if a.exclusive[addr] >= 0 {
+			fmt.Fprintf(w, "x%d=%d;", addr, a.exclusive[addr])
+		}
 	}
 	if a.cfg.EvictEvery > 0 {
-		pids := make([]int, 0, len(a.accessCount))
-		for p := range a.accessCount {
-			if a.accessCount[p]%a.cfg.EvictEvery != 0 {
-				pids = append(pids, int(p))
+		for p := 0; p < a.n; p++ {
+			if r := int(a.accessCount[p]) % a.cfg.EvictEvery; r != 0 {
+				fmt.Fprintf(w, "e%d=%d;", p, r)
 			}
-		}
-		sort.Ints(pids)
-		for _, p := range pids {
-			fmt.Fprintf(w, "e%d=%d;", p, a.accessCount[memsim.PID(p)]%a.cfg.EvictEvery)
 		}
 	}
 }
 
-// Compile-time checks: both accumulators support forking and canonical
-// state encoding, the two capabilities cost-directed search requires.
+// AppendModelState implements ModelStateAppender: the binary counterpart
+// of EncodeModelState over the same canonical state (nonempty sharer sets,
+// exclusive owners, eviction residues), so the two encodings induce the
+// same partition. Every section is count-prefixed and entries are in
+// ascending address/PID order, keeping the encoding self-delimiting and
+// engine-independent.
+func (a *ccAccumulator) AppendModelState(dst []byte) []byte {
+	nonempty := 0
+	for addr := 0; addr < a.numAddrs(); addr++ {
+		if !rowEmpty(a.row(memsim.Addr(addr))) {
+			nonempty++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(nonempty))
+	for addr := 0; addr < a.numAddrs(); addr++ {
+		row := a.row(memsim.Addr(addr))
+		if rowEmpty(row) {
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(addr))
+		count := 0
+		for _, w := range row {
+			count += bits.OnesCount64(w)
+		}
+		dst = binary.AppendUvarint(dst, uint64(count))
+		for wi, w := range row {
+			for w != 0 {
+				p := wi*64 + bits.TrailingZeros64(w)
+				dst = binary.AppendUvarint(dst, uint64(p))
+				w &= w - 1
+			}
+		}
+	}
+	owners := 0
+	for addr := 0; addr < a.numAddrs(); addr++ {
+		if a.exclusive[addr] >= 0 {
+			owners++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(owners))
+	for addr := 0; addr < a.numAddrs(); addr++ {
+		if a.exclusive[addr] >= 0 {
+			dst = binary.AppendUvarint(dst, uint64(addr))
+			dst = binary.AppendUvarint(dst, uint64(a.exclusive[addr]))
+		}
+	}
+	if a.cfg.EvictEvery > 0 {
+		residues := 0
+		for p := 0; p < a.n; p++ {
+			if int(a.accessCount[p])%a.cfg.EvictEvery != 0 {
+				residues++
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(residues))
+		for p := 0; p < a.n; p++ {
+			if r := int(a.accessCount[p]) % a.cfg.EvictEvery; r != 0 {
+				dst = binary.AppendUvarint(dst, uint64(p))
+				dst = binary.AppendUvarint(dst, uint64(r))
+			}
+		}
+	}
+	return dst
+}
+
+func rowEmpty(row []uint64) bool {
+	for _, w := range row {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Compile-time checks: both accumulators support forking (with storage
+// reuse) and canonical state encoding (text and binary), the capabilities
+// cost-directed search requires.
 var (
 	_ ForkableAccumulator = (*dsmAccumulator)(nil)
 	_ ForkableAccumulator = (*ccAccumulator)(nil)
+	_ ReusingForker       = (*dsmAccumulator)(nil)
+	_ ReusingForker       = (*ccAccumulator)(nil)
 	_ ModelStateEncoder   = (*dsmAccumulator)(nil)
 	_ ModelStateEncoder   = (*ccAccumulator)(nil)
+	_ ModelStateAppender  = (*dsmAccumulator)(nil)
+	_ ModelStateAppender  = (*ccAccumulator)(nil)
 )
 
 // dsmAccumulator streams the DSM rule: stateless per event, so it only
@@ -250,17 +376,23 @@ func (a *dsmAccumulator) Add(ev memsim.Event) Cost {
 }
 
 // ccAccumulator streams the CC rule: it carries the simulated cache state
-// (shared and exclusive copies, per-process access counts for the eviction
-// ablation) that the batch Annotate rebuilds on every call.
+// that the batch Annotate rebuilds on every call. The representation is
+// flat — sharer sets are per-address PID bitmasks in one backing array,
+// exclusive owners and access counts are per-index slices — so forking a
+// node's pricing state is a handful of memcpys into pooled arrays instead
+// of a map-by-map deep copy.
 type ccAccumulator struct {
 	reportState
 	cfg CC
 	n   int
-	// shared[a] is the set of processes with a valid cached copy of a;
-	// exclusive[a] is the write-back owner, if any.
-	shared      map[memsim.Addr]map[memsim.PID]bool
-	exclusive   map[memsim.Addr]memsim.PID
-	accessCount map[memsim.PID]int
+	// words is the bitmask stride: sharer rows are words uint64s each, one
+	// bit per PID. sharers[a*words:(a+1)*words] is address a's sharer set;
+	// exclusive[a] is the write-back owner (-1 = none). Rows exist for
+	// every address below numAddrs and grow on first caching write.
+	words       int
+	sharers     []uint64
+	exclusive   []int32
+	accessCount []int32 // per-PID, nil unless EvictEvery > 0
 }
 
 // Begin implements Scorer.
@@ -269,43 +401,64 @@ func (c CC) Begin(n int, owner func(memsim.Addr) memsim.PID) Accumulator {
 		reportState: newReportState(c.Name(), n),
 		cfg:         c,
 		n:           n,
-		shared:      make(map[memsim.Addr]map[memsim.PID]bool),
-		exclusive:   make(map[memsim.Addr]memsim.PID),
+		words:       (n + 63) / 64,
 	}
 	if c.EvictEvery > 0 {
-		acc.accessCount = make(map[memsim.PID]int)
+		acc.accessCount = make([]int32, n)
 	}
 	return acc
 }
 
+func (a *ccAccumulator) numAddrs() int { return len(a.exclusive) }
+
+// row returns addr's sharer bitmask; addr must be below numAddrs.
+func (a *ccAccumulator) row(addr memsim.Addr) []uint64 {
+	return a.sharers[int(addr)*a.words : (int(addr)+1)*a.words]
+}
+
+// ensure grows the per-address state to cover addr. Reads treat missing
+// addresses as uncached without growing; only caching writes extend.
+func (a *ccAccumulator) ensure(addr memsim.Addr) {
+	for a.numAddrs() <= int(addr) {
+		a.sharers = append(a.sharers, make([]uint64, a.words)...)
+		a.exclusive = append(a.exclusive, -1)
+	}
+}
+
 func (a *ccAccumulator) cachedBy(addr memsim.Addr, p memsim.PID) bool {
-	if q, ok := a.exclusive[addr]; ok && q == p {
+	if int(addr) >= a.numAddrs() {
+		return false
+	}
+	if a.exclusive[addr] == int32(p) {
 		return true
 	}
-	return a.shared[addr][p]
+	return a.row(addr)[p/64]&(1<<(p%64)) != 0
 }
 
 func (a *ccAccumulator) cache(addr memsim.Addr, p memsim.PID) {
-	s := a.shared[addr]
-	if s == nil {
-		s = make(map[memsim.PID]bool)
-		a.shared[addr] = s
-	}
-	s[p] = true
+	a.ensure(addr)
+	a.row(addr)[p/64] |= 1 << (p % 64)
 }
 
 // invalidate destroys all copies held by processes other than p and returns
 // the number destroyed.
 func (a *ccAccumulator) invalidate(addr memsim.Addr, p memsim.PID) int {
-	destroyed := 0
-	for q := range a.shared[addr] {
-		if q != p {
-			delete(a.shared[addr], q)
-			destroyed++
-		}
+	if int(addr) >= a.numAddrs() {
+		return 0
 	}
-	if q, ok := a.exclusive[addr]; ok && q != p {
-		delete(a.exclusive, addr)
+	destroyed := 0
+	row := a.row(addr)
+	own := uint64(1) << (p % 64)
+	for wi := range row {
+		w := row[wi]
+		if wi == int(p)/64 {
+			w &^= own // own copy survives
+		}
+		destroyed += bits.OnesCount64(w)
+		row[wi] &^= w
+	}
+	if q := a.exclusive[addr]; q >= 0 && q != int32(p) {
+		a.exclusive[addr] = -1
 		destroyed++
 	}
 	return destroyed
@@ -323,16 +476,16 @@ func (a *ccAccumulator) Add(ev memsim.Event) Cost {
 	addr := ev.Acc.Addr
 	if a.cfg.EvictEvery > 0 {
 		a.accessCount[p]++
-		if a.accessCount[p]%a.cfg.EvictEvery == 0 {
-			// Spurious whole-cache eviction (preemption, Section 8). The
-			// exclusive sweep is separate: a write-back copy lives at an
-			// address that may never have entered the shared map.
-			for _, s := range a.shared {
-				delete(s, p)
+		if int(a.accessCount[p])%a.cfg.EvictEvery == 0 {
+			// Spurious whole-cache eviction (preemption, Section 8): clear
+			// p's bit in every sharer row and release p's exclusive holds.
+			mask := ^(uint64(1) << (p % 64))
+			for i := int(p) / 64; i < len(a.sharers); i += a.words {
+				a.sharers[i] &= mask
 			}
-			for w, q := range a.exclusive {
-				if q == p {
-					delete(a.exclusive, w)
+			for w := range a.exclusive {
+				if a.exclusive[w] == int32(p) {
+					a.exclusive[w] = -1
 				}
 			}
 		}
@@ -349,12 +502,17 @@ func (a *ccAccumulator) Add(ev memsim.Event) Cost {
 	}
 	// Non-read operations engage the interconnect.
 	cost := Cost{RMR: true}
-	copies := len(a.shared[addr])
-	if a.shared[addr][p] {
-		copies-- // own copy is updated, not invalidated
-	}
-	if q, ok := a.exclusive[addr]; ok && q != p {
-		copies++
+	copies := 0
+	if int(addr) < a.numAddrs() {
+		for _, w := range a.row(addr) {
+			copies += bits.OnesCount64(w)
+		}
+		if a.row(addr)[p/64]&(1<<(p%64)) != 0 {
+			copies-- // own copy is updated, not invalidated
+		}
+		if q := a.exclusive[addr]; q >= 0 && q != int32(p) {
+			copies++
+		}
 	}
 	destroyed := 0
 	if ev.Res.Wrote || a.cfg.StrictInvalidate {
@@ -375,8 +533,9 @@ func (a *ccAccumulator) Add(ev memsim.Event) Cost {
 	}
 	if ev.Res.Wrote {
 		if a.cfg.WriteBack {
-			a.exclusive[addr] = p
-			delete(a.shared[addr], p)
+			a.ensure(addr)
+			a.exclusive[addr] = int32(p)
+			a.row(addr)[p/64] &^= 1 << (p % 64)
 		} else {
 			a.cache(addr, p) // write-through: writer keeps a valid copy
 		}

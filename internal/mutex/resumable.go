@@ -1,6 +1,7 @@
 package mutex
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -596,6 +597,39 @@ func (f *passageFrame) EncodeState(w io.Writer) {
 	io.WriteString(w, ",")
 	memsim.EncodeFrameState(w, f.rel)
 }
+
+// AppendState implements memsim.StateAppender: the binary mirror of
+// EncodeState, both lock sub-frames by content.
+func (f *passageFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.pid))
+	if f.ok {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(f.pc))
+	dst = memsim.AppendFrameState(dst, f.acq)
+	return memsim.AppendFrameState(dst, f.rel)
+}
+
+// CopyResumableInto implements memsim.ResumableCopier, recycling dst's
+// lock sub-frames when the types line up.
+func (f *passageFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*passageFrame)
+	if !ok {
+		return false
+	}
+	acq, rel := d.acq, d.rel
+	*d = *f
+	d.acq = memsim.CloneResumableInto(acq, f.acq)
+	d.rel = memsim.CloneResumableInto(rel, f.rel)
+	return true
+}
+
+var (
+	_ memsim.StateAppender   = (*passageFrame)(nil)
+	_ memsim.ResumableCopier = (*passageFrame)(nil)
+)
 
 // CanResume implements harness.ResumableWorkload: true when the deployed
 // lock has a resumable tier.

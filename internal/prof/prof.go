@@ -1,0 +1,50 @@
+// Package prof wires the standard runtime/pprof profilers into the CLIs:
+// one call site per command, every exit path covered by a single deferred
+// stop. The explorer and the search driver both run hot enough that the
+// alloc/CPU split is worth a flag, not a rebuild with test benchmarks.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a
+// stop function that finishes the CPU profile and writes a heap profile
+// to memPath (when non-empty). Deferred in a command's run(), the stop
+// covers every exit: a clean finish, a failed run, and the SIGINT /
+// -stop-after interrupt path (exit code 3), which returns through run's
+// defers like any other error. Empty paths make Start and stop no-ops.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile is the steady state
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

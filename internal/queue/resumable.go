@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -47,6 +48,19 @@ func (f *RegisterFrame) Return() memsim.Value { return 0 }
 func (f *RegisterFrame) EncodeState(w io.Writer) {
 	fmt.Fprintf(w, "r%d,%d,%d", f.reg.tail, f.v, f.pc)
 }
+
+// AppendState implements memsim.StateAppender: the binary mirror of
+// EncodeState, field for field.
+func (f *RegisterFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.reg.tail))
+	dst = binary.AppendVarint(dst, int64(f.v))
+	return binary.AppendUvarint(dst, uint64(f.pc))
+}
+
+var (
+	_ memsim.StateEncoder  = (*RegisterFrame)(nil)
+	_ memsim.StateAppender = (*RegisterFrame)(nil)
+)
 
 // SnapshotFrame is the resumable form of Registry.Snapshot: read the claimed
 // length, then each slot in order, busy-waiting through the short window
@@ -112,6 +126,25 @@ func (f *SnapshotFrame) Return() memsim.Value { return 0 }
 func (f *SnapshotFrame) EncodeState(w io.Writer) {
 	fmt.Fprintf(w, "s%d,%d,%d,%d,%v", f.reg.tail, f.n, f.j, f.pc, f.out[:f.j])
 }
+
+// AppendState implements memsim.StateAppender: the binary mirror of
+// EncodeState — same fields, same below-cursor prefix rule.
+func (f *SnapshotFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.reg.tail))
+	dst = binary.AppendVarint(dst, int64(f.n))
+	dst = binary.AppendVarint(dst, int64(f.j))
+	dst = binary.AppendUvarint(dst, uint64(f.pc))
+	dst = binary.AppendUvarint(dst, uint64(f.j))
+	for _, v := range f.out[:f.j] {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
+var (
+	_ memsim.StateEncoder  = (*SnapshotFrame)(nil)
+	_ memsim.StateAppender = (*SnapshotFrame)(nil)
+)
 
 // Vals returns the snapshot, valid once Next has reported completion.
 func (f *SnapshotFrame) Vals() []memsim.Value { return f.out }

@@ -164,13 +164,16 @@ func (t *memoTable) export() []checkpoint.Entry {
 	for i := range t.stripes {
 		s := &t.stripes[i]
 		s.mu.Lock()
-		for k, e := range s.m {
+		for _, sl := range s.slots {
+			if sl.budget == 0 {
+				continue
+			}
 			out = append(out, checkpoint.Entry{
-				State:   k.state,
-				Budget:  k.budget,
-				Cost:    e.cost,
-				Tail:    append([]int(nil), e.tail...),
-				Adopted: e.adopted,
+				State:   sl.state,
+				Budget:  int(sl.budget) - 1,
+				Cost:    sl.entry.cost,
+				Tail:    append([]int(nil), sl.entry.tail...),
+				Adopted: sl.entry.adopted,
 			})
 		}
 		s.mu.Unlock()
@@ -178,21 +181,20 @@ func (t *memoTable) export() []checkpoint.Entry {
 	return out
 }
 
-// preload seeds the table with persisted entries; their done channels
-// are born closed, so arrivals read them like any other finished claim.
+// preload seeds the table with persisted entries, born complete, so
+// arrivals read them like any other finished claim (no waiter ever
+// materializes their done channel).
 func (t *memoTable) preload(entries []checkpoint.Entry) {
 	for _, en := range entries {
 		key := memoKey{state: en.State, budget: en.Budget}
-		done := make(chan struct{})
-		close(done)
 		s := &t.stripes[stripeOf(key)]
 		s.mu.Lock()
-		s.m[key] = &memoEntry{
-			done:    done,
-			cost:    en.Cost,
-			tail:    append([]int(nil), en.Tail...),
-			adopted: en.Adopted,
-		}
+		e := s.alloc()
+		e.cost = en.Cost
+		e.tail = append([]int(nil), en.Tail...)
+		e.adopted = en.Adopted
+		e.complete.Store(true)
+		s.insert(key, e)
 		s.mu.Unlock()
 	}
 }

@@ -1,6 +1,8 @@
 package search
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -48,7 +50,7 @@ type sengine struct {
 	mach     *memsim.Machine
 	inst     memsim.ResumableInstance
 	n        int
-	scripts  map[memsim.PID][]memsim.CallKind
+	scripts  [][]memsim.CallKind // dense per-pid view of Config.Scripts; nil = unscripted
 	frames   []memsim.Resumable
 	phase    []sPhase
 	pending  []memsim.Access
@@ -62,6 +64,15 @@ type sengine struct {
 	// objective). Both rewind via node snapshots.
 	acc  model.Accumulator
 	cost int
+
+	// Hot-path scratch, engine-owned and reused node to node: the
+	// state-key build buffer, per-depth settle buffers, and the free list
+	// of released node snapshots. See "hot-path memory discipline" in
+	// docs/ARCHITECTURE.md.
+	keyBuf     []byte
+	choiceBufs [][]choice
+	markPool   []*mark
+	encBuf     bytes.Buffer // fallback render target for non-appending models
 }
 
 func newSengine(cfg Config) (*sengine, error) {
@@ -87,7 +98,7 @@ func newSengine(cfg Config) (*sengine, error) {
 		mach:     m,
 		inst:     ri,
 		n:        cfg.N,
-		scripts:  cfg.Scripts,
+		scripts:  denseScripts(cfg.N, cfg.Scripts),
 		frames:   make([]memsim.Resumable, cfg.N),
 		phase:    make([]sPhase, cfg.N),
 		pending:  make([]memsim.Access, cfg.N),
@@ -96,6 +107,24 @@ func newSengine(cfg Config) (*sengine, error) {
 		progress: make([]int, cfg.N),
 		acc:      acc,
 	}, nil
+}
+
+// denseScripts flattens the per-pid script map into a pid-indexed slice so
+// the settle/apply/stateKey hot loops index instead of hashing. A nil row
+// means the pid is unscripted; a present-but-empty script stays non-nil
+// (the pid is scripted, with nothing to run).
+func denseScripts(n int, scripts map[memsim.PID][]memsim.CallKind) [][]memsim.CallKind {
+	dense := make([][]memsim.CallKind, n)
+	for p, s := range scripts {
+		if int(p) < 0 || int(p) >= n {
+			continue
+		}
+		if s == nil {
+			s = []memsim.CallKind{}
+		}
+		dense[p] = s
+	}
+	return dense
 }
 
 // advance feeds prev into pid's frame and records its next scheduling
@@ -113,11 +142,28 @@ func (e *sengine) advance(pid memsim.PID, prev memsim.Result) {
 // settle collects completed calls (eagerly, with the explorer's poll-stop
 // rule) and returns the open scheduling choices in deterministic order.
 func (e *sengine) settle() []choice {
-	var choices []choice
+	return e.settleInto(nil)
+}
+
+// settleAt is settle writing into the engine's depth-indexed choice
+// buffer: the DFS settles each node exactly once and recursion uses deeper
+// buffers, so one buffer per depth makes the settle loop allocation-free
+// after warm-up. The returned slice is valid until the same depth settles
+// again.
+func (e *sengine) settleAt(depth int) []choice {
+	for len(e.choiceBufs) <= depth {
+		e.choiceBufs = append(e.choiceBufs, make([]choice, 0, e.n))
+	}
+	choices := e.settleInto(e.choiceBufs[depth][:0])
+	e.choiceBufs[depth] = choices
+	return choices
+}
+
+func (e *sengine) settleInto(choices []choice) []choice {
 	for pid := 0; pid < e.n; pid++ {
 		p := memsim.PID(pid)
-		script, ok := e.scripts[p]
-		if !ok {
+		script := e.scripts[p]
+		if script == nil {
 			continue
 		}
 		if e.phase[p] == sDone {
@@ -178,7 +224,11 @@ func (e *sengine) apply(c choice, idx int) (int, error) {
 
 // mark is one node's snapshot: cloned frames, the small per-process
 // scheduler arrays, the high-water mark of the undo log, and the forked
-// pricing state.
+// pricing state. Marks come from the engine's free list: save pops (or
+// allocates) one and copies the engine state into its arrays, release
+// pushes it back, and the retained frame clones and accumulator become
+// the copy targets of the next save of the slot — so the steady-state
+// save/restore/release cycle allocates nothing.
 type mark struct {
 	frames   []memsim.Resumable
 	phase    []sPhase
@@ -192,35 +242,66 @@ type mark struct {
 	cost     int
 }
 
-func (e *sengine) save() mark {
-	m := mark{
-		frames:   make([]memsim.Resumable, e.n),
-		phase:    append([]sPhase(nil), e.phase...),
-		pending:  append([]memsim.Access(nil), e.pending...),
-		rets:     append([]memsim.Value(nil), e.rets...),
-		kinds:    append([]memsim.CallKind(nil), e.kinds...),
-		progress: append([]int(nil), e.progress...),
-		undos:    len(e.undos),
-		path:     len(e.path),
-		acc:      e.acc.(model.ForkableAccumulator).Fork(),
-		cost:     e.cost,
+// forkAcc forks src, recycling spare's backing storage when the model
+// supports it (both architecture models do).
+func forkAcc(src, spare model.Accumulator) model.Accumulator {
+	if r, ok := src.(model.ReusingForker); ok {
+		return r.ForkReuse(spare)
 	}
+	return src.(model.ForkableAccumulator).Fork()
+}
+
+func (e *sengine) save() *mark {
+	var m *mark
+	if n := len(e.markPool); n > 0 {
+		m = e.markPool[n-1]
+		e.markPool = e.markPool[:n-1]
+	} else {
+		m = &mark{
+			frames:   make([]memsim.Resumable, e.n),
+			phase:    make([]sPhase, e.n),
+			pending:  make([]memsim.Access, e.n),
+			rets:     make([]memsim.Value, e.n),
+			kinds:    make([]memsim.CallKind, e.n),
+			progress: make([]int, e.n),
+		}
+	}
+	copy(m.phase, e.phase)
+	copy(m.pending, e.pending)
+	copy(m.rets, e.rets)
+	copy(m.kinds, e.kinds)
+	copy(m.progress, e.progress)
+	m.undos = len(e.undos)
+	m.path = len(e.path)
+	m.acc = forkAcc(e.acc, m.acc)
+	m.cost = e.cost
+	// Mark-owned frames never alias engine-owned frames: CloneResumableInto
+	// copies content into the mark's retained clone (or makes a fresh one).
 	for i, f := range e.frames {
-		m.frames[i] = memsim.CloneResumable(f)
+		m.frames[i] = memsim.CloneResumableInto(m.frames[i], f)
 	}
 	return m
 }
 
+// release returns a mark to the engine's free list once no sibling will
+// restore from it again; its frame clones and accumulator are the reuse
+// targets of the next save.
+func (e *sengine) release(m *mark) {
+	e.markPool = append(e.markPool, m)
+}
+
 // restore winds the engine back to m: machine undos revert in reverse
 // order, the scheduler arrays copy back, and the accumulator is re-forked
-// from the mark so it stays pristine for further siblings.
-func (e *sengine) restore(m mark) {
+// from the mark — into the engine's discarded accumulator, which is
+// exactly the spare storage the fork wants — so the mark stays pristine
+// for further siblings.
+func (e *sengine) restore(m *mark) {
 	for i := len(e.undos) - 1; i >= m.undos; i-- {
 		e.mach.Revert(e.undos[i])
 	}
 	e.undos = e.undos[:m.undos]
 	for i := range m.frames {
-		e.frames[i] = memsim.CloneResumable(m.frames[i])
+		e.frames[i] = memsim.CloneResumableInto(e.frames[i], m.frames[i])
 	}
 	copy(e.phase, m.phase)
 	copy(e.pending, m.pending)
@@ -228,7 +309,7 @@ func (e *sengine) restore(m mark) {
 	copy(e.kinds, m.kinds)
 	copy(e.progress, m.progress)
 	e.path = e.path[:m.path]
-	e.acc = m.acc.(model.ForkableAccumulator).Fork()
+	e.acc = forkAcc(m.acc, e.acc)
 	e.cost = m.cost
 }
 
@@ -244,7 +325,47 @@ func (e *sengine) restore(m mark) {
 // specification-monitor bits (costs are prefix-insensitive, so merging
 // histories with different spec-relevant pasts is sound here). 128-bit
 // FNV keeps accidental collisions out of reach for any bounded search.
+// The key is built into the engine's reusable scratch buffer and hashed
+// through the inlined FNV (memsim.HashKey128) — no allocation per node —
+// and it induces exactly the partition of the legacy text walk
+// (stateKeyLegacy, kept as the differential-test oracle).
 func (e *sengine) stateKey() [16]byte {
+	b := e.mach.AppendKeyState(e.keyBuf[:0])
+	for pid := 0; pid < e.n; pid++ {
+		p := memsim.PID(pid)
+		if e.scripts[p] == nil {
+			continue
+		}
+		kind := memsim.CallKind(0)
+		if e.phase[p] != sIdle {
+			kind = e.kinds[p] // the in-flight call drives the poll-stop rule
+		}
+		b = append(b, byte(e.phase[p]), byte(kind))
+		b = binary.AppendUvarint(b, uint64(e.progress[p]))
+		if e.phase[p] == sPending {
+			acc := e.pending[p]
+			b = append(b, byte(acc.Op))
+			b = binary.AppendUvarint(b, uint64(acc.Addr))
+			b = binary.AppendVarint(b, acc.Arg1)
+			b = binary.AppendVarint(b, acc.Arg2)
+		}
+		b = memsim.AppendKeyFrameState(b, e.frames[p])
+	}
+	if app, ok := e.acc.(model.ModelStateAppender); ok {
+		b = app.AppendModelState(b)
+	} else {
+		e.encBuf.Reset()
+		e.acc.(model.ModelStateEncoder).EncodeModelState(&e.encBuf)
+		b = append(b, e.encBuf.Bytes()...)
+	}
+	e.keyBuf = b
+	return memsim.HashKey128(b)
+}
+
+// stateKeyLegacy is the original reflective fmt-walk state key, kept as
+// the oracle of the encoder-equivalence tests: the binary stateKey must
+// merge exactly the states this key merges, for every algorithm and model.
+func (e *sengine) stateKeyLegacy() [16]byte {
 	h := fnv.New128a()
 	for a := 0; a < e.mach.Size(); a++ {
 		fmt.Fprintf(h, "w%d;", e.mach.Load(memsim.Addr(a)))
@@ -256,7 +377,7 @@ func (e *sengine) stateKey() [16]byte {
 	}
 	for pid := 0; pid < e.n; pid++ {
 		p := memsim.PID(pid)
-		if _, ok := e.scripts[p]; !ok {
+		if e.scripts[p] == nil {
 			continue
 		}
 		kind := memsim.CallKind(0)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/worksteal"
 )
@@ -57,28 +58,57 @@ type memoKey struct {
 }
 
 // memoEntry is one claimed subtree. The claimer fills cost and tail, then
-// closes done; after done is closed both fields are immutable and any
-// worker may read them.
+// flips complete (and closes done, if some waiter materialized it); after
+// that both fields are immutable and any worker may read them.
 type memoEntry struct {
-	done chan struct{}
 	cost int   // maximal tail cost from the pair
 	tail []int // lexicographically least tail achieving cost
+	// complete flips once cost/tail are published. Readers fast-path on
+	// it; the atomic store/load pair orders the field writes before any
+	// reader that observes true.
+	complete atomic.Bool
+	// done is materialized lazily, under the stripe lock, by the first
+	// waiter that finds the entry incomplete — so the common case (claims
+	// that never block, and every single-worker run) allocates no channel.
+	done chan struct{}
 	// adopted marks that an edge visit has taken responsibility for the
 	// entry. The first edge visit to arrive (claimer or not) adopts it
 	// silently; each further edge visit counts one prune — bookkeeping
 	// that makes Pruned independent of which visitor won the claim race
-	// (prefetch task roots never adopt and never count).
+	// (prefetch task roots never adopt and never count). Guarded by the
+	// stripe lock.
 	adopted bool
 }
 
 const memoStripes = 64
 
+// memoSlot is one open-addressing slot: the interned state hash, the
+// budget biased by one (0 = empty sentinel), and the claimed entry.
+type memoSlot struct {
+	state  [16]byte
+	budget int32
+	entry  *memoEntry
+}
+
 type memoStripe struct {
-	mu sync.Mutex
-	m  map[memoKey]*memoEntry
+	mu    sync.Mutex
+	slots []memoSlot // power-of-two length
+	used  int
+	// slab is the current entry allocation chunk: entries are appended
+	// within one 256-entry backing array (pointer-stable — the array is
+	// never reallocated, a full chunk is simply replaced by a fresh one
+	// and stays alive through the slots that point into it).
+	slab []memoEntry
 }
 
 // memoTable is the striped claim-and-reuse table shared by all workers.
+// Within a stripe the claim set is an open-addressing table over the
+// interned 128-bit state hash — linear probing from a probe start taken
+// from the key's second half (the stripe index consumes the first half),
+// power-of-two growth at 75% load — replacing the striped map: no
+// per-claim map-header hashing of the already-hashed key, slab-allocated
+// entries instead of one heap object per claim. The claim-once semantics
+// are identical: one winner per (state, budget) pair.
 type memoTable struct {
 	stripes [memoStripes]memoStripe
 }
@@ -86,34 +116,141 @@ type memoTable struct {
 func newMemoTable() *memoTable {
 	t := &memoTable{}
 	for i := range t.stripes {
-		t.stripes[i].m = make(map[memoKey]*memoEntry)
+		// Small initial stripes: a table is built per Run (and per
+		// checkpoint unit), so the empty-table cost is on the hot path for
+		// shallow searches; claim-heavy runs amortize the doubling.
+		t.stripes[i].slots = make([]memoSlot, 16)
 	}
 	return t
+}
+
+// stripeOf maps a key to its stripe.
+func stripeOf(key memoKey) uint64 {
+	return binary.LittleEndian.Uint64(key.state[:8]) % memoStripes
+}
+
+// alloc hands out a pointer-stable zeroed entry from the stripe's slab.
+// Called with the stripe lock held.
+func (s *memoStripe) alloc() *memoEntry {
+	if len(s.slab) == cap(s.slab) {
+		s.slab = make([]memoEntry, 0, 256)
+	}
+	s.slab = s.slab[:len(s.slab)+1]
+	return &s.slab[len(s.slab)-1]
+}
+
+// grow doubles the slot array and re-probes every occupied slot. Called
+// with the stripe lock held.
+func (s *memoStripe) grow() {
+	old := s.slots
+	s.slots = make([]memoSlot, 2*len(old))
+	mask := uint64(len(s.slots) - 1)
+	for _, sl := range old {
+		if sl.budget == 0 {
+			continue
+		}
+		i := binary.LittleEndian.Uint64(sl.state[8:16]) & mask
+		for s.slots[i].budget != 0 {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = sl
+	}
+}
+
+// insert claims key with a fresh entry; found returns the existing one.
+// Both are called with the stripe lock held.
+func (s *memoStripe) find(key memoKey) *memoEntry {
+	b := int32(key.budget) + 1
+	mask := uint64(len(s.slots) - 1)
+	i := binary.LittleEndian.Uint64(key.state[8:16]) & mask
+	for {
+		sl := &s.slots[i]
+		if sl.budget == 0 {
+			return nil
+		}
+		if sl.budget == b && sl.state == key.state {
+			return sl.entry
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *memoStripe) insert(key memoKey, e *memoEntry) {
+	b := int32(key.budget) + 1
+	mask := uint64(len(s.slots) - 1)
+	i := binary.LittleEndian.Uint64(key.state[8:16]) & mask
+	for s.slots[i].budget != 0 {
+		i = (i + 1) & mask
+	}
+	s.slots[i] = memoSlot{state: key.state, budget: b, entry: e}
+	s.used++
+	if s.used*4 >= len(s.slots)*3 {
+		s.grow()
+	}
 }
 
 // claim atomically claims key. won=true means the caller must compute the
 // subtree and publish the entry; won=false that some visitor already has
 // (or is), and wasAdopted reports whether a previous edge visit had
 // already taken responsibility (the caller's prune accounting).
-// stripeOf maps a key to its stripe.
-func stripeOf(key memoKey) uint64 {
-	return binary.LittleEndian.Uint64(key.state[:8]) % memoStripes
-}
-
 func (t *memoTable) claim(key memoKey, fromEdge bool) (e *memoEntry, won, wasAdopted bool) {
 	s := &t.stripes[stripeOf(key)]
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.m[key]; ok {
+	if e := s.find(key); e != nil {
 		wasAdopted = e.adopted
 		if fromEdge {
 			e.adopted = true
 		}
+		s.mu.Unlock()
 		return e, false, wasAdopted
 	}
-	e = &memoEntry{done: make(chan struct{}), adopted: fromEdge}
-	s.m[key] = e
+	e = s.alloc()
+	e.adopted = fromEdge
+	s.insert(key, e)
+	s.mu.Unlock()
 	return e, true, false
+}
+
+// publish installs the claimed entry's answer and wakes any waiters. The
+// atomic flip is ordered after the field writes; the lock round-trip
+// pairs with wait's waiter registration.
+func (t *memoTable) publish(key memoKey, e *memoEntry, cost int, tail []int) {
+	e.cost, e.tail = cost, tail
+	e.complete.Store(true)
+	s := &t.stripes[stripeOf(key)]
+	s.mu.Lock()
+	if e.done != nil {
+		close(e.done)
+	}
+	s.mu.Unlock()
+}
+
+// wait blocks until e is published or abort closes; it reports whether the
+// entry completed. A visitor only ever waits on entries of strictly
+// smaller budget than its own claim, so waits cannot cycle — and a
+// single-worker run never waits at all (every claim it loses is one its
+// own traversal already published).
+func (t *memoTable) wait(key memoKey, e *memoEntry, abort <-chan struct{}) bool {
+	if e.complete.Load() {
+		return true
+	}
+	s := &t.stripes[stripeOf(key)]
+	s.mu.Lock()
+	if e.complete.Load() {
+		s.mu.Unlock()
+		return true
+	}
+	if e.done == nil {
+		e.done = make(chan struct{})
+	}
+	done := e.done
+	s.mu.Unlock()
+	select {
+	case <-done:
+		return true
+	case <-abort:
+		return false
+	}
 }
 
 // bnb is the state shared by all workers of one exhaustive search.
@@ -158,7 +295,7 @@ type hunter struct {
 	s    *bnb
 	id   int
 	e    *sengine
-	root mark
+	root *mark // pristine initial state, for resetting between tasks
 
 	paths     int
 	truncated int
@@ -182,7 +319,7 @@ func newHunter(s *bnb, id int) (*hunter, error) {
 func (w *hunter) runTask(t task) error {
 	w.e.restore(w.root)
 	for step, idx := range t {
-		choices := w.e.settle()
+		choices := w.e.settleAt(step)
 		if idx >= len(choices) {
 			return fmt.Errorf("search: internal: task choice %d out of range at depth %d", idx, step)
 		}
@@ -227,7 +364,7 @@ func (w *hunter) dfs(depth int, fromEdge bool) (int, []int, error) {
 	if depth > w.maxDepth {
 		w.maxDepth = depth
 	}
-	choices := w.e.settle()
+	choices := w.e.settleAt(depth)
 	budget := w.s.cfg.MaxDepth - depth
 	if len(choices) == 0 || budget == 0 {
 		// A leaf is scored, not memoized: its answer is trivial and each
@@ -241,7 +378,8 @@ func (w *hunter) dfs(depth int, fromEdge bool) (int, []int, error) {
 		}
 		return 0, nil, nil
 	}
-	entry, won, wasAdopted := w.s.table.claim(memoKey{state: w.e.stateKey(), budget: budget}, fromEdge)
+	key := memoKey{state: w.e.stateKey(), budget: budget}
+	entry, won, wasAdopted := w.s.table.claim(key, fromEdge)
 	if !won {
 		if !fromEdge {
 			// A prefetch task root that lost the claim race: the subtree
@@ -253,9 +391,7 @@ func (w *hunter) dfs(depth int, fromEdge bool) (int, []int, error) {
 		if wasAdopted {
 			w.pruned++
 		}
-		select {
-		case <-entry.done:
-		case <-w.s.abort:
+		if !w.s.table.wait(key, entry, w.s.abort) {
 			return 0, nil, errStopped
 		}
 		return entry.cost, entry.tail, nil
@@ -273,7 +409,10 @@ func (w *hunter) dfs(depth int, fromEdge bool) (int, []int, error) {
 		}
 	}
 	m := w.e.save()
-	best, bestTail := -1, []int(nil)
+	// Track the winning child by index and published tail — child tails
+	// are immutable once published — and build this node's tail exactly
+	// once after the loop: one allocation per internal node.
+	best, bestIdx, bestChild := -1, -1, []int(nil)
 	for i, c := range choices {
 		step, err := w.e.apply(c, i)
 		if err != nil {
@@ -284,13 +423,13 @@ func (w *hunter) dfs(depth int, fromEdge bool) (int, []int, error) {
 			return 0, nil, err
 		}
 		if total := step + tailCost; total > best {
-			best = total
-			bestTail = append(append(make([]int, 0, len(tail)+1), i), tail...)
+			best, bestIdx, bestChild = total, i, tail
 		}
 		w.e.restore(m)
 	}
-	entry.cost, entry.tail = best, bestTail
-	close(entry.done)
+	w.e.release(m)
+	bestTail := append(append(make([]int, 0, len(bestChild)+1), bestIdx), bestChild...)
+	w.s.table.publish(key, entry, best, bestTail)
 	return best, bestTail, nil
 }
 

@@ -1,6 +1,7 @@
 package signal
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -40,6 +41,22 @@ func (f *readRetFrame) Next(prev memsim.Result) (memsim.Access, bool) {
 
 func (f *readRetFrame) Return() memsim.Value { return f.ret }
 
+func (f *readRetFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *readRetFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.addr))
+	dst = append(dst, f.pc)
+	return binary.AppendVarint(dst, int64(f.ret))
+}
+
+func (f *readRetFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*readRetFrame)
+	if ok {
+		*d = *f
+	}
+	return ok
+}
+
 // writeOneFrame performs a single write and returns 0 (flag Signal).
 type writeOneFrame struct {
 	addr memsim.Addr
@@ -56,6 +73,22 @@ func (f *writeOneFrame) Next(memsim.Result) (memsim.Access, bool) {
 }
 
 func (f *writeOneFrame) Return() memsim.Value { return 0 }
+
+func (f *writeOneFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *writeOneFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.addr))
+	dst = binary.AppendVarint(dst, int64(f.val))
+	return append(dst, f.pc)
+}
+
+func (f *writeOneFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*writeOneFrame)
+	if ok {
+		*d = *f
+	}
+	return ok
+}
 
 // spinNonzeroFrame busy-waits until a word reads nonzero (flag Wait,
 // fixed-waiters Wait — the local or remote spin the models price apart).
@@ -77,6 +110,21 @@ func (f *spinNonzeroFrame) Next(prev memsim.Result) (memsim.Access, bool) {
 
 func (f *spinNonzeroFrame) Return() memsim.Value { return 0 }
 
+func (f *spinNonzeroFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *spinNonzeroFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.addr))
+	return append(dst, f.pc)
+}
+
+func (f *spinNonzeroFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*spinNonzeroFrame)
+	if ok {
+		*d = *f
+	}
+	return ok
+}
+
 // writeFanFrame writes 1 to each address in order and returns 0
 // (fixed-waiters Signal: the O(W) broadcast).
 type writeFanFrame struct {
@@ -94,6 +142,33 @@ func (f *writeFanFrame) Next(memsim.Result) (memsim.Access, bool) {
 }
 
 func (f *writeFanFrame) Return() memsim.Value { return 0 }
+
+// appendAddrs length-prefixes an address slice into a binary frame
+// encoding; the slice is immutable deployment data, but its contents vary
+// per frame value (per-pid address rows), so the key must include them just
+// as the legacy element-wise walk does.
+func appendAddrs(dst []byte, addrs []memsim.Addr) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(addrs)))
+	for _, a := range addrs {
+		dst = binary.AppendVarint(dst, int64(a))
+	}
+	return dst
+}
+
+func (f *writeFanFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *writeFanFrame) AppendState(dst []byte) []byte {
+	dst = appendAddrs(dst, f.addrs)
+	return binary.AppendVarint(dst, int64(f.j))
+}
+
+func (f *writeFanFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*writeFanFrame)
+	if ok {
+		*d = *f // addrs is shared immutable deployment data, like CloneResumable's shallow copy
+	}
+	return ok
+}
 
 // announcePollFrame is the shared first-call-announcement Poll shape of the
 // single-waiter, fixed-waiters-terminating and registered-waiters
@@ -138,6 +213,26 @@ func (f *announcePollFrame) Next(prev memsim.Result) (memsim.Access, bool) {
 }
 
 func (f *announcePollFrame) Return() memsim.Value { return f.ret }
+
+func (f *announcePollFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *announcePollFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.fst))
+	dst = binary.AppendVarint(dst, int64(f.ann))
+	dst = binary.AppendVarint(dst, int64(f.annVal))
+	dst = binary.AppendVarint(dst, int64(f.then))
+	dst = binary.AppendVarint(dst, int64(f.els))
+	dst = append(dst, f.pc)
+	return binary.AppendVarint(dst, int64(f.ret))
+}
+
+func (f *announcePollFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*announcePollFrame)
+	if ok {
+		*d = *f
+	}
+	return ok
+}
 
 // ---- flag (Section 5) ----
 
@@ -204,6 +299,23 @@ func (f *swSignalFrame) Next(prev memsim.Result) (memsim.Access, bool) {
 
 func (f *swSignalFrame) Return() memsim.Value { return 0 }
 
+func (f *swSignalFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *swSignalFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.s))
+	dst = binary.AppendVarint(dst, int64(f.w))
+	dst = appendAddrs(dst, f.v)
+	return append(dst, f.pc)
+}
+
+func (f *swSignalFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*swSignalFrame)
+	if ok {
+		*d = *f
+	}
+	return ok
+}
+
 // swWaitFrame mirrors the single-waiter Wait: first-call announcement, a
 // status check, then the local spin on V[i].
 type swWaitFrame struct {
@@ -251,6 +363,23 @@ func (f *swWaitFrame) Next(prev memsim.Result) (memsim.Access, bool) {
 }
 
 func (f *swWaitFrame) Return() memsim.Value { return 0 }
+
+func (f *swWaitFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *swWaitFrame) AppendState(dst []byte) []byte {
+	// f.in is immutable deployment data: the legacy walk renders it as a
+	// per-type constant, so the binary key rightly omits it.
+	dst = binary.AppendVarint(dst, int64(f.i))
+	return append(dst, f.pc)
+}
+
+func (f *swWaitFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*swWaitFrame)
+	if ok {
+		*d = *f
+	}
+	return ok
+}
 
 // ---- fixed waiters (Section 7) ----
 
@@ -322,6 +451,21 @@ func (f *ftSignalFrame) Next(prev memsim.Result) (memsim.Access, bool) {
 
 func (f *ftSignalFrame) Return() memsim.Value { return 0 }
 
+func (f *ftSignalFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *ftSignalFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.j))
+	return append(dst, f.pc)
+}
+
+func (f *ftSignalFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*ftSignalFrame)
+	if ok {
+		*d = *f
+	}
+	return ok
+}
+
 // ---- registered waiters (Section 7) ----
 
 // ResumableProgram implements memsim.ResumableInstance.
@@ -380,6 +524,21 @@ func (f *regSignalFrame) Next(prev memsim.Result) (memsim.Access, bool) {
 }
 
 func (f *regSignalFrame) Return() memsim.Value { return 0 }
+
+func (f *regSignalFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *regSignalFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.j))
+	return append(dst, f.pc)
+}
+
+func (f *regSignalFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*regSignalFrame)
+	if ok {
+		*d = *f
+	}
+	return ok
+}
 
 // ---- F&I queue (Section 7) ----
 
@@ -461,6 +620,36 @@ func (f *registerPollFrame) EncodeState(w io.Writer) {
 	memsim.EncodeFrameState(w, f.sub)
 }
 
+// AppendState implements memsim.StateAppender: the binary mirror of
+// EncodeState, sub-frame by content.
+func (f *registerPollFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.fst))
+	dst = binary.AppendVarint(dst, int64(f.vi))
+	dst = binary.AppendVarint(dst, int64(f.s))
+	dst = binary.AppendUvarint(dst, uint64(f.pc))
+	dst = binary.AppendVarint(dst, int64(f.ret))
+	return memsim.AppendFrameState(dst, f.sub)
+}
+
+// CopyResumableInto implements memsim.ResumableCopier: the pooled-snapshot
+// fast path, reusing dst's registration sub-frame allocation.
+func (f *registerPollFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*registerPollFrame)
+	if !ok {
+		return false
+	}
+	sub := d.sub
+	*d = *f
+	if f.sub != nil {
+		if sub == nil {
+			sub = new(queue.RegisterFrame)
+		}
+		*sub = *f.sub
+		d.sub = sub
+	}
+	return true
+}
+
 // registrySignalFrame: S := true; snapshot the registry; flag every
 // registered waiter (queue Signal, and the elected branch's delivery logic).
 type registrySignalFrame struct {
@@ -520,6 +709,40 @@ func (f *registrySignalFrame) CloneResumable() memsim.Resumable {
 func (f *registrySignalFrame) EncodeState(w io.Writer) {
 	fmt.Fprintf(w, "%d,%d,%d,%v,", f.s, f.k, f.pc, f.vals)
 	memsim.EncodeFrameState(w, f.snap)
+}
+
+// AppendState implements memsim.StateAppender: the binary mirror of
+// EncodeState.
+func (f *registrySignalFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.s))
+	dst = binary.AppendVarint(dst, int64(f.k))
+	dst = binary.AppendUvarint(dst, uint64(f.pc))
+	dst = binary.AppendUvarint(dst, uint64(len(f.vals)))
+	for _, v := range f.vals {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return memsim.AppendFrameState(dst, f.snap)
+}
+
+// CopyResumableInto implements memsim.ResumableCopier, reusing dst's
+// snapshot sub-frame allocation. vals stays shared with the source, as in
+// CloneResumable (it is append-at-index below the cursor, so a shallow
+// copy is a valid continuation).
+func (f *registrySignalFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*registrySignalFrame)
+	if !ok {
+		return false
+	}
+	snap := d.snap
+	*d = *f
+	if f.snap != nil {
+		if snap == nil {
+			snap = new(queue.SnapshotFrame)
+		}
+		*snap = *f.snap
+		d.snap = snap
+	}
+	return true
 }
 
 // ---- CAS slot registration (Corollary 6.14 subject) ----
@@ -583,6 +806,23 @@ func (f *casPollFrame) Next(prev memsim.Result) (memsim.Access, bool) {
 
 func (f *casPollFrame) Return() memsim.Value { return f.ret }
 
+func (f *casPollFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *casPollFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.i))
+	dst = binary.AppendVarint(dst, int64(f.j))
+	dst = append(dst, f.pc)
+	return binary.AppendVarint(dst, int64(f.ret))
+}
+
+func (f *casPollFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*casPollFrame)
+	if ok {
+		*d = *f
+	}
+	return ok
+}
+
 // slotScanSignalFrame: S := true; scan the registered prefix of the slot
 // array, flagging each registrant, stopping at the first NIL slot (the
 // cas-register and llsc-register Signal).
@@ -620,6 +860,25 @@ func (f *slotScanSignalFrame) Next(prev memsim.Result) (memsim.Access, bool) {
 }
 
 func (f *slotScanSignalFrame) Return() memsim.Value { return 0 }
+
+func (f *slotScanSignalFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *slotScanSignalFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.s))
+	dst = binary.AppendVarint(dst, int64(f.q))
+	dst = binary.AppendVarint(dst, int64(f.n))
+	dst = appendAddrs(dst, f.v)
+	dst = binary.AppendVarint(dst, int64(f.j))
+	return append(dst, f.pc)
+}
+
+func (f *slotScanSignalFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*slotScanSignalFrame)
+	if ok {
+		*d = *f
+	}
+	return ok
+}
 
 // ---- LL/SC slot registration (Corollary 6.14 subject) ----
 
@@ -688,6 +947,23 @@ func (f *llscPollFrame) Next(prev memsim.Result) (memsim.Access, bool) {
 }
 
 func (f *llscPollFrame) Return() memsim.Value { return f.ret }
+
+func (f *llscPollFrame) CloneResumable() memsim.Resumable { c := *f; return &c }
+
+func (f *llscPollFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.i))
+	dst = binary.AppendVarint(dst, int64(f.j))
+	dst = append(dst, f.pc)
+	return binary.AppendVarint(dst, int64(f.ret))
+}
+
+func (f *llscPollFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*llscPollFrame)
+	if ok {
+		*d = *f
+	}
+	return ok
+}
 
 // ---- multi-signaler (Section 7, TAS election) ----
 
@@ -765,6 +1041,30 @@ func (f *msSignalFrame) EncodeState(w io.Writer) {
 	f.deliver.EncodeState(w)
 }
 
+// AppendState implements memsim.StateAppender.
+func (f *msSignalFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(f.pc))
+	return f.deliver.AppendState(dst)
+}
+
+// CopyResumableInto implements memsim.ResumableCopier.
+func (f *msSignalFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*msSignalFrame)
+	if !ok {
+		return false
+	}
+	snap := d.deliver.snap
+	*d = *f
+	if f.deliver.snap != nil {
+		if snap == nil {
+			snap = new(queue.SnapshotFrame)
+		}
+		*snap = *f.deliver.snap
+		d.deliver.snap = snap
+	}
+	return true
+}
+
 // ---- blockified wrapper (Section 7's derived Wait) ----
 
 // ResumableProgram implements memsim.ResumableInstance: Poll and Signal
@@ -839,6 +1139,67 @@ func (f *blockifiedWaitFrame) EncodeState(w io.Writer) {
 	fmt.Fprintf(w, "%d,%v,", f.pid, f.dead)
 	memsim.EncodeFrameState(w, f.cur)
 }
+
+// AppendState implements memsim.StateAppender.
+func (f *blockifiedWaitFrame) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(f.pid))
+	if f.dead {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return memsim.AppendFrameState(dst, f.cur)
+}
+
+// CopyResumableInto implements memsim.ResumableCopier, recycling dst's
+// in-flight poll frame when the types line up.
+func (f *blockifiedWaitFrame) CopyResumableInto(dst memsim.Resumable) bool {
+	d, ok := dst.(*blockifiedWaitFrame)
+	if !ok {
+		return false
+	}
+	cur := d.cur
+	*d = *f
+	d.cur = memsim.CloneResumableInto(cur, f.cur)
+	return true
+}
+
+// Static checks: every custom-encoded frame has the binary fast path and
+// the pooled copy path.
+var (
+	_ memsim.StateAppender   = (*registerPollFrame)(nil)
+	_ memsim.ResumableCopier = (*registerPollFrame)(nil)
+	_ memsim.StateAppender   = (*registrySignalFrame)(nil)
+	_ memsim.ResumableCopier = (*registrySignalFrame)(nil)
+	_ memsim.StateAppender   = (*msSignalFrame)(nil)
+	_ memsim.ResumableCopier = (*msSignalFrame)(nil)
+	_ memsim.StateAppender   = (*blockifiedWaitFrame)(nil)
+	_ memsim.ResumableCopier = (*blockifiedWaitFrame)(nil)
+	_ memsim.StateAppender   = (*readRetFrame)(nil)
+	_ memsim.ResumableCopier = (*readRetFrame)(nil)
+	_ memsim.StateAppender   = (*writeOneFrame)(nil)
+	_ memsim.ResumableCopier = (*writeOneFrame)(nil)
+	_ memsim.StateAppender   = (*spinNonzeroFrame)(nil)
+	_ memsim.ResumableCopier = (*spinNonzeroFrame)(nil)
+	_ memsim.StateAppender   = (*writeFanFrame)(nil)
+	_ memsim.ResumableCopier = (*writeFanFrame)(nil)
+	_ memsim.StateAppender   = (*announcePollFrame)(nil)
+	_ memsim.ResumableCopier = (*announcePollFrame)(nil)
+	_ memsim.StateAppender   = (*swSignalFrame)(nil)
+	_ memsim.ResumableCopier = (*swSignalFrame)(nil)
+	_ memsim.StateAppender   = (*swWaitFrame)(nil)
+	_ memsim.ResumableCopier = (*swWaitFrame)(nil)
+	_ memsim.StateAppender   = (*ftSignalFrame)(nil)
+	_ memsim.ResumableCopier = (*ftSignalFrame)(nil)
+	_ memsim.StateAppender   = (*regSignalFrame)(nil)
+	_ memsim.ResumableCopier = (*regSignalFrame)(nil)
+	_ memsim.StateAppender   = (*casPollFrame)(nil)
+	_ memsim.ResumableCopier = (*casPollFrame)(nil)
+	_ memsim.StateAppender   = (*slotScanSignalFrame)(nil)
+	_ memsim.ResumableCopier = (*slotScanSignalFrame)(nil)
+	_ memsim.StateAppender   = (*llscPollFrame)(nil)
+	_ memsim.ResumableCopier = (*llscPollFrame)(nil)
+)
 
 // Static checks: every algorithm listed as hot in the engine migration has
 // a native resumable tier.

@@ -1,21 +1,27 @@
 #!/bin/sh
-# bench_diff.sh — guard against ns/op regressions vs the committed baseline.
+# bench_diff.sh — guard against ns/op and allocs/op regressions vs the
+# committed baseline.
 #
 # Re-runs the benchmark suite (via bench.sh) and compares every benchmark
-# that also appears in the baseline JSON; any ns/op growth beyond the
-# threshold fails the script with a table of offenders. Benchmarks added
-# since the baseline are ignored (they have nothing to regress from).
+# that also appears in the baseline JSON; any ns/op or allocs/op growth
+# beyond the threshold fails the script with a table of offenders.
+# Benchmarks added since the baseline are ignored (they have nothing to
+# regress from) — but every baseline benchmark MISSING from the current
+# run is a hard failure: a silently renamed or deleted benchmark would
+# otherwise make the gate vacuously green.
 #
 # Usage: scripts/bench_diff.sh [baseline.json] [current.json]
 #   With no current.json, a fresh suite run is measured into a temp file.
 #
 # Environment knobs:
-#   THRESHOLD  max tolerated ns/op growth in percent (default 25)
-#   BENCHTIME  forwarded to bench.sh for the fresh run (default 100ms)
+#   THRESHOLD        max tolerated ns/op growth in percent (default 25)
+#   ALLOC_THRESHOLD  max tolerated allocs/op growth in percent (default 25)
+#   BENCHTIME        forwarded to bench.sh for the fresh run (default 100ms)
 #
-# Absolute ns/op differs across machines, so cross-machine comparisons
-# (committed baseline vs CI hardware) are advisory — CI runs this with
-# continue-on-error. On one machine it is a hard gate.
+# Absolute ns/op differs across machines, so cross-machine ns/op
+# comparisons (committed baseline vs CI hardware) are advisory — CI runs
+# this with continue-on-error. allocs/op is machine-independent and is a
+# real gate anywhere. On one machine both are hard gates.
 #
 # Run from the repository root.
 set -eu
@@ -23,6 +29,7 @@ set -eu
 BASE="${1:-BENCH_results.json}"
 CUR="${2:-}"
 THRESHOLD="${THRESHOLD:-25}"
+ALLOC_THRESHOLD="${ALLOC_THRESHOLD:-25}"
 
 if [ ! -f "$BASE" ]; then
     echo "bench_diff.sh: baseline $BASE not found" >&2
@@ -37,6 +44,18 @@ if [ -z "$CUR" ]; then
     BENCHTIME="${BENCHTIME:-100ms}" OUT="$CUR" ./scripts/bench.sh
 fi
 
+# Baseline benchmarks that vanished from the current run: hard failure.
+missing=$(jq -n --slurpfile base "$BASE" --slurpfile cur "$CUR" '
+    ($cur[0] | map(.name)) as $names
+    | $base[0] | map(.name) | map(select(. as $n | $names | index($n) | not))
+')
+if [ "$(printf '%s' "$missing" | jq 'length')" -ne 0 ]; then
+    echo "bench_diff.sh: baseline benchmarks missing from the current run:" >&2
+    printf '%s\n' "$missing" | jq -r '.[] | "  \(.)"' >&2
+    echo "bench_diff.sh: renamed or removed benchmarks must update the committed baseline" >&2
+    exit 1
+fi
+
 regressions=$(jq -n --slurpfile base "$BASE" --slurpfile cur "$CUR" --argjson t "$THRESHOLD" '
     ($base[0] | map({(.name): .ns_per_op}) | add) as $b
     | $cur[0]
@@ -46,13 +65,31 @@ regressions=$(jq -n --slurpfile base "$BASE" --slurpfile cur "$CUR" --argjson t 
     | map(select(.pct > $t))
 ')
 
+alloc_regressions=$(jq -n --slurpfile base "$BASE" --slurpfile cur "$CUR" --argjson t "$ALLOC_THRESHOLD" '
+    ($base[0] | map(select(.allocs_per_op != null)) | map({(.name): .allocs_per_op}) | add // {}) as $b
+    | $cur[0]
+    | map(select(.allocs_per_op != null and $b[.name] != null and $b[.name] > 0))
+    | map({name, base: $b[.name], now: .allocs_per_op,
+           pct: (((.allocs_per_op - $b[.name]) / $b[.name]) * 100 | floor)})
+    | map(select(.pct > $t))
+')
+
 compared=$(jq -n --slurpfile base "$BASE" --slurpfile cur "$CUR" '
     ($base[0] | map(.name)) as $names | $cur[0] | map(select(.name as $n | $names | index($n))) | length')
-echo "bench_diff.sh: compared $compared benchmarks against $BASE (threshold ${THRESHOLD}%)" >&2
+echo "bench_diff.sh: compared $compared benchmarks against $BASE (ns/op threshold ${THRESHOLD}%, allocs/op threshold ${ALLOC_THRESHOLD}%)" >&2
 
+failed=0
 if [ "$(printf '%s' "$regressions" | jq 'length')" -ne 0 ]; then
     echo "bench_diff.sh: ns/op regressions beyond ${THRESHOLD}%:" >&2
     printf '%s\n' "$regressions" | jq -r '.[] | "  \(.name): \(.base) -> \(.now) ns/op (+\(.pct)%)"' >&2
+    failed=1
+fi
+if [ "$(printf '%s' "$alloc_regressions" | jq 'length')" -ne 0 ]; then
+    echo "bench_diff.sh: allocs/op regressions beyond ${ALLOC_THRESHOLD}%:" >&2
+    printf '%s\n' "$alloc_regressions" | jq -r '.[] | "  \(.name): \(.base) -> \(.now) allocs/op (+\(.pct)%)"' >&2
+    failed=1
+fi
+if [ "$failed" -ne 0 ]; then
     exit 1
 fi
-echo "bench_diff.sh: no regressions beyond ${THRESHOLD}%" >&2
+echo "bench_diff.sh: no regressions beyond thresholds" >&2
