@@ -12,7 +12,13 @@
 // The backtracking engine shards the schedule tree across -workers
 // work-stealing workers (0 means one per core); results are identical for
 // every worker count. -dedup=false forces the sequential legacy replay
-// enumeration for A/B checks. -json prints the full result as one JSON
+// enumeration for A/B checks. -reduce layers partial-order and symmetry
+// reduction on the dedup engine: sleep sets skip schedules that are
+// permutations-by-commuting-swaps of explored ones, and PID-permuted
+// states of interchangeable waiters merge into one canonical state; the
+// Check verdict is unchanged while the visited state count (and the
+// -json stepsSlept/symmetryMerges counters) reflect the reduction.
+// -json prints the full result as one JSON
 // object for CI and scripts, instead of the text summary. With
 // -checkpoint the run snapshots between committed units, and a killed run
 // (or a -stop-after interruption; exit code 3) resumes with -resume to
@@ -51,6 +57,8 @@ func run(args []string, out io.Writer) error {
 	depth := fs.Int("depth", 10, "scheduling-choice depth bound")
 	dedup := fs.Bool("dedup", true,
 		"backtracking engine with state dedup; false forces the legacy replay enumeration (A/B checks)")
+	reduce := fs.Bool("reduce", false,
+		"layer partial-order + symmetry reduction on the dedup engine (same verdict, fewer states visited)")
 	workers := fs.Int("workers", 0,
 		"exploration workers sharding the schedule tree (0 = one per core); results are identical for every count")
 	jsonOut := fs.Bool("json", false, "print the full result as one JSON object")
@@ -80,6 +88,7 @@ func run(args []string, out io.Writer) error {
 		Polls:   *polls,
 		Depth:   *depth,
 		Dedup:   &dv,
+		Reduce:  *reduce,
 		Workers: *workers,
 	}
 	cfg, err := spec.ExploreConfig()
@@ -112,8 +121,12 @@ func run(args []string, out io.Writer) error {
 	// throughput line is the only timing-dependent output.
 	fmt.Fprintf(out, "%s: %d interleavings explored (%d truncated at depth %d), specification holds on all\n",
 		spec.Alg, res.Paths, res.Truncated, spec.Depth)
-	fmt.Fprintf(out, "engine: %s, states deduped: %d, max depth reached: %d\n",
+	fmt.Fprintf(out, "engine: %s, states deduped: %d, max depth reached: %d",
 		res.Engine, res.StatesDeduped, res.MaxDepthReached)
+	if res.Engine == explore.EngineBacktrackDedupPOR {
+		fmt.Fprintf(out, ", steps slept: %d, symmetry merges: %d", res.StepsSlept, res.SymmetryMerges)
+	}
+	fmt.Fprintln(out)
 	nodes := res.Paths + res.StatesDeduped
 	fmt.Fprintf(out, "workers: %d, elapsed: %v, throughput: %.0f histories+prunes/s\n",
 		res.Workers, elapsed.Round(time.Millisecond), float64(nodes)/elapsed.Seconds())

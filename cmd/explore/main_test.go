@@ -41,6 +41,43 @@ func TestRunExploreLegacyEngine(t *testing.T) {
 	}
 }
 
+// TestRunExploreReduce: -reduce selects the POR engine, reports the
+// reduction counters, and agrees with the plain dedup engine on the
+// verdict while exploring no more histories; combining it with
+// -dedup=false is rejected.
+func TestRunExploreReduce(t *testing.T) {
+	args := []string{"-alg", "flag", "-waiters", "3", "-polls", "2", "-depth", "12"}
+	var plain, reduced bytes.Buffer
+	if err := run(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-reduce"), &reduced); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reduced.String(), "engine: backtracking+dedup+por") ||
+		!strings.Contains(reduced.String(), "steps slept:") ||
+		!strings.Contains(reduced.String(), "symmetry merges:") {
+		t.Fatalf("-reduce output missing reduction statistics: %s", reduced.String())
+	}
+	if !strings.Contains(reduced.String(), "specification holds on all") {
+		t.Fatalf("-reduce changed the verdict: %s", reduced.String())
+	}
+	var doc jobspec.ExploreDoc
+	var buf bytes.Buffer
+	if err := run(append(args, "-reduce", "-json"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.StepsSlept == 0 {
+		t.Fatalf("-reduce -json reported no slept steps: %s", buf.String())
+	}
+	if err := run([]string{"-reduce", "-dedup=false"}, io.Discard); err == nil {
+		t.Fatal("-reduce -dedup=false accepted")
+	}
+}
+
 func TestRunExploreRejectsBlockingOnly(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-alg", "leader-blocking"}, &buf); err == nil {

@@ -122,6 +122,34 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReduceAgreesEndToEnd: -reduce reports the identical worst cost on
+// the same workload, with a witness line present and the reduction
+// statistics appended; the -json document carries reduced=true and the
+// counters. Sample mode rejects -reduce.
+func TestReduceAgreesEndToEnd(t *testing.T) {
+	base := []string{"-alg", "flag", "-n", "3", "-polls", "2", "-depth", "12"}
+	plain := mustRun(t, base...)
+	reduced := mustRun(t, append(append([]string(nil), base...), "-reduce")...)
+	costLine := strings.SplitN(plain, "\n", 2)[0]
+	if !strings.HasPrefix(reduced, costLine) {
+		t.Fatalf("-reduce changed the worst-cost line:\n got:\n%s want first line:\n%s", reduced, costLine)
+	}
+	if !strings.Contains(reduced, "steps slept:") || !strings.Contains(reduced, "symmetry merges:") {
+		t.Fatalf("-reduce output missing reduction statistics:\n%s", reduced)
+	}
+	raw := mustRun(t, append(append([]string(nil), base...), "-reduce", "-json")...)
+	var doc jobspec.WorstcaseDoc
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, raw)
+	}
+	if doc.Result == nil || !doc.Result.Reduced || doc.Result.StepsSlept == 0 {
+		t.Fatalf("-reduce -json document missing reduction fields: %s", raw)
+	}
+	if err := run([]string{"-mode", "sample", "-reduce"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("sample mode accepted -reduce")
+	}
+}
+
 // TestFlagValidation: unknown algorithms, models and modes are rejected;
 // non-polling algorithms are refused; sample mode neither checkpoints nor
 // shards.

@@ -52,13 +52,17 @@ func (k Kind) String() string {
 
 // Counters are the deterministic result tallies accumulated by committed
 // units. Search uses Pruned, exploration uses Deduped; the unused field
-// stays zero.
+// stays zero. StepsSlept and SymmetryMerges count the partial-order and
+// symmetry reductions of reduced runs (format version 3; zero when read
+// from a version 2 snapshot, which only unreduced runs write).
 type Counters struct {
 	Paths           int `json:"paths"`
 	Truncated       int `json:"truncated"`
 	Pruned          int `json:"pruned"`
 	Deduped         int `json:"deduped"`
 	MaxDepthReached int `json:"maxDepthReached"`
+	StepsSlept      int `json:"stepsSlept,omitempty"`
+	SymmetryMerges  int `json:"symmetryMerges,omitempty"`
 }
 
 // Add accumulates o into c.
@@ -67,6 +71,8 @@ func (c *Counters) Add(o Counters) {
 	c.Truncated += o.Truncated
 	c.Pruned += o.Pruned
 	c.Deduped += o.Deduped
+	c.StepsSlept += o.StepsSlept
+	c.SymmetryMerges += o.SymmetryMerges
 	if o.MaxDepthReached > c.MaxDepthReached {
 		c.MaxDepthReached = o.MaxDepthReached
 	}
@@ -130,13 +136,19 @@ func (s *Snapshot) SortEntries() {
 
 const (
 	magic = "RPCK"
-	// version 2: the persisted State hashes are computed over the binary
-	// canonical state encoding (memsim's append-based encoder). Version 1
-	// snapshots hashed the legacy reflective text walk; the two partitions
-	// are equivalent but the hash *values* differ, so preloading a v1 table
-	// into a v2 run would silently corrupt claim-once accounting. v1 files
-	// are therefore rejected with a distinct message instead of upgraded.
-	version = 2
+	// version 3: adds the StepsSlept and SymmetryMerges counters of the
+	// reduced engines after the version 2 counter block. Version 2
+	// snapshots (written by unreduced builds) remain readable — the new
+	// counters decode as zero, which is exactly what an unreduced run
+	// tallies, and the fingerprint pins the reduction regime so a v2
+	// snapshot can never resume into a reduced run. Version 1 snapshots
+	// hashed the legacy reflective text walk; the partitions are
+	// equivalent but the hash *values* differ, so preloading a v1 table
+	// would silently corrupt claim-once accounting — v1 files are
+	// rejected with a distinct message instead of upgraded.
+	version = 3
+	// minReadVersion is the oldest format this build still decodes.
+	minReadVersion = 2
 	// headerSize is magic + u16 version + u32 crc + u64 body length.
 	headerSize = 4 + 2 + 4 + 8
 )
@@ -195,16 +207,17 @@ func Read(path string) (*Snapshot, error) {
 	if len(raw) < headerSize || string(raw[:4]) != magic {
 		return nil, errs.Failuref(errs.CodeInvalid, "checkpoint: %s is not a snapshot (bad magic)", path)
 	}
-	switch v := binary.LittleEndian.Uint16(raw[4:6]); v {
-	case version:
-	case 1:
+	v := binary.LittleEndian.Uint16(raw[4:6])
+	switch {
+	case v >= minReadVersion && v <= version:
+	case v == 1:
 		return nil, errs.Failuref(errs.CodeInvalid,
 			"checkpoint: %s is a format version 1 snapshot, written before the state-encoding change; "+
 				"its state hashes are incompatible with this build (version %d) — delete it and rerun from scratch",
 			path, version)
 	default:
 		return nil, errs.Failuref(errs.CodeInvalid,
-			"checkpoint: %s is format version %d, this build reads version %d", path, v, version)
+			"checkpoint: %s is format version %d, this build reads versions %d-%d", path, v, minReadVersion, version)
 	}
 	wantCRC := binary.LittleEndian.Uint32(raw[6:10])
 	bodyLen := binary.LittleEndian.Uint64(raw[10:18])
@@ -216,7 +229,7 @@ func Read(path string) (*Snapshot, error) {
 	if crc32.ChecksumIEEE(body) != wantCRC {
 		return nil, errs.Failuref(errs.CodeInvalid, "checkpoint: %s corrupt: CRC mismatch", path)
 	}
-	s, err := decodeBody(bytes.NewReader(body))
+	s, err := decodeBody(bytes.NewReader(body), v)
 	if err != nil {
 		return nil, errs.Failuref(errs.CodeInvalid, "checkpoint: %s undecodable: %v", path, err)
 	}
@@ -249,6 +262,8 @@ func encodeBody(s *Snapshot) ([]byte, error) {
 	putI64(&b, int64(s.Counters.Pruned))
 	putI64(&b, int64(s.Counters.Deduped))
 	putI64(&b, int64(s.Counters.MaxDepthReached))
+	putI64(&b, int64(s.Counters.StepsSlept))
+	putI64(&b, int64(s.Counters.SymmetryMerges))
 	putU32(&b, uint32(len(s.Entries)))
 	for _, e := range s.Entries {
 		b.Write(e.State[:])
@@ -266,7 +281,7 @@ func encodeBody(s *Snapshot) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-func decodeBody(r *bytes.Reader) (*Snapshot, error) {
+func decodeBody(r *bytes.Reader, v uint16) (*Snapshot, error) {
 	s := &Snapshot{}
 	kind, err := r.ReadByte()
 	if err != nil {
@@ -301,15 +316,19 @@ func decodeBody(r *bytes.Reader) (*Snapshot, error) {
 			return nil, err
 		}
 	}
-	for _, dst := range []*int{
+	fields := []*int{
 		&s.Counters.Paths, &s.Counters.Truncated, &s.Counters.Pruned,
 		&s.Counters.Deduped, &s.Counters.MaxDepthReached,
-	} {
-		v, err := getI64(r)
+	}
+	if v >= 3 {
+		fields = append(fields, &s.Counters.StepsSlept, &s.Counters.SymmetryMerges)
+	}
+	for _, dst := range fields {
+		c, err := getI64(r)
 		if err != nil {
 			return nil, err
 		}
-		*dst = int(v)
+		*dst = int(c)
 	}
 	nEntries, err := getU32(r)
 	if err != nil {

@@ -1,0 +1,72 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/signal"
+)
+
+// porBenchConfigs are the reduction showcase workloads: the 8-waiter flag
+// space at depth 12 (shared flag word: read-read commutation plus full
+// 8!-symmetry from the root) and the 8-waiter fixed-waiters space run to
+// quiescence (per-waiter rows: commutation throughout, symmetry once the
+// signaler retires). Both are exactly the configurations the committed
+// BENCH_results.json reduction deltas come from.
+func porBenchConfigs() map[string]Config {
+	waiters := func(n, polls int) map[memsim.PID][]memsim.CallKind {
+		scripts := make(map[memsim.PID][]memsim.CallKind, n+1)
+		for p := 0; p < n; p++ {
+			s := make([]memsim.CallKind, polls)
+			for i := range s {
+				s[i] = memsim.CallPoll
+			}
+			scripts[memsim.PID(p)] = s
+		}
+		scripts[memsim.PID(n)] = []memsim.CallKind{memsim.CallSignal}
+		return scripts
+	}
+	return map[string]Config{
+		"flag-w8-d12": {
+			Factory:  signal.Flag().New,
+			N:        9,
+			Scripts:  waiters(8, 1),
+			MaxDepth: 12,
+			Check:    specCheck,
+		},
+		"fixed-w8-term": {
+			Factory:  signal.FixedWaiters().New,
+			N:        9,
+			Scripts:  waiters(8, 1),
+			MaxDepth: 80,
+			Check:    specCheck,
+		},
+	}
+}
+
+// BenchmarkExplorePOR measures the reduced engine against plain dedup on
+// the showcase workloads. states/op counts terminal DFS visits (checked
+// histories plus dedup hits) — the states-visited figure the reduction is
+// graded on; every reported metric is deterministic for a fixed config.
+func BenchmarkExplorePOR(b *testing.B) {
+	for name, cfg := range porBenchConfigs() {
+		for _, engine := range []Engine{EngineBacktrackDedup, EngineBacktrackDedupPOR} {
+			b.Run(name+"/"+engine.String(), func(b *testing.B) {
+				c := cfg
+				c.Engine = engine
+				b.ReportAllocs()
+				var res *Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					if res, err = Run(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.Paths+res.StatesDeduped), "states/op")
+				b.ReportMetric(float64(res.Paths), "paths/op")
+				b.ReportMetric(float64(res.StepsSlept), "slept/op")
+				b.ReportMetric(float64(res.SymmetryMerges), "merges/op")
+			})
+		}
+	}
+}

@@ -56,11 +56,14 @@ type Checkpoint struct {
 }
 
 // Fingerprint renders the configuration identity an exploration
-// snapshot is bound to. The resolved engine is included: dedup on/off
-// changes every counter, so the two must never resume into each other.
-func Fingerprint(tag string, cfg Config, shardDepth int, dedup bool) string {
+// snapshot is bound to. The resolved engine is included: dedup and
+// reduction change every counter, so the regimes must never resume into
+// each other.
+func Fingerprint(tag string, cfg Config, shardDepth int, dedup, reduce bool) string {
 	engine := EngineBacktrack
-	if dedup {
+	if reduce {
+		engine = EngineBacktrackDedupPOR
+	} else if dedup {
 		engine = EngineBacktrackDedup
 	}
 	var b strings.Builder
@@ -80,10 +83,13 @@ func Fingerprint(tag string, cfg Config, shardDepth int, dedup bool) string {
 	return b.String()
 }
 
-type xtally struct{ paths, truncated, deduped int }
+type xtally struct{ paths, truncated, deduped, slept, symMerges int }
 
 func xgrab(w *searcher) xtally {
-	return xtally{paths: w.paths, truncated: w.truncated, deduped: w.deduped}
+	return xtally{
+		paths: w.paths, truncated: w.truncated, deduped: w.deduped,
+		slept: w.stepsSlept, symMerges: w.symMerges,
+	}
 }
 
 func xdelta(prev xtally, w *searcher) checkpoint.Counters {
@@ -91,6 +97,8 @@ func xdelta(prev xtally, w *searcher) checkpoint.Counters {
 		Paths:           w.paths - prev.paths,
 		Truncated:       w.truncated - prev.truncated,
 		Deduped:         w.deduped - prev.deduped,
+		StepsSlept:      w.stepsSlept - prev.slept,
+		SymmetryMerges:  w.symMerges - prev.symMerges,
 		MaxDepthReached: w.maxDepth,
 	}
 }
@@ -100,8 +108,9 @@ func xdelta(prev xtally, w *searcher) checkpoint.Counters {
 // and check, internal nodes claim (losing arrivals dedup) — except that
 // a won internal node AT depth d becomes a unit instead of recursing.
 func (w *searcher) shallowPass(d int, units *[][]int) error {
-	var walk func(depth int) error
-	walk = func(depth int) error {
+	por := w.red != nil && w.red.por
+	var walk func(depth int, sleep uint64) error
+	walk = func(depth int, sleep uint64) error {
 		if w.s.stop.Load() {
 			return errStopped
 		}
@@ -120,20 +129,48 @@ func (w *searcher) shallowPass(d int, units *[][]int) error {
 			}
 			return nil
 		}
-		if w.s.table != nil && !w.s.table.claim(w.e.stateKey(), w.s.cfg.MaxDepth-depth) {
-			w.deduped++
-			return nil
+		if w.s.table != nil {
+			var key [16]byte
+			if w.red != nil {
+				var permuted bool
+				key, permuted = w.red.stateKey(sleep)
+				if permuted {
+					w.symMerges++
+				}
+			} else {
+				key = w.e.stateKey()
+			}
+			if !w.s.table.claim(key, w.s.cfg.MaxDepth-depth) {
+				w.deduped++
+				return nil
+			}
 		}
 		if depth == d {
 			*units = append(*units, append([]int(nil), w.e.path...))
 			return nil
 		}
+		var earlier [64]uint64
+		if por {
+			w.red.earlierMasks(choices, earlier[:len(choices)])
+		}
 		m := w.e.save()
 		for i, c := range choices {
+			if por && sleep&(1<<uint(c.pid)) != 0 {
+				w.stepsSlept++
+				continue
+			}
+			var cAcc memsim.Access
+			if !c.start {
+				cAcc = w.e.pending[c.pid]
+			}
 			if err := w.e.apply(c, i); err != nil {
 				return err
 			}
-			if err := walk(depth + 1); err != nil {
+			var childSleep uint64
+			if por {
+				childSleep = w.red.childSleep(sleep, earlier[i], choices, i, cAcc)
+			}
+			if err := walk(depth+1, childSleep); err != nil {
 				return err
 			}
 			w.e.restore(m)
@@ -141,7 +178,7 @@ func (w *searcher) shallowPass(d int, units *[][]int) error {
 		w.e.release(m)
 		return nil
 	}
-	return walk(0)
+	return walk(0, 0)
 }
 
 // runUnit replays the unit's prefix (pure positioning) and expands its
@@ -149,22 +186,60 @@ func (w *searcher) shallowPass(d int, units *[][]int) error {
 // by the shallow pass, so the expansion starts one level below it.
 func (w *searcher) runUnit(t task) error {
 	w.e.restore(w.root)
+	var sleep uint64
 	for step, idx := range t {
 		choices := w.e.settleAt(step)
 		if idx >= len(choices) {
 			return fmt.Errorf("explore: internal: unit choice %d out of range at depth %d", idx, step)
 		}
-		if err := w.e.apply(choices[idx], idx); err != nil {
+		c := choices[idx]
+		var prefEarlier uint64
+		if w.red != nil && w.red.por {
+			// Refresh the canonical ranks at this node (the key bytes are
+			// discarded) so the recomputed sleep matches the shallow pass's.
+			w.red.stateKey(sleep)
+			var masks [64]uint64
+			w.red.earlierMasks(choices, masks[:len(choices)])
+			prefEarlier = masks[idx]
+		}
+		var cAcc memsim.Access
+		if !c.start {
+			cAcc = w.e.pending[c.pid]
+		}
+		if err := w.e.apply(c, idx); err != nil {
 			return err
 		}
+		if w.red != nil {
+			sleep = w.red.sleepRecompute(sleep, prefEarlier, choices, idx, cAcc)
+		}
 	}
+	por := w.red != nil && w.red.por
 	choices := w.e.settleAt(len(t))
+	var earlier [64]uint64
+	if por {
+		// The unit root was claimed by the shallow pass; recompute its key
+		// here only to refresh the canonical ranks for the child loop.
+		w.red.stateKey(sleep)
+		w.red.earlierMasks(choices, earlier[:len(choices)])
+	}
 	m := w.e.save()
 	for i, c := range choices {
+		if por && sleep&(1<<uint(c.pid)) != 0 {
+			w.stepsSlept++
+			continue
+		}
+		var cAcc memsim.Access
+		if !c.start {
+			cAcc = w.e.pending[c.pid]
+		}
 		if err := w.e.apply(c, i); err != nil {
 			return err
 		}
-		if err := w.dfs(len(t) + 1); err != nil {
+		var childSleep uint64
+		if por {
+			childSleep = w.red.childSleep(sleep, earlier[i], choices, i, cAcc)
+		}
+		if err := w.dfs(len(t)+1, childSleep); err != nil {
 			return err
 		}
 		w.e.restore(m)
@@ -189,12 +264,18 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 	if ck.Path == "" {
 		return nil, errs.Failure(errs.CodeInvalid, "explore: checkpoint requires a path")
 	}
-	var dedup bool
+	var dedup, reduce bool
 	switch cfg.Engine {
 	case EngineBacktrack:
 		dedup = false
 	case EngineBacktrackDedup:
 		dedup = true
+	case EngineBacktrackDedupPOR:
+		if !backtrackable(cfg) {
+			return nil, errs.Failure(errs.CodeInvalid,
+				"explore: EngineBacktrackDedupPOR requires a resumable instance")
+		}
+		dedup, reduce = true, true
 	case EngineAuto:
 		if !backtrackable(cfg) {
 			return nil, errs.Failure(errs.CodeInvalid,
@@ -206,7 +287,9 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 			"explore: engine "+cfg.Engine.String()+" cannot checkpoint")
 	}
 	engine := EngineBacktrack
-	if dedup {
+	if reduce {
+		engine = EngineBacktrackDedupPOR
+	} else if dedup {
 		engine = EngineBacktrackDedup
 	}
 	d := ck.ShardDepth
@@ -223,13 +306,13 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 	if every <= 0 {
 		every = 1
 	}
-	fp := Fingerprint(ck.Tag, cfg, d, dedup)
+	fp := Fingerprint(ck.Tag, cfg, d, dedup, reduce)
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	s := &search{cfg: cfg, workers: 1}
+	s := &search{cfg: cfg, workers: 1, reduce: reduce}
 	if dedup {
 		s.table = newDedupTable()
 	}
@@ -261,6 +344,8 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 			Paths:           counters.Paths,
 			Truncated:       counters.Truncated,
 			StatesDeduped:   counters.Deduped,
+			StepsSlept:      counters.StepsSlept,
+			SymmetryMerges:  counters.SymmetryMerges,
 			MaxDepthReached: counters.MaxDepthReached,
 		}
 		return res, err

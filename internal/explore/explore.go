@@ -39,6 +39,18 @@ const (
 	// Check that conditions on other prefix details should use
 	// EngineBacktrack or EngineReplay.
 	EngineBacktrackDedup
+	// EngineBacktrackDedupPOR layers partial-order and symmetry reduction
+	// on top of dedup: sleep sets skip children whose schedules only
+	// commute (by swapping adjacent independent steps) into subtrees
+	// explored elsewhere, and states of workloads that declare symmetric
+	// process roles (memsim.SymmetricInstance) are canonicalized under PID
+	// permutation before claiming. Paths and Truncated then count only the
+	// representatives actually explored (typically far fewer), while Check
+	// outcomes and violation presence are preserved for the same property
+	// class dedup supports — trace properties invariant under commuting
+	// independent steps and renaming symmetric processes, which CheckSpec
+	// is. Counters remain deterministic across worker counts.
+	EngineBacktrackDedupPOR
 )
 
 // String names the engine for reports and CLIs.
@@ -52,6 +64,8 @@ func (e Engine) String() string {
 		return "backtracking"
 	case EngineBacktrackDedup:
 		return "backtracking+dedup"
+	case EngineBacktrackDedupPOR:
+		return "backtracking+dedup+por"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
@@ -105,6 +119,15 @@ type Result struct {
 	// MaxDepthReached is the deepest scheduling-choice depth any explored
 	// path attained.
 	MaxDepthReached int
+	// StepsSlept counts children skipped by sleep-set commutation pruning
+	// (always 0 outside EngineBacktrackDedupPOR). Deterministic across
+	// worker counts: sleeping children are skipped only at claimed nodes.
+	StepsSlept int
+	// SymmetryMerges counts state-key canonicalizations that applied a
+	// non-identity PID permutation — each is a visit that would have keyed
+	// a distinct state without symmetry reduction. Always 0 outside
+	// EngineBacktrackDedupPOR; deterministic across worker counts.
+	SymmetryMerges int
 	// Engine is the engine that actually ran (EngineAuto resolved).
 	Engine Engine
 	// Workers is the number of exploration workers that ran (Config
@@ -145,12 +168,17 @@ func Run(cfg Config) (*Result, error) {
 	case EngineReplay:
 		return runReplay(cfg)
 	case EngineBacktrack:
-		return runBacktrack(cfg, false)
+		return runBacktrack(cfg, false, false)
 	case EngineBacktrackDedup:
-		return runBacktrack(cfg, true)
+		return runBacktrack(cfg, true, false)
+	case EngineBacktrackDedupPOR:
+		if !backtrackable(cfg) {
+			return nil, errors.New("explore: EngineBacktrackDedupPOR requires a resumable instance")
+		}
+		return runBacktrack(cfg, true, true)
 	default:
 		if backtrackable(cfg) {
-			return runBacktrack(cfg, true)
+			return runBacktrack(cfg, true, false)
 		}
 		return runReplay(cfg)
 	}

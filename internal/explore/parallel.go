@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/memsim"
 	"repro/internal/worksteal"
 )
 
@@ -52,6 +53,7 @@ type search struct {
 	cfg      Config
 	workers  int
 	table    *dedupTable // nil with dedup off
+	reduce   bool        // sleep sets + symmetry canonicalization
 	frontier *worksteal.Frontier
 	stop     atomic.Bool
 
@@ -106,12 +108,15 @@ type searcher struct {
 	s    *search
 	id   int
 	e    *bengine
-	root *mark // pristine initial state, for resetting between tasks
+	red  *reduction // nil unless the search reduces
+	root *mark      // pristine initial state, for resetting between tasks
 
-	paths     int
-	truncated int
-	deduped   int
-	maxDepth  int
+	paths      int
+	truncated  int
+	deduped    int
+	stepsSlept int
+	symMerges  int
+	maxDepth   int
 }
 
 func newSearcher(s *search, id int) (*searcher, error) {
@@ -119,7 +124,11 @@ func newSearcher(s *search, id int) (*searcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &searcher{s: s, id: id, e: e, root: e.save()}, nil
+	w := &searcher{s: s, id: id, e: e, root: e.save()}
+	if s.reduce {
+		w.red = newReduction(e)
+	}
+	return w, nil
 }
 
 // runTask rewinds the worker's engine to the initial state, replays the
@@ -129,16 +138,34 @@ func newSearcher(s *search, id int) (*searcher, error) {
 // counters and no claims.
 func (w *searcher) runTask(t task) error {
 	w.e.restore(w.root)
+	var sleep uint64
 	for step, idx := range t {
 		choices := w.e.settleAt(step)
 		if idx >= len(choices) {
 			return fmt.Errorf("explore: internal: task choice %d out of range at depth %d", idx, step)
 		}
-		if err := w.e.apply(choices[idx], idx); err != nil {
+		c := choices[idx]
+		var earlier uint64
+		if w.red != nil && w.red.por {
+			// Refresh the canonical ranks at this node (the key bytes are
+			// discarded) so the recomputed sleep matches the producer's.
+			w.red.stateKey(sleep)
+			var masks [64]uint64
+			w.red.earlierMasks(choices, masks[:len(choices)])
+			earlier = masks[idx]
+		}
+		var cAcc memsim.Access
+		if !c.start {
+			cAcc = w.e.pending[c.pid]
+		}
+		if err := w.e.apply(c, idx); err != nil {
 			return err
 		}
+		if w.red != nil {
+			sleep = w.red.sleepRecompute(sleep, earlier, choices, idx, cAcc)
+		}
 	}
-	return w.dfs(len(t))
+	return w.dfs(len(t), sleep)
 }
 
 // dfs explores the subtree at the engine's current position. It is the
@@ -147,7 +174,7 @@ func (w *searcher) runTask(t task) error {
 // either recurse into every child or — while the frontier is starving —
 // keep only the first child and publish the siblings as stealable
 // prefixes.
-func (w *searcher) dfs(depth int) error {
+func (w *searcher) dfs(depth int, sleep uint64) error {
 	if w.s.stop.Load() {
 		return errStopped
 	}
@@ -166,9 +193,28 @@ func (w *searcher) dfs(depth int) error {
 		}
 		return nil
 	}
-	if w.s.table != nil && !w.s.table.claim(w.e.stateKey(), w.s.cfg.MaxDepth-depth) {
-		w.deduped++
-		return nil
+	if w.s.table != nil {
+		var key [16]byte
+		if w.red != nil {
+			var permuted bool
+			key, permuted = w.red.stateKey(sleep)
+			if permuted {
+				w.symMerges++
+			}
+		} else {
+			key = w.e.stateKey()
+		}
+		if !w.s.table.claim(key, w.s.cfg.MaxDepth-depth) {
+			w.deduped++
+			return nil
+		}
+	}
+	por := w.red != nil && w.red.por
+	// The canonical ranks stateKey just computed are captured per node:
+	// child recursions overwrite the shared rank scratch.
+	var earlier [64]uint64
+	if por {
+		w.red.earlierMasks(choices, earlier[:len(choices)])
 	}
 	// Split only internal nodes whose children are not forced leaves (a
 	// leaf task would replay the whole path to do one check) and only
@@ -179,21 +225,38 @@ func (w *searcher) dfs(depth int) error {
 	// state, so the mark stays pristine across iterations. The mark
 	// returns to the engine's free list once the last sibling is done.
 	m := w.e.save()
+	first := true
 	for i, c := range choices {
-		if split && i > 0 {
+		if por && sleep&(1<<uint(c.pid)) != 0 {
+			// A sleeping process's subtree only contains schedules that
+			// commute into an earlier sibling's subtree; skip it. Counted
+			// at claimed nodes only, so the tally is deterministic.
+			w.stepsSlept++
+			continue
+		}
+		if split && !first {
 			prefix := make(task, len(w.e.path)+1)
 			copy(prefix, w.e.path)
 			prefix[len(prefix)-1] = i
 			w.s.frontier.Submit(w.id, prefix)
 			continue
 		}
+		var cAcc memsim.Access
+		if !c.start {
+			cAcc = w.e.pending[c.pid]
+		}
 		if err := w.e.apply(c, i); err != nil {
 			return err
 		}
-		if err := w.dfs(depth + 1); err != nil {
+		var childSleep uint64
+		if por {
+			childSleep = w.red.childSleep(sleep, earlier[i], choices, i, cAcc)
+		}
+		if err := w.dfs(depth+1, childSleep); err != nil {
 			return err
 		}
 		w.e.restore(m)
+		first = false
 	}
 	w.e.release(m)
 	return nil
@@ -203,16 +266,19 @@ func (w *searcher) dfs(depth int) error {
 // sharded across cfg.Workers workers (GOMAXPROCS when unset; one worker
 // runs the plain sequential DFS with no pool and no locks on the hot
 // path). Results are identical for every worker count.
-func runBacktrack(cfg Config, dedup bool) (*Result, error) {
+func runBacktrack(cfg Config, dedup, reduce bool) (*Result, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	engine := EngineBacktrack
-	if dedup {
+	if reduce {
+		engine = EngineBacktrackDedupPOR
+		dedup = true // reduction keys live in the claim table
+	} else if dedup {
 		engine = EngineBacktrackDedup
 	}
-	s := &search{cfg: cfg, workers: workers}
+	s := &search{cfg: cfg, workers: workers, reduce: reduce}
 	if dedup {
 		s.table = newDedupTable()
 	}
@@ -226,7 +292,7 @@ func runBacktrack(cfg Config, dedup bool) (*Result, error) {
 	}
 
 	if workers == 1 {
-		if err := searchers[0].dfs(0); err != nil && !errors.Is(err, errStopped) {
+		if err := searchers[0].dfs(0, 0); err != nil && !errors.Is(err, errStopped) {
 			return merge(s, engine, searchers), err
 		}
 	} else {
@@ -265,6 +331,8 @@ func merge(s *search, engine Engine, searchers []*searcher) *Result {
 		res.Paths += w.paths
 		res.Truncated += w.truncated
 		res.StatesDeduped += w.deduped
+		res.StepsSlept += w.stepsSlept
+		res.SymmetryMerges += w.symMerges
 		if w.maxDepth > res.MaxDepthReached {
 			res.MaxDepthReached = w.maxDepth
 		}

@@ -53,6 +53,10 @@ type Spec struct {
 	// Dedup selects the explorer engine; nil means true (backtracking
 	// with state dedup), false forces the legacy replay enumeration.
 	Dedup *bool `json:"dedup,omitempty"`
+	// Reduce enables partial-order and symmetry reduction: explore jobs
+	// run EngineBacktrackDedupPOR, worstcase jobs set search Config.Reduce
+	// (exhaustive mode only; cost-safety is capability-gated by the model).
+	Reduce bool `json:"reduce,omitempty"`
 	// Workers overrides the worker count (0 = one per core). Results are
 	// identical for every value.
 	Workers int `json:"workers,omitempty"`
@@ -88,6 +92,10 @@ func (s *Spec) Normalize() error {
 	if s.Depth <= 0 {
 		s.Depth = 10
 	}
+	if s.Kind == KindExplore && s.Reduce && s.Dedup != nil && !*s.Dedup {
+		return errs.Failure(errs.CodeInvalid,
+			"jobspec: reduce requires the dedup backtracking engine (drop dedup=false)")
+	}
 	if s.Kind == KindWorstcase {
 		if s.Model == "" {
 			s.Model = "dsm"
@@ -101,6 +109,10 @@ func (s *Spec) Normalize() error {
 		var m search.Mode
 		if err := m.UnmarshalText([]byte(s.Mode)); err != nil {
 			return errs.Failuref(errs.CodeInvalid, "jobspec: %v", err)
+		}
+		if s.Reduce && m != search.ModeExhaustive {
+			return errs.Failure(errs.CodeInvalid,
+				"jobspec: reduce applies to exhaustive mode only (sampling explores no state space to reduce)")
 		}
 		if s.Seed == 0 {
 			s.Seed = 1
@@ -176,6 +188,7 @@ func (s *Spec) SearchConfig() (search.Config, error) {
 		Model:    scorer,
 		Mode:     m,
 		Workers:  s.Workers,
+		Reduce:   s.Reduce,
 		Seed:     s.Seed,
 		Walks:    s.Walks,
 	}, nil
@@ -198,6 +211,9 @@ func (s *Spec) ExploreConfig() (explore.Config, error) {
 	engine := explore.EngineAuto
 	if s.Dedup != nil && !*s.Dedup {
 		engine = explore.EngineReplay
+	}
+	if s.Reduce {
+		engine = explore.EngineBacktrackDedupPOR
 	}
 	n, scripts := s.Scripts()
 	return explore.Config{
@@ -261,9 +277,14 @@ type ExploreDoc struct {
 	Truncated       int    `json:"truncated"`
 	StatesDeduped   int    `json:"statesDeduped"`
 	MaxDepthReached int    `json:"maxDepthReached"`
-	Engine          string `json:"engine"`
-	SpecHolds       bool   `json:"specHolds"`
-	Violation       string `json:"violation,omitempty"`
+	// StepsSlept and SymmetryMerges are the reduction counters of the POR
+	// engine; omitted (zero) for every other engine, keeping pre-reduction
+	// documents byte-identical.
+	StepsSlept     int    `json:"stepsSlept,omitempty"`
+	SymmetryMerges int    `json:"symmetryMerges,omitempty"`
+	Engine         string `json:"engine"`
+	SpecHolds      bool   `json:"specHolds"`
+	Violation      string `json:"violation,omitempty"`
 }
 
 // NewExploreDoc assembles the document from a normalized spec, its
@@ -278,6 +299,8 @@ func NewExploreDoc(s *Spec, res *explore.Result, violation string) *ExploreDoc {
 		Truncated:       res.Truncated,
 		StatesDeduped:   res.StatesDeduped,
 		MaxDepthReached: res.MaxDepthReached,
+		StepsSlept:      res.StepsSlept,
+		SymmetryMerges:  res.SymmetryMerges,
 		Engine:          res.Engine.String(),
 		SpecHolds:       violation == "",
 		Violation:       violation,

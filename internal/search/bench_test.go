@@ -29,6 +29,40 @@ func BenchmarkWorstCaseExhaustive(b *testing.B) {
 	}
 }
 
+// BenchmarkWorstCasePOR measures the reduced branch-and-bound against the
+// plain engine on the certificate-comparison workload. states/op counts
+// memo-DAG arrivals (scored leaves plus memo hits) — the states-visited
+// figure the reduction is graded on; every reported metric is
+// deterministic for a fixed config.
+func BenchmarkWorstCasePOR(b *testing.B) {
+	for _, m := range []model.Scorer{model.ModelDSM, model.ModelCC} {
+		for _, reduce := range []bool{false, true} {
+			name := m.Name() + "/plain"
+			if reduce {
+				name = m.Name() + "/reduced"
+			}
+			b.Run(name, func(b *testing.B) {
+				cfg := adversarial(signal.Flag())
+				cfg.Model = m
+				cfg.Workers = 1
+				cfg.Reduce = reduce
+				b.ReportAllocs()
+				var res *search.Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					if res, err = search.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.Paths+res.Pruned), "states/op")
+				b.ReportMetric(float64(res.Paths), "paths/op")
+				b.ReportMetric(float64(res.StepsSlept), "slept/op")
+				b.ReportMetric(float64(res.SymmetryMerges), "merges/op")
+			})
+		}
+	}
+}
+
 // BenchmarkWorstCaseSample measures the Monte Carlo mode (256 walks on
 // the queue algorithm, one fresh execution per walk).
 func BenchmarkWorstCaseSample(b *testing.B) {

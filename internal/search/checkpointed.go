@@ -8,6 +8,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/errs"
 	"repro/internal/memsim"
+	"repro/internal/model"
 )
 
 // Checkpointed execution: the same branch-and-bound search, partitioned
@@ -61,7 +62,10 @@ type Checkpoint struct {
 // Everything that determines the search space is included — algorithm
 // tag, process count, scripts, depth bound, model, shard depth — and the
 // sharded (fresh-table-per-unit) counter regime is marked distinctly so
-// its snapshots cannot resume into a shared-table run or vice versa.
+// its snapshots cannot resume into a shared-table run or vice versa. A
+// reduced run (Config.Reduce with a capable model) is likewise marked:
+// its memo entries key (state, sleep) pairs and carry no tails, so they
+// must never seed an unreduced table or vice versa.
 func Fingerprint(tag string, cfg Config, shardDepth int, sharded bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "search|%s|n=%d|depth=%d|model=%s|shard=%d|scripts=",
@@ -80,7 +84,18 @@ func Fingerprint(tag string, cfg Config, shardDepth int, sharded bool) string {
 	if sharded {
 		b.WriteString("|sharded")
 	}
+	if reduceEffective(cfg) {
+		b.WriteString("|reduce")
+	}
 	return b.String()
+}
+
+// reduceEffective reports whether cfg actually runs the reduced regime:
+// Reduce requested and the model asserts at least one of the reduction
+// capabilities (otherwise newReduction degrades to the plain engine).
+func reduceEffective(cfg Config) bool {
+	return cfg.Reduce &&
+		(model.OrderInvariantCost(cfg.Model) || model.PermutationInvariantCost(cfg.Model))
 }
 
 // clampShardDepth resolves the unit depth: default 3, never at or past
@@ -128,9 +143,16 @@ func expandUnits(cfg Config, d int) ([][]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The expansion mirrors the reduced tree exactly: a slept child is
+	// never a unit root (the search never walks it), so the unit list —
+	// like everything else — is a pure function of the configuration.
+	var red *reduction
+	if cfg.Reduce {
+		red = newReduction(e, cfg.Model)
+	}
 	var units [][]int
-	var walk func(depth int, prefix []int) error
-	walk = func(depth int, prefix []int) error {
+	var walk func(depth int, prefix []int, sleep uint64) error
+	walk = func(depth int, prefix []int, sleep uint64) error {
 		choices := e.settle()
 		if len(choices) == 0 || cfg.MaxDepth-depth == 0 {
 			return nil
@@ -139,19 +161,35 @@ func expandUnits(cfg Config, d int) ([][]int, error) {
 			units = append(units, append([]int(nil), prefix...))
 			return nil
 		}
+		var earlier [64]uint64
+		if red != nil && red.por {
+			red.stateKey(sleep)
+			red.earlierMasks(choices, earlier[:len(choices)])
+		}
 		m := e.save()
 		for i, c := range choices {
+			if red != nil && red.por && sleep&(1<<uint(c.pid)) != 0 {
+				continue
+			}
+			var cAcc memsim.Access
+			if red != nil && !c.start {
+				cAcc = e.pending[c.pid]
+			}
 			if _, err := e.apply(c, i); err != nil {
 				return err
 			}
-			if err := walk(depth+1, append(prefix, i)); err != nil {
+			var childSleep uint64
+			if red != nil {
+				childSleep = red.sleepRecompute(sleep, earlier[i], choices, i, cAcc)
+			}
+			if err := walk(depth+1, append(prefix, i), childSleep); err != nil {
 				return err
 			}
 			e.restore(m)
 		}
 		return nil
 	}
-	if err := walk(0, nil); err != nil {
+	if err := walk(0, nil, 0); err != nil {
 		return nil, err
 	}
 	return units, nil
@@ -201,10 +239,13 @@ func (t *memoTable) preload(entries []checkpoint.Entry) {
 
 // tally snapshots a hunter's cumulative counters so per-unit deltas can
 // be attributed to the unit that produced them.
-type tally struct{ paths, truncated, pruned int }
+type tally struct{ paths, truncated, pruned, stepsSlept, symMerges int }
 
 func grab(w *hunter) tally {
-	return tally{paths: w.paths, truncated: w.truncated, pruned: w.pruned}
+	return tally{
+		paths: w.paths, truncated: w.truncated, pruned: w.pruned,
+		stepsSlept: w.stepsSlept, symMerges: w.symMerges,
+	}
 }
 
 // delta converts counter movement since prev into checkpoint counters.
@@ -215,6 +256,8 @@ func delta(prev tally, w *hunter) checkpoint.Counters {
 		Paths:           w.paths - prev.paths,
 		Truncated:       w.truncated - prev.truncated,
 		Pruned:          w.pruned - prev.pruned,
+		StepsSlept:      w.stepsSlept - prev.stepsSlept,
+		SymmetryMerges:  w.symMerges - prev.symMerges,
 		MaxDepthReached: w.maxDepth,
 	}
 }
@@ -380,7 +423,17 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 		Paths:           counters.Paths,
 		Truncated:       counters.Truncated,
 		Pruned:          counters.Pruned,
+		StepsSlept:      counters.StepsSlept,
+		SymmetryMerges:  counters.SymmetryMerges,
 		MaxDepthReached: counters.MaxDepthReached,
+	}
+	if w.red != nil {
+		res.Reduced = true
+		witness, err := w.reconstructWitness(s.rootCost)
+		if err != nil {
+			return nil, err
+		}
+		res.Witness = witness
 	}
 	if err := auditResult(cfg, res); err != nil {
 		return nil, err

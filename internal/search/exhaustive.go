@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/memsim"
 	"repro/internal/worksteal"
 )
 
@@ -225,6 +226,18 @@ func (t *memoTable) publish(key memoKey, e *memoEntry, cost int, tail []int) {
 	s.mu.Unlock()
 }
 
+// lookup returns the entry claimed for key, or nil. Used by the witness
+// reconstruction after the search has joined; it takes the stripe lock
+// only to serialize against nothing in particular (the table is quiescent
+// by then) and to reuse find unchanged.
+func (t *memoTable) lookup(key memoKey) *memoEntry {
+	s := &t.stripes[stripeOf(key)]
+	s.mu.Lock()
+	e := s.find(key)
+	s.mu.Unlock()
+	return e
+}
+
 // wait blocks until e is published or abort closes; it reports whether the
 // entry completed. A visitor only ever waits on entries of strictly
 // smaller budget than its own claim, so waits cannot cycle — and a
@@ -295,13 +308,16 @@ type hunter struct {
 	s    *bnb
 	id   int
 	e    *sengine
-	root *mark // pristine initial state, for resetting between tasks
+	red  *reduction // nil unless the search reduces
+	root *mark      // pristine initial state, for resetting between tasks
 
-	paths     int
-	truncated int
-	pruned    int
-	maxDepth  int
-	ticks     int // node visits not yet flushed to cfg.Meter
+	paths      int
+	truncated  int
+	pruned     int
+	stepsSlept int
+	symMerges  int
+	maxDepth   int
+	ticks      int // node visits not yet flushed to cfg.Meter
 }
 
 func newHunter(s *bnb, id int) (*hunter, error) {
@@ -309,7 +325,13 @@ func newHunter(s *bnb, id int) (*hunter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &hunter{s: s, id: id, e: e, root: e.save()}, nil
+	w := &hunter{s: s, id: id, e: e, root: e.save()}
+	if s.cfg.Reduce {
+		// newReduction degrades to nil when the model asserts neither
+		// reduction capability; the run is then the plain search.
+		w.red = newReduction(e, s.cfg.Model)
+	}
+	return w, nil
 }
 
 // runTask rewinds the worker's engine to the initial state, replays the
@@ -318,16 +340,34 @@ func newHunter(s *bnb, id int) (*hunter, error) {
 // the search result.
 func (w *hunter) runTask(t task) error {
 	w.e.restore(w.root)
+	var sleep uint64
 	for step, idx := range t {
 		choices := w.e.settleAt(step)
 		if idx >= len(choices) {
 			return fmt.Errorf("search: internal: task choice %d out of range at depth %d", idx, step)
 		}
-		if _, err := w.e.apply(choices[idx], idx); err != nil {
+		c := choices[idx]
+		var earlier uint64
+		if w.red != nil && w.red.por {
+			// Refresh the canonical ranks at this node (the key bytes are
+			// discarded) so the recomputed sleep matches the producer's.
+			w.red.stateKey(sleep)
+			var masks [64]uint64
+			w.red.earlierMasks(choices, masks[:len(choices)])
+			earlier = masks[idx]
+		}
+		var cAcc memsim.Access
+		if w.red != nil && !c.start {
+			cAcc = w.e.pending[c.pid]
+		}
+		if _, err := w.e.apply(c, idx); err != nil {
 			return err
 		}
+		if w.red != nil {
+			sleep = w.red.sleepRecompute(sleep, earlier, choices, idx, cAcc)
+		}
 	}
-	cost, tail, err := w.dfs(len(t), len(t) == 0)
+	cost, tail, err := w.dfs(len(t), sleep, len(t) == 0)
 	if w.s.cfg.Meter != nil && w.ticks > 0 {
 		w.s.cfg.Meter.Add(w.ticks)
 		w.ticks = 0
@@ -348,7 +388,22 @@ func (w *hunter) runTask(t task) error {
 // achieving it. fromEdge marks visits that arrive by a parent walking its
 // child (plus the root), the only visits that touch counters; prefetch
 // task roots pass false.
-func (w *hunter) dfs(depth int, fromEdge bool) (int, []int, error) {
+//
+// Under reduction (w.red != nil) three things change. The memo key is the
+// reduced canonical key over (state, sleep) — sleep bits are part of the
+// state because the explored subtree is a function of both. Children
+// whose process sleeps are skipped entirely: their subtrees contain only
+// schedules that commute, access by access, into an earlier sibling's
+// subtree, so under an order-invariant model their bills are duplicates.
+// And entries publish cost only (tail nil): a tail's choice indices are
+// meaningful only at the representative that computed them, so the
+// witness is reconstructed from the table afterwards. A node whose every
+// child is asleep (or transitively so) publishes the blocked sentinel -1
+// — its schedules are all accounted elsewhere — and parents skip blocked
+// children when maximizing, so every non-negative published cost is
+// realized by a schedule inside its own (state, sleep) subtree, which is
+// what makes the reconstruction descent sound.
+func (w *hunter) dfs(depth int, sleep uint64, fromEdge bool) (int, []int, error) {
 	if w.s.stopped() {
 		return 0, nil, errStopped
 	}
@@ -378,7 +433,18 @@ func (w *hunter) dfs(depth int, fromEdge bool) (int, []int, error) {
 		}
 		return 0, nil, nil
 	}
-	key := memoKey{state: w.e.stateKey(), budget: budget}
+	key := memoKey{budget: budget}
+	if w.red != nil {
+		var merged bool
+		key.state, merged = w.red.stateKey(sleep)
+		if fromEdge && merged {
+			// Counted per edge visit, like paths and prunes, so the tally
+			// is independent of which representative wins the claim race.
+			w.symMerges++
+		}
+	} else {
+		key.state = w.e.stateKey()
+	}
 	entry, won, wasAdopted := w.s.table.claim(key, fromEdge)
 	if !won {
 		if !fromEdge {
@@ -396,12 +462,22 @@ func (w *hunter) dfs(depth int, fromEdge bool) (int, []int, error) {
 		}
 		return entry.cost, entry.tail, nil
 	}
+	por := w.red != nil && w.red.por
+	// The canonical ranks stateKey just computed are captured per node:
+	// child recursions overwrite the shared rank scratch.
+	var earlier [64]uint64
+	if por {
+		w.red.earlierMasks(choices, earlier[:len(choices)])
+	}
 	// Publish sibling subtrees as prefetch tasks only while the frontier
 	// is starving, and never forced leaves (a leaf task would replay the
-	// whole prefix to score one history).
+	// whole prefix to score one history) or slept children (never walked).
 	split := w.s.workers > 1 && len(choices) > 1 && budget > 1 && w.s.frontier.Hungry()
 	if split {
 		for i := 1; i < len(choices); i++ {
+			if por && sleep&(1<<uint(choices[i].pid)) != 0 {
+				continue
+			}
 			prefix := make(task, len(w.e.path)+1)
 			copy(prefix, w.e.path)
 			prefix[len(prefix)-1] = i
@@ -414,23 +490,132 @@ func (w *hunter) dfs(depth int, fromEdge bool) (int, []int, error) {
 	// once after the loop: one allocation per internal node.
 	best, bestIdx, bestChild := -1, -1, []int(nil)
 	for i, c := range choices {
+		if por && sleep&(1<<uint(c.pid)) != 0 {
+			// A sleeping process's subtree only contains schedules that
+			// commute into an earlier sibling's subtree; skip it. Counted
+			// once per DAG node (only the claim winner walks children).
+			w.stepsSlept++
+			continue
+		}
+		var cAcc memsim.Access
+		if w.red != nil && !c.start {
+			cAcc = w.e.pending[c.pid]
+		}
 		step, err := w.e.apply(c, i)
 		if err != nil {
 			return 0, nil, err
 		}
-		tailCost, tail, err := w.dfs(depth+1, true)
+		var childSleep uint64
+		if por {
+			childSleep = w.red.childSleep(sleep, earlier[i], choices, i, cAcc)
+		}
+		tailCost, tail, err := w.dfs(depth+1, childSleep, true)
 		if err != nil {
 			return 0, nil, err
 		}
-		if total := step + tailCost; total > best {
-			best, bestIdx, bestChild = total, i, tail
+		if tailCost >= 0 { // skip blocked children (reduction only)
+			if total := step + tailCost; total > best {
+				best, bestIdx, bestChild = total, i, tail
+			}
 		}
 		w.e.restore(m)
 	}
 	w.e.release(m)
-	bestTail := append(append(make([]int, 0, len(bestChild)+1), bestIdx), bestChild...)
+	var bestTail []int
+	if w.red == nil {
+		bestTail = append(append(make([]int, 0, len(bestChild)+1), bestIdx), bestChild...)
+	}
 	w.s.table.publish(key, entry, best, bestTail)
 	return best, bestTail, nil
+}
+
+// reconstructWitness materializes a worst-case schedule from a completed
+// reduced search by descending the memo table from the root: at each node
+// it applies, in order, the first non-slept child whose step cost plus
+// memoized tail cost accounts exactly for the remainder — blocked entries
+// (cost -1) never match, so the descent follows only costs realized by
+// real schedules and terminates at a maximal history replaying to exactly
+// rootCost. When a child's entry is absent (a sharded merge ships only
+// unit-root entries), the subtree is recomputed into the shared table on
+// a single-worker shadow whose tallies are discarded — callers therefore
+// reconstruct only after folding the hunters' counters into the Result.
+func (w *hunter) reconstructWitness(rootCost int) ([]int, error) {
+	if rootCost < 0 {
+		return nil, fmt.Errorf("search: internal: reduced root cost %d", rootCost)
+	}
+	w.e.restore(w.root)
+	var witness []int
+	var sleep uint64
+	remaining := rootCost
+	depth := 0
+	for {
+		choices := w.e.settleAt(depth)
+		budget := w.s.cfg.MaxDepth - depth
+		if len(choices) == 0 || budget == 0 {
+			if remaining != 0 {
+				return nil, fmt.Errorf("search: internal: witness reconstruction reached a leaf with %d RMRs unaccounted", remaining)
+			}
+			return witness, nil
+		}
+		w.red.stateKey(sleep) // refresh the canonical ranks at this node
+		var earlier [64]uint64
+		if w.red.por {
+			w.red.earlierMasks(choices, earlier[:len(choices)])
+		}
+		m := w.e.save()
+		matched := false
+		for i, c := range choices {
+			if w.red.por && sleep&(1<<uint(c.pid)) != 0 {
+				continue
+			}
+			var cAcc memsim.Access
+			if !c.start {
+				cAcc = w.e.pending[c.pid]
+			}
+			step, err := w.e.apply(c, i)
+			if err != nil {
+				return nil, err
+			}
+			var childSleep uint64
+			if w.red.por {
+				childSleep = w.red.childSleep(sleep, earlier[i], choices, i, cAcc)
+			}
+			childCost := 0
+			if childChoices := w.e.settleAt(depth + 1); len(childChoices) != 0 && budget > 1 {
+				key := memoKey{budget: budget - 1}
+				key.state, _ = w.red.stateKey(childSleep)
+				switch entry := w.s.table.lookup(key); {
+				case entry == nil:
+					fb := &hunter{
+						s: &bnb{cfg: w.s.cfg, workers: 1, table: w.s.table, abort: make(chan struct{})},
+						e: w.e, red: w.red,
+					}
+					cost, _, err := fb.dfs(depth+1, childSleep, false)
+					if err != nil {
+						return nil, err
+					}
+					childCost = cost
+				case !entry.complete.Load():
+					return nil, fmt.Errorf("search: internal: witness reconstruction found an unpublished entry at depth %d", depth+1)
+				default:
+					childCost = entry.cost
+				}
+			}
+			if childCost >= 0 && step+childCost == remaining {
+				witness = append(witness, i)
+				remaining -= step
+				sleep = childSleep
+				depth++
+				matched = true
+				break
+			}
+			w.e.restore(m)
+		}
+		w.e.release(m)
+		if !matched {
+			return nil, fmt.Errorf("search: internal: witness reconstruction found no child summing to %d at depth %d", remaining, depth)
+		}
+	}
 }
 
 // runExhaustive drives the branch-and-bound search across cfg.Workers
@@ -492,9 +677,21 @@ func runExhaustive(cfg Config) (*Result, error) {
 		res.Paths += w.paths
 		res.Truncated += w.truncated
 		res.Pruned += w.pruned
+		res.StepsSlept += w.stepsSlept
+		res.SymmetryMerges += w.symMerges
 		if w.maxDepth > res.MaxDepthReached {
 			res.MaxDepthReached = w.maxDepth
 		}
+	}
+	if hunters[0].red != nil {
+		// Counters are already folded in: reconstruction may recompute
+		// subtrees (sharded merges) and its tallies must not count.
+		res.Reduced = true
+		witness, err := hunters[0].reconstructWitness(s.rootCost)
+		if err != nil {
+			return nil, err
+		}
+		res.Witness = witness
 	}
 	return res, nil
 }

@@ -83,6 +83,17 @@ type Config struct {
 	// negative means GOMAXPROCS. Every Result field is deterministic for
 	// any worker count.
 	Workers int
+	// Reduce enables partial-order and symmetry reduction (exhaustive mode
+	// only): sleep-set commutation pruning over the independence relation
+	// of internal/search/reduce.go, and canonicalization of PID-permuted
+	// states for workloads declaring memsim.SymmetricInstance roles.
+	// Reductions are cost-safe only when the model asserts the matching
+	// capability (model.OrderInvariantCost for pruning, additionally
+	// model.PermutationInvariantCost for symmetry) and are conservatively
+	// off otherwise. WorstCost is unchanged; the Witness still replays to
+	// exactly WorstCost but is no longer the lexicographically least such
+	// schedule, and Paths/Pruned shrink to the reduced space.
+	Reduce bool
 	// Seed is the base seed of sample mode; walk i derives its own
 	// generator from (Seed, i), so the whole sample is a pure function of
 	// (Config, Seed).
@@ -137,6 +148,17 @@ type Result struct {
 	Pruned int `json:"pruned"`
 	// MaxDepthReached is the deepest scheduling-choice depth attained.
 	MaxDepthReached int `json:"maxDepthReached"`
+	// Reduced reports that the run used partial-order/symmetry reduction
+	// (Config.Reduce with a capable model), the regime under which the
+	// Witness is a worst-case schedule but not the lexicographically least.
+	Reduced bool `json:"reduced,omitempty"`
+	// StepsSlept counts children skipped by sleep-set commutation pruning;
+	// SymmetryMerges counts memo-key computations in which some symmetric
+	// group held at least two distinct member states (a genuine
+	// PID-permutation orbit merged). Both are zero without Reduce and
+	// deterministic for any worker count.
+	StepsSlept     int `json:"stepsSlept,omitempty"`
+	SymmetryMerges int `json:"symmetryMerges,omitempty"`
 	// Workers is the worker count that ran (Config default resolved).
 	Workers int `json:"workers"`
 	// Seed and Walks echo the sampling parameters (zero in exhaustive
@@ -198,6 +220,9 @@ func normalize(cfg Config) (Config, error) {
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = ModeExhaustive
+	}
+	if cfg.Reduce && cfg.Mode != ModeExhaustive {
+		return cfg, errors.New("search: Reduce applies to exhaustive mode only (sampling explores no state space to reduce)")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)

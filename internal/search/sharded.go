@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/errs"
+	"repro/internal/memsim"
 )
 
 // Cross-process sharding: a coordinator partitions the unit list (the
@@ -51,22 +52,43 @@ func ComputeUnit(cfg Config, prefix []int) (*UnitResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var sleep uint64
 	for step, idx := range prefix {
 		choices := w.e.settle()
 		if idx < 0 || idx >= len(choices) {
 			return nil, errs.Failuref(errs.CodeInvalid,
 				"search: unit choice %d out of range at depth %d", idx, step)
 		}
-		if _, err := w.e.apply(choices[idx], idx); err != nil {
+		c := choices[idx]
+		var earlier uint64
+		if w.red != nil && w.red.por {
+			w.red.stateKey(sleep)
+			var masks [64]uint64
+			w.red.earlierMasks(choices, masks[:len(choices)])
+			earlier = masks[idx]
+		}
+		var cAcc memsim.Access
+		if w.red != nil && !c.start {
+			cAcc = w.e.pending[c.pid]
+		}
+		if _, err := w.e.apply(c, idx); err != nil {
 			return nil, err
+		}
+		if w.red != nil {
+			sleep = w.red.sleepRecompute(sleep, earlier, choices, idx, cAcc)
 		}
 	}
 	budget := cfg.MaxDepth - len(prefix)
 	if budget <= 0 || len(w.e.settle()) == 0 {
 		return nil, errs.Defectf("search: unit %v is a leaf, not an internal node", prefix)
 	}
-	key := memoKey{state: w.e.stateKey(), budget: budget}
-	cost, tail, err := w.dfs(len(prefix), false)
+	key := memoKey{budget: budget}
+	if w.red != nil {
+		key.state, _ = w.red.stateKey(sleep)
+	} else {
+		key.state = w.e.stateKey()
+	}
+	cost, tail, err := w.dfs(len(prefix), sleep, false)
 	if err != nil {
 		return nil, err
 	}
@@ -85,6 +107,8 @@ func ComputeUnit(cfg Config, prefix []int) (*UnitResult, error) {
 			Paths:           w.paths,
 			Truncated:       w.truncated,
 			Pruned:          w.pruned,
+			StepsSlept:      w.stepsSlept,
+			SymmetryMerges:  w.symMerges,
 			MaxDepthReached: w.maxDepth,
 		},
 	}, nil
@@ -144,7 +168,20 @@ func MergeShardedState(cfg Config, entries []checkpoint.Entry, counters checkpoi
 		Paths:           counters.Paths,
 		Truncated:       counters.Truncated,
 		Pruned:          counters.Pruned,
+		StepsSlept:      counters.StepsSlept,
+		SymmetryMerges:  counters.SymmetryMerges,
 		MaxDepthReached: counters.MaxDepthReached,
+	}
+	if w.red != nil {
+		// Only unit-root entries were shipped, so the descent recomputes
+		// the interior of whichever units the witness threads through
+		// (bounded by one subtree per level; tallies are not counted).
+		res.Reduced = true
+		witness, err := w.reconstructWitness(s.rootCost)
+		if err != nil {
+			return nil, err
+		}
+		res.Witness = witness
 	}
 	if err := auditResult(cfg, res); err != nil {
 		return nil, err

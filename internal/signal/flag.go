@@ -21,13 +21,14 @@ func Flag() Algorithm {
 		Comment:    "Section 5: O(1) RMR/process wait-free in CC; unbounded RMRs in DSM",
 		New: func(m *memsim.Machine, n int) (memsim.Instance, error) {
 			b := m.Alloc(memsim.NoOwner, "B", 1, 0)
-			return &flagInstance{b: b}, nil
+			return &flagInstance{b: b, n: n}, nil
 		},
 	}
 }
 
 type flagInstance struct {
 	b memsim.Addr
+	n int
 }
 
 var _ memsim.Instance = (*flagInstance)(nil)

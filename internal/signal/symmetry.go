@@ -1,0 +1,133 @@
+package signal
+
+import (
+	"encoding/binary"
+
+	"repro/internal/memsim"
+)
+
+// PID symmetry declarations for the algorithms whose waiters are
+// interchangeable, plus the normalized frame encoders the canonicalizing
+// engines need to rename a member's row addresses while hashing.
+//
+// The declarations are per-instance claims (see memsim.SymmetricInstance):
+// permuting the declared members together with their address rows maps
+// reachable states to reachable states. For flag every process runs the same
+// address-free code against one shared word; for the fixed-waiters variants
+// waiter i's entire footprint is its private column row {V[i]} or
+// {V[i], Present[i], first[i]}, and the signaler's fan treats all waiter
+// slots identically. Engines refine the declared members by script identity,
+// so declaring every potential waiter here is safe even when a configuration
+// scripts only some of them.
+
+// Roles implements memsim.SymmetricInstance: all n processes are
+// interchangeable and own no per-member addresses.
+func (in *flagInstance) Roles() []memsim.RoleBlock {
+	pids := make([]memsim.PID, in.n)
+	for i := range pids {
+		pids[i] = memsim.PID(i)
+	}
+	return []memsim.RoleBlock{{PIDs: pids}}
+}
+
+// Roles implements memsim.SymmetricInstance: the fixed waiters 0..N-2, each
+// owning its flag word V[i].
+func (in *fixedWaitersInstance) Roles() []memsim.RoleBlock {
+	var r memsim.RoleBlock
+	for i := 0; i < len(in.v)-1; i++ {
+		r.PIDs = append(r.PIDs, memsim.PID(i))
+		r.Addrs = append(r.Addrs, []memsim.Addr{in.v[i]})
+	}
+	return []memsim.RoleBlock{r}
+}
+
+// Roles implements memsim.SymmetricInstance: the fixed waiters 0..N-2, each
+// owning the column row {V[i], Present[i], first[i]}.
+func (in *fixedTermInstance) Roles() []memsim.RoleBlock {
+	var r memsim.RoleBlock
+	for i := 0; i < len(in.v)-1; i++ {
+		r.PIDs = append(r.PIDs, memsim.PID(i))
+		r.Addrs = append(r.Addrs, []memsim.Addr{in.v[i], in.present[i], in.first[i]})
+	}
+	return []memsim.RoleBlock{r}
+}
+
+var (
+	_ memsim.SymmetricInstance = (*flagInstance)(nil)
+	_ memsim.SymmetricInstance = (*fixedWaitersInstance)(nil)
+	_ memsim.SymmetricInstance = (*fixedTermInstance)(nil)
+)
+
+// Normalized encoders (memsim.NormAppender) for the frames a symmetric
+// member can hold mid-call: flag/fixed Poll (readRetFrame), flag Signal
+// (writeOneFrame), Wait (spinNonzeroFrame) and the announce-then-read Poll
+// (announcePollFrame). Each mirrors its AppendState field-for-field with
+// every Addr passed through norm, prefixed by a tag byte unique among the
+// package's NormAppender frames so the type identity the engines' key
+// layouts otherwise imply stays explicit in the sorted blocks.
+
+func (f *readRetFrame) AppendStateNorm(dst []byte, norm func(memsim.Addr) (int64, bool)) ([]byte, bool) {
+	a, ok := norm(f.addr)
+	if !ok {
+		return dst, false
+	}
+	dst = append(dst, 1)
+	dst = binary.AppendVarint(dst, a)
+	dst = append(dst, f.pc)
+	return binary.AppendVarint(dst, int64(f.ret)), true
+}
+
+func (f *writeOneFrame) AppendStateNorm(dst []byte, norm func(memsim.Addr) (int64, bool)) ([]byte, bool) {
+	a, ok := norm(f.addr)
+	if !ok {
+		return dst, false
+	}
+	dst = append(dst, 2)
+	dst = binary.AppendVarint(dst, a)
+	dst = binary.AppendVarint(dst, int64(f.val))
+	return append(dst, f.pc), true
+}
+
+func (f *spinNonzeroFrame) AppendStateNorm(dst []byte, norm func(memsim.Addr) (int64, bool)) ([]byte, bool) {
+	a, ok := norm(f.addr)
+	if !ok {
+		return dst, false
+	}
+	dst = append(dst, 3)
+	dst = binary.AppendVarint(dst, a)
+	return append(dst, f.pc), true
+}
+
+func (f *announcePollFrame) AppendStateNorm(dst []byte, norm func(memsim.Addr) (int64, bool)) ([]byte, bool) {
+	fst, ok := norm(f.fst)
+	if !ok {
+		return dst, false
+	}
+	ann, ok := norm(f.ann)
+	if !ok {
+		return dst, false
+	}
+	then, ok := norm(f.then)
+	if !ok {
+		return dst, false
+	}
+	els, ok := norm(f.els)
+	if !ok {
+		return dst, false
+	}
+	dst = append(dst, 4)
+	dst = binary.AppendVarint(dst, fst)
+	dst = binary.AppendVarint(dst, ann)
+	dst = binary.AppendVarint(dst, int64(f.annVal))
+	dst = binary.AppendVarint(dst, then)
+	dst = binary.AppendVarint(dst, els)
+	dst = append(dst, f.pc)
+	return binary.AppendVarint(dst, int64(f.ret)), true
+}
+
+var (
+	_ memsim.NormAppender = (*readRetFrame)(nil)
+	_ memsim.NormAppender = (*writeOneFrame)(nil)
+	_ memsim.NormAppender = (*spinNonzeroFrame)(nil)
+	_ memsim.NormAppender = (*announcePollFrame)(nil)
+)

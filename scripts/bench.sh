@@ -4,8 +4,12 @@
 # Runs `go test -bench -benchmem` across the module and writes one JSON
 # array to BENCH_results.json (override with OUT), one object per
 # benchmark: {"name", "iterations", "ns_per_op", "bytes_per_op",
-# "allocs_per_op"}. CI and trend tooling consume the JSON; the raw `go
-# test` output streams to stderr so interactive runs stay readable.
+# "allocs_per_op", "states_per_op"}. states_per_op is the deterministic
+# states-visited metric the POR benchmarks (BenchmarkExplorePOR,
+# BenchmarkWorstCasePOR) report via b.ReportMetric("states/op") — null
+# for benchmarks that do not report it. CI and trend tooling consume the
+# JSON; the raw `go test` output streams to stderr so interactive runs
+# stay readable.
 #
 # Environment knobs:
 #   BENCH     benchmark regexp (default ".")
@@ -42,18 +46,20 @@ fi
 # column (failures, package headers) are skipped.
 awk '
 $1 ~ /^Benchmark/ {
-    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""; states = ""
     for (i = 3; i < NF; i++) {
         if ($(i + 1) == "ns/op") ns = $i
         if ($(i + 1) == "B/op") bytes = $i
         if ($(i + 1) == "allocs/op") allocs = $i
+        if ($(i + 1) == "states/op") states = $i
     }
     if (ns == "") next
     if (bytes == "") bytes = "null"
     if (allocs == "") allocs = "null"
+    if (states == "") states = "null"
     if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-        name, iters, ns, bytes, allocs
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"states_per_op\": %s}", \
+        name, iters, ns, bytes, allocs, states
 }
 BEGIN { printf "[\n" }
 END { if (n) printf "\n"; printf "]\n" }

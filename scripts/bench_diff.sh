@@ -16,12 +16,17 @@
 # Environment knobs:
 #   THRESHOLD        max tolerated ns/op growth in percent (default 25)
 #   ALLOC_THRESHOLD  max tolerated allocs/op growth in percent (default 25)
+#   STATES_THRESHOLD max tolerated states_per_op growth in percent
+#                    (default 0 — the metric is a deterministic function
+#                    of the workload, so ANY growth means a reduction or
+#                    dedup regression, not noise)
 #   BENCHTIME        forwarded to bench.sh for the fresh run (default 100ms)
 #
 # Absolute ns/op differs across machines, so cross-machine ns/op
 # comparisons (committed baseline vs CI hardware) are advisory — CI runs
-# this with continue-on-error. allocs/op is machine-independent and is a
-# real gate anywhere. On one machine both are hard gates.
+# this with continue-on-error. allocs/op and states_per_op are
+# machine-independent and are real gates anywhere. On one machine all
+# three are hard gates.
 #
 # Run from the repository root.
 set -eu
@@ -30,6 +35,7 @@ BASE="${1:-BENCH_results.json}"
 CUR="${2:-}"
 THRESHOLD="${THRESHOLD:-25}"
 ALLOC_THRESHOLD="${ALLOC_THRESHOLD:-25}"
+STATES_THRESHOLD="${STATES_THRESHOLD:-0}"
 
 if [ ! -f "$BASE" ]; then
     echo "bench_diff.sh: baseline $BASE not found" >&2
@@ -74,9 +80,22 @@ alloc_regressions=$(jq -n --slurpfile base "$BASE" --slurpfile cur "$CUR" --argj
     | map(select(.pct > $t))
 ')
 
+# states_per_op is deterministic (schedule-space size, not timing), so
+# the default tolerance is zero: a benchmark visiting even one state more
+# than its baseline is a real reduction/dedup regression. Baselines
+# without the field (pre-gate results) contribute nothing.
+states_regressions=$(jq -n --slurpfile base "$BASE" --slurpfile cur "$CUR" --argjson t "$STATES_THRESHOLD" '
+    ($base[0] | map(select(.states_per_op != null)) | map({(.name): .states_per_op}) | add // {}) as $b
+    | $cur[0]
+    | map(select(.states_per_op != null and $b[.name] != null and $b[.name] > 0))
+    | map({name, base: $b[.name], now: .states_per_op,
+           pct: (((.states_per_op - $b[.name]) / $b[.name]) * 100)})
+    | map(select(.pct > $t))
+')
+
 compared=$(jq -n --slurpfile base "$BASE" --slurpfile cur "$CUR" '
     ($base[0] | map(.name)) as $names | $cur[0] | map(select(.name as $n | $names | index($n))) | length')
-echo "bench_diff.sh: compared $compared benchmarks against $BASE (ns/op threshold ${THRESHOLD}%, allocs/op threshold ${ALLOC_THRESHOLD}%)" >&2
+echo "bench_diff.sh: compared $compared benchmarks against $BASE (ns/op threshold ${THRESHOLD}%, allocs/op threshold ${ALLOC_THRESHOLD}%, states threshold ${STATES_THRESHOLD}%)" >&2
 
 failed=0
 if [ "$(printf '%s' "$regressions" | jq 'length')" -ne 0 ]; then
@@ -87,6 +106,11 @@ fi
 if [ "$(printf '%s' "$alloc_regressions" | jq 'length')" -ne 0 ]; then
     echo "bench_diff.sh: allocs/op regressions beyond ${ALLOC_THRESHOLD}%:" >&2
     printf '%s\n' "$alloc_regressions" | jq -r '.[] | "  \(.name): \(.base) -> \(.now) allocs/op (+\(.pct)%)"' >&2
+    failed=1
+fi
+if [ "$(printf '%s' "$states_regressions" | jq 'length')" -ne 0 ]; then
+    echo "bench_diff.sh: states_visited regressions beyond ${STATES_THRESHOLD}%:" >&2
+    printf '%s\n' "$states_regressions" | jq -r '.[] | "  \(.name): \(.base) -> \(.now) states/op"' >&2
     failed=1
 fi
 if [ "$failed" -ne 0 ]; then
