@@ -61,6 +61,12 @@ func run(args []string, out io.Writer) error {
 		"layer partial-order + symmetry reduction on the dedup engine (same verdict, fewer states visited)")
 	workers := fs.Int("workers", 0,
 		"exploration workers sharding the schedule tree (0 = one per core); results are identical for every count")
+	faults := fs.Int("faults", 0,
+		"fault budget k: schedules may crash processes or drop CAS responses up to k times (0 = no faults)")
+	faultKinds := fs.String("fault-kinds", "",
+		"comma-separated fault kinds to inject: crash, lostcas (default crash,lostcas when -faults > 0)")
+	faultVol := fs.String("fault-vol", "",
+		"crash volatility: stable (frame lost only) or owned (owned words revert to initial values); default stable")
 	jsonOut := fs.Bool("json", false, "print the full result as one JSON object")
 	ckPath := fs.String("checkpoint", "",
 		"snapshot file for a durable exploration; a killed run resumes with -resume")
@@ -82,14 +88,17 @@ func run(args []string, out io.Writer) error {
 
 	dv := *dedup
 	spec := jobspec.Spec{
-		Kind:    jobspec.KindExplore,
-		Alg:     *algName,
-		Waiters: *waiters,
-		Polls:   *polls,
-		Depth:   *depth,
-		Dedup:   &dv,
-		Reduce:  *reduce,
-		Workers: *workers,
+		Kind:       jobspec.KindExplore,
+		Alg:        *algName,
+		Waiters:    *waiters,
+		Polls:      *polls,
+		Depth:      *depth,
+		Dedup:      &dv,
+		Reduce:     *reduce,
+		Workers:    *workers,
+		Faults:     *faults,
+		FaultKinds: *faultKinds,
+		FaultVol:   *faultVol,
 	}
 	cfg, err := spec.ExploreConfig()
 	if err != nil {

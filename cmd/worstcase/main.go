@@ -79,6 +79,12 @@ func run(args []string, out, errOut io.Writer) error {
 		"search workers (0 = one per core); results are identical for every count")
 	reduce := fs.Bool("reduce", false,
 		"partial-order + symmetry reduction (exhaustive mode; same worst cost, fewer states visited)")
+	faults := fs.Int("faults", 0,
+		"fault budget k: schedules may crash processes or drop CAS responses up to k times (0 = no faults)")
+	faultKinds := fs.String("fault-kinds", "",
+		"comma-separated fault kinds to inject: crash, lostcas (default crash,lostcas when -faults > 0)")
+	faultVol := fs.String("fault-vol", "",
+		"crash volatility: stable (frame lost only) or owned (owned words revert to initial values); default stable")
 	jsonOut := fs.Bool("json", false, "print the full result as one JSON object")
 	ckPath := fs.String("checkpoint", "",
 		"snapshot file for a durable exhaustive run; a killed run resumes with -resume")
@@ -104,17 +110,20 @@ func run(args []string, out, errOut io.Writer) error {
 	defer stopProf() // covers clean exits and the SIGINT exit-code-3 path
 
 	spec := jobspec.Spec{
-		Kind:    jobspec.KindWorstcase,
-		Alg:     *algName,
-		Model:   *modelName,
-		Waiters: *waiters,
-		Polls:   *polls,
-		Depth:   *depth,
-		Mode:    *mode,
-		Seed:    *seed,
-		Walks:   *walks,
-		Reduce:  *reduce,
-		Workers: *workers,
+		Kind:       jobspec.KindWorstcase,
+		Alg:        *algName,
+		Model:      *modelName,
+		Waiters:    *waiters,
+		Polls:      *polls,
+		Depth:      *depth,
+		Mode:       *mode,
+		Seed:       *seed,
+		Walks:      *walks,
+		Reduce:     *reduce,
+		Workers:    *workers,
+		Faults:     *faults,
+		FaultKinds: *faultKinds,
+		FaultVol:   *faultVol,
 	}
 	cfg, err := spec.SearchConfig()
 	if err != nil {

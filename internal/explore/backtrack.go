@@ -92,13 +92,20 @@ type bengine struct {
 	sigEnded    bool   // some Signal call has completed
 	afterSigEnd []bool // per process: open call began after the first Signal completed
 
+	// Fault dimension: the policy in force and the number of faults the
+	// current schedule prefix has injected. faultsUsed joins the state
+	// key whenever the policy is enabled — a state reached with budget
+	// left must never merge with the same state reached without.
+	fp         memsim.FaultPolicy
+	faultsUsed int
+
 	// Hot-path scratch, all engine-owned and reused node to node: the
-	// state-key build buffer, per-(pid, start) precomputed choice
+	// state-key build buffer, per-(pid, kind) precomputed choice
 	// descriptions, per-depth settle buffers, and the free list of
 	// released node snapshots. See "hot-path memory discipline" in
 	// docs/ARCHITECTURE.md.
 	keyBuf     []byte
-	descs      [][2]string
+	descs      [][4]string
 	choiceBufs [][]choice
 	markPool   []*mark
 }
@@ -113,9 +120,12 @@ func newBengine(cfg Config) (*bengine, error) {
 	if !ok {
 		return nil, fmt.Errorf("explore: %T has no resumable tier; use EngineReplay", inst)
 	}
-	descs := make([][2]string, cfg.N)
+	descs := make([][4]string, cfg.N)
 	for pid := range descs {
-		descs[pid] = [2]string{fmt.Sprintf("p%d", pid), fmt.Sprintf("p%d+", pid)}
+		descs[pid] = [4]string{
+			fmt.Sprintf("p%d", pid), fmt.Sprintf("p%d+", pid),
+			fmt.Sprintf("p%d!", pid), fmt.Sprintf("p%d?", pid),
+		}
 	}
 	return &bengine{
 		mach:     m,
@@ -131,6 +141,8 @@ func newBengine(cfg Config) (*bengine, error) {
 		progress: make([]int, cfg.N),
 
 		afterSigEnd: make([]bool, cfg.N),
+
+		fp: cfg.Faults,
 
 		descs: descs,
 	}, nil
@@ -224,6 +236,25 @@ func (e *bengine) settleInto(choices []choice) []choice {
 			choices = append(choices, choice{pid: p, start: true})
 		}
 	}
+	// Fault choice points come after every regular choice, so the
+	// fault-free enumeration is a prefix of the faulty one and a disabled
+	// policy changes nothing. The order mirrors appendFaultChoices (the
+	// replay engine's version) exactly: PID order, crash before lost CAS.
+	if e.fp.Enabled() && e.faultsUsed < e.fp.Max {
+		for pid := 0; pid < e.n; pid++ {
+			p := memsim.PID(pid)
+			if e.phase[p] != bPending {
+				continue
+			}
+			if e.fp.Kinds.Has(memsim.FaultCrash) {
+				choices = append(choices, choice{pid: p, fault: memsim.FaultCrash})
+			}
+			if e.fp.Kinds.Has(memsim.FaultLostCAS) && e.pending[p].Op == memsim.OpCAS &&
+				e.mach.Load(e.pending[p].Addr) == e.pending[p].Arg1 {
+				choices = append(choices, choice{pid: p, fault: memsim.FaultLostCAS})
+			}
+		}
+	}
 	return choices
 }
 
@@ -234,6 +265,42 @@ func (e *bengine) settleInto(choices []choice) []choice {
 // hand off subtrees).
 func (e *bengine) apply(c choice, idx int) error {
 	p := c.pid
+	switch c.fault {
+	case memsim.FaultCrash:
+		// Mirror Controller.Crash: the in-flight call is abandoned (frame
+		// dropped, call count rewound so the restart reuses its CallSeq),
+		// the script position rewinds so the same call restarts, and the
+		// machine applies the fault's memory effect through the undo log.
+		e.undos = e.mach.CrashLogged(p, e.fp.Vol, e.undos)
+		e.calls[p]--
+		e.progress[p]--
+		e.emit(memsim.Event{
+			Kind: memsim.EvCrash, PID: p, CallSeq: e.calls[p],
+			Proc: e.kinds[p].String(), Fault: memsim.FaultCrash,
+		})
+		e.phase[p] = bIdle
+		e.frames[p] = nil
+		e.faultsUsed++
+		e.desc = append(e.desc, e.descs[p][2])
+		e.path = append(e.path, idx)
+		return nil
+	case memsim.FaultLostCAS:
+		// Mirror Controller.StepLostCAS: memory applies the real CAS (the
+		// event carries the true result plus the fault marker) while the
+		// frame observes failure.
+		acc := e.pending[p]
+		res, undo := e.mach.ApplyLogged(p, acc)
+		e.undos = append(e.undos, undo)
+		e.emit(memsim.Event{
+			Kind: memsim.EvAccess, PID: p, CallSeq: e.calls[p] - 1,
+			Proc: e.kinds[p].String(), Acc: acc, Res: res, Fault: memsim.FaultLostCAS,
+		})
+		e.advance(p, memsim.Result{Val: acc.Arg1, OK: false})
+		e.faultsUsed++
+		e.desc = append(e.desc, e.descs[p][3])
+		e.path = append(e.path, idx)
+		return nil
+	}
 	if c.start {
 		kind := e.scripts[p][e.progress[p]]
 		r, err := e.inst.ResumableProgram(p, kind)
@@ -291,6 +358,8 @@ type mark struct {
 	sigStarted  bool
 	sigEnded    bool
 	afterSigEnd []bool
+
+	faultsUsed int
 }
 
 func newMark(n int) *mark {
@@ -327,6 +396,7 @@ func (e *bengine) save() *mark {
 	m.sigStarted = e.sigStarted
 	m.sigEnded = e.sigEnded
 	copy(m.afterSigEnd, e.afterSigEnd)
+	m.faultsUsed = e.faultsUsed
 	// Mark-owned frames never alias engine-owned frames: CloneResumableInto
 	// copies content into the mark's retained clone (or makes a fresh one),
 	// so further engine steps cannot disturb the snapshot.
@@ -368,6 +438,7 @@ func (e *bengine) restore(m *mark) {
 	e.sigStarted = m.sigStarted
 	e.sigEnded = m.sigEnded
 	copy(e.afterSigEnd, m.afterSigEnd)
+	e.faultsUsed = m.faultsUsed
 }
 
 // stateKey hashes the canonical post-settle state: machine word values and
@@ -385,6 +456,12 @@ func (e *bengine) restore(m *mark) {
 func (e *bengine) stateKey() [16]byte {
 	b := e.mach.AppendKeyState(e.keyBuf[:0])
 	b = append(b, boolBit(e.sigStarted)|boolBit(e.sigEnded)<<1)
+	if e.fp.Enabled() {
+		// The remaining fault budget shapes the subtree below a state, so
+		// faults-used joins the key — but only under an enabled policy,
+		// keeping k=0 keys byte-identical to fault-free ones.
+		b = binary.AppendUvarint(b, uint64(e.faultsUsed))
+	}
 	for pid := 0; pid < e.n; pid++ {
 		p := memsim.PID(pid)
 		if e.scripts[p] == nil {
@@ -428,6 +505,9 @@ func (e *bengine) stateKeyLegacy() [16]byte {
 		}
 	}
 	fmt.Fprintf(h, "sig%v,%v;", e.sigStarted, e.sigEnded)
+	if e.fp.Enabled() {
+		fmt.Fprintf(h, "faults%d;", e.faultsUsed)
+	}
 	for pid := 0; pid < e.n; pid++ {
 		p := memsim.PID(pid)
 		if e.scripts[p] == nil {

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/memsim"
@@ -41,6 +42,50 @@ func porBenchConfigs() map[string]Config {
 			MaxDepth: 80,
 			Check:    specCheck,
 		},
+	}
+}
+
+// BenchmarkExploreFaults measures the fault-extended schedule space on
+// the reduced engine: the 4-waiter flag and fixed-waiters spaces at
+// fault budgets 0, 1 and 2 (all kinds, stable volatility — both
+// workloads hold Specification 4.1 there at every budget). k=0 doubles
+// as the no-fault-overhead baseline: its states/op must stay exactly
+// the fault-free figure. Every reported metric is deterministic.
+func BenchmarkExploreFaults(b *testing.B) {
+	waiters := func(n, polls int) map[memsim.PID][]memsim.CallKind {
+		scripts := make(map[memsim.PID][]memsim.CallKind, n+1)
+		for p := 0; p < n; p++ {
+			s := make([]memsim.CallKind, polls)
+			for i := range s {
+				s[i] = memsim.CallPoll
+			}
+			scripts[memsim.PID(p)] = s
+		}
+		scripts[memsim.PID(n)] = []memsim.CallKind{memsim.CallSignal}
+		return scripts
+	}
+	configs := map[string]Config{
+		"flag-w4-d12":  {Factory: signal.Flag().New, N: 5, Scripts: waiters(4, 2), MaxDepth: 12, Check: specCheck},
+		"fixed-w4-d12": {Factory: signal.FixedWaiters().New, N: 5, Scripts: waiters(4, 2), MaxDepth: 12, Check: specCheck},
+	}
+	for name, cfg := range configs {
+		for _, k := range []int{0, 1, 2} {
+			b.Run(fmt.Sprintf("%s/k%d", name, k), func(b *testing.B) {
+				c := cfg
+				c.Engine = EngineBacktrackDedupPOR
+				c.Faults = memsim.FaultPolicy{Max: k, Kinds: memsim.SetCrash | memsim.SetLostCAS}
+				b.ReportAllocs()
+				var res *Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					if res, err = Run(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.Paths+res.StatesDeduped), "states/op")
+				b.ReportMetric(float64(res.Paths), "paths/op")
+			})
+		}
 	}
 }
 

@@ -69,6 +69,12 @@ func Fingerprint(tag string, cfg Config, shardDepth int, dedup, reduce bool) str
 	var b strings.Builder
 	fmt.Fprintf(&b, "explore|%s|n=%d|depth=%d|engine=%s|shard=%d|scripts=",
 		tag, cfg.N, cfg.MaxDepth, engine, shardDepth)
+	if cfg.Faults.Enabled() {
+		// Fault configs must never resume into fault-free snapshots (or
+		// vice versa): the marker is appended only when enabled, keeping
+		// k=0 fingerprints byte-identical to pre-fault ones.
+		fmt.Fprintf(&b, "faults[%s]|", cfg.Faults)
+	}
 	for pid := 0; pid < cfg.N; pid++ {
 		script, ok := cfg.Scripts[memsim.PID(pid)]
 		if !ok {
@@ -155,7 +161,7 @@ func (w *searcher) shallowPass(d int, units *[][]int) error {
 		}
 		m := w.e.save()
 		for i, c := range choices {
-			if por && sleep&(1<<uint(c.pid)) != 0 {
+			if por && c.fault == memsim.FaultNone && sleep&(1<<uint(c.pid)) != 0 {
 				w.stepsSlept++
 				continue
 			}
@@ -224,7 +230,7 @@ func (w *searcher) runUnit(t task) error {
 	}
 	m := w.e.save()
 	for i, c := range choices {
-		if por && sleep&(1<<uint(c.pid)) != 0 {
+		if por && c.fault == memsim.FaultNone && sleep&(1<<uint(c.pid)) != 0 {
 			w.stepsSlept++
 			continue
 		}

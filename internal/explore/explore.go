@@ -102,6 +102,13 @@ type Config struct {
 	// means GOMAXPROCS. Results are identical for every worker count;
 	// the replay engine ignores Workers and always runs sequentially.
 	Workers int
+	// Faults bounds the fault dimension of the schedule space: schedules
+	// may additionally crash a process at a pending access, or drop the
+	// response of a succeeding CAS, up to Faults.Max faults per schedule.
+	// The zero policy is disabled and leaves every engine's behavior —
+	// results, state keys, checkpoint fingerprints — byte-identical to a
+	// fault-free exploration.
+	Faults memsim.FaultPolicy
 }
 
 // Result summarizes an exploration.
@@ -135,15 +142,25 @@ type Result struct {
 	Workers int
 }
 
-// choice is one scheduling decision: apply pid's pending access, or start
-// pid's next scripted call.
+// choice is one scheduling decision: apply pid's pending access, start
+// pid's next scripted call, or — under an enabled FaultPolicy — inject a
+// fault at pid's pending access (crash the process, or apply its CAS and
+// drop the response).
 type choice struct {
 	pid   memsim.PID
 	start bool
+	fault memsim.FaultKind
 }
 
-// String renders the choice compactly, e.g. "p0" or "p1+".
+// String renders the choice compactly: "p0" step, "p1+" call start,
+// "p0!" crash, "p0?" lost CAS.
 func (c choice) String() string {
+	switch c.fault {
+	case memsim.FaultCrash:
+		return fmt.Sprintf("p%d!", c.pid)
+	case memsim.FaultLostCAS:
+		return fmt.Sprintf("p%d?", c.pid)
+	}
 	if c.start {
 		return fmt.Sprintf("p%d+", c.pid)
 	}
@@ -238,13 +255,14 @@ func replayPath(cfg Config, path []int) (*memsim.Execution, [][]choice, bool, er
 	}
 	progress := make(map[memsim.PID]int, len(cfg.Scripts))
 	var choiceSets [][]choice
-	depth := 0
+	depth, faultsUsed := 0, 0
 	for {
 		choices, err := settle(exec, cfg.Scripts, progress)
 		if err != nil {
 			exec.Close()
 			return nil, nil, false, err
 		}
+		choices = appendFaultChoices(choices, exec, cfg.Faults, faultsUsed)
 		if len(choices) == 0 {
 			return exec, choiceSets, false, nil
 		}
@@ -261,18 +279,61 @@ func replayPath(cfg Config, path []int) (*memsim.Execution, [][]choice, bool, er
 		}
 		choiceSets = append(choiceSets, choices)
 		c := choices[idx]
-		if c.start {
+		switch {
+		case c.fault == memsim.FaultCrash:
+			if _, err := exec.Crash(c.pid, cfg.Faults.Vol); err != nil {
+				exec.Close()
+				return nil, nil, false, err
+			}
+			progress[c.pid]-- // the crashed call restarts from the top
+			faultsUsed++
+		case c.fault == memsim.FaultLostCAS:
+			if _, err := exec.StepLostCAS(c.pid); err != nil {
+				exec.Close()
+				return nil, nil, false, err
+			}
+			faultsUsed++
+		case c.start:
 			if err := exec.Start(c.pid, cfg.Scripts[c.pid][progress[c.pid]]); err != nil {
 				exec.Close()
 				return nil, nil, false, err
 			}
 			progress[c.pid]++
-		} else if _, err := exec.Step(c.pid); err != nil {
-			exec.Close()
-			return nil, nil, false, err
+		default:
+			if _, err := exec.Step(c.pid); err != nil {
+				exec.Close()
+				return nil, nil, false, err
+			}
 		}
 		depth++
 	}
+}
+
+// appendFaultChoices appends the fault choice points the policy admits
+// in the current state: after every regular choice (so fault-free
+// enumeration is a prefix and k=0 is byte-identical to a disabled
+// policy), one crash choice per process with a pending access and one
+// lost-CAS choice per process whose pending CAS would succeed, in PID
+// order with the crash before the lost CAS.
+func appendFaultChoices(choices []choice, exec *memsim.Execution, fp memsim.FaultPolicy, faultsUsed int) []choice {
+	if !fp.Enabled() || faultsUsed >= fp.Max {
+		return choices
+	}
+	for pid := 0; pid < exec.N(); pid++ {
+		p := memsim.PID(pid)
+		acc, ok := exec.Pending(p)
+		if !ok {
+			continue
+		}
+		if fp.Kinds.Has(memsim.FaultCrash) {
+			choices = append(choices, choice{pid: p, fault: memsim.FaultCrash})
+		}
+		if fp.Kinds.Has(memsim.FaultLostCAS) && acc.Op == memsim.OpCAS &&
+			exec.Machine().Load(acc.Addr) == acc.Arg1 {
+			choices = append(choices, choice{pid: p, fault: memsim.FaultLostCAS})
+		}
+	}
+	return choices
 }
 
 // settle collects completed calls (eagerly, so call-end events get the

@@ -227,10 +227,12 @@ func (w *searcher) dfs(depth int, sleep uint64) error {
 	m := w.e.save()
 	first := true
 	for i, c := range choices {
-		if por && sleep&(1<<uint(c.pid)) != 0 {
+		if por && c.fault == memsim.FaultNone && sleep&(1<<uint(c.pid)) != 0 {
 			// A sleeping process's subtree only contains schedules that
 			// commute into an earlier sibling's subtree; skip it. Counted
-			// at claimed nodes only, so the tally is deterministic.
+			// at claimed nodes only, so the tally is deterministic. Fault
+			// choices never sleep: a sleep bit argues about the pid's
+			// ordinary step, not about crashing it.
 			w.stepsSlept++
 			continue
 		}

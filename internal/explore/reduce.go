@@ -138,6 +138,13 @@ func readClass(op memsim.Op) bool {
 //	      calls' starts (those starts are in the common past), so only
 //	      memory effects and the completion latches above matter.
 func (e *bengine) indepAfterApply(u, c choice, cAcc memsim.Access) bool {
+	// Fault choices are conservatively dependent with everything: a crash
+	// rewinds call bookkeeping and (under VolOwned) rewrites a whole
+	// module, and a lost CAS decouples the memory effect from the frame's
+	// observation — neither commutes by the step-local rules below.
+	if u.fault != memsim.FaultNone || c.fault != memsim.FaultNone {
+		return false
+	}
 	if c.start {
 		if u.start {
 			return true
@@ -192,7 +199,10 @@ func (r *reduction) earlierMasks(choices []choice, out []uint64) {
 		ri := r.rankOf(c.pid)
 		var m uint64
 		for _, u := range choices {
-			if u.pid != c.pid && r.rankOf(u.pid) < ri {
+			// A fault sibling never contributes its PID bit: putting the
+			// bit to sleep would (unsoundly) also skip the pid's ordinary
+			// step choice, which shares the bit.
+			if u.pid != c.pid && u.fault == memsim.FaultNone && r.rankOf(u.pid) < ri {
 				m |= 1 << uint(u.pid)
 			}
 		}
@@ -206,11 +216,16 @@ func (r *reduction) earlierMasks(choices []choice, out []uint64) {
 // elsewhere), keep those whose choice commutes with the applied one. Must
 // be called immediately after e.apply(choices[idx]).
 func (r *reduction) childSleep(sleep, earlier uint64, choices []choice, idx int, cAcc memsim.Access) uint64 {
+	c := choices[idx]
+	if c.fault != memsim.FaultNone {
+		// A fault drains the sleep set: it is dependent with every
+		// sibling (see indepAfterApply), so nothing stays asleep below it.
+		return 0
+	}
 	cur := sleep | earlier
 	if cur == 0 {
 		return 0
 	}
-	c := choices[idx]
 	var out uint64
 	for _, u := range choices {
 		if u.pid == c.pid {
@@ -422,6 +437,10 @@ func (r *reduction) stateKey(sleep uint64) (key [16]byte, merged bool) {
 		}
 	}
 	b = append(b, boolBit(e.sigStarted)|boolBit(e.sigEnded)<<1)
+	if e.fp.Enabled() {
+		// Fault budget consumed so far; see bengine.stateKey.
+		b = binary.AppendUvarint(b, uint64(e.faultsUsed))
+	}
 	for pid := 0; pid < e.n; pid++ {
 		p := memsim.PID(pid)
 		if e.scripts[p] == nil || inSorted(p) {

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/sched"
+)
+
+// TestRunWithCrashes: a fault-injecting scheduler crashes processes
+// mid-call; each crashed call vanishes without a Done report, so the
+// completed-call count drops by exactly the number of EvCrash events,
+// and the run still drives every process out of work.
+func TestRunWithCrashes(t *testing.T) {
+	w := newCountWorkload(3, 4)
+	fs := sched.NewFaultInjecting(sched.NewRandom(1),
+		memsim.FaultPolicy{Max: 2, Kinds: memsim.SetCrash}, 1.0, 7)
+	res, err := Run(Config{Workload: w, Scheduler: fs, KeepEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := 0
+	for _, ev := range res.Events {
+		if ev.Kind == memsim.EvCrash {
+			crashes++
+		}
+	}
+	// The scheduler only ever targets ready (pending) processes, so every
+	// crash decision is legal and the full budget lands.
+	if crashes != 2 || fs.Injected() != 2 {
+		t.Fatalf("crashes = %d, Injected() = %d, want 2 and 2", crashes, fs.Injected())
+	}
+	if want := 3*4 - crashes; res.Calls != want || w.done != want {
+		t.Fatalf("Calls = %d, workload done = %d, want %d (crashed calls never complete)",
+			res.Calls, w.done, want)
+	}
+}
+
+// TestRunDowngradesIllegalLostCAS: lost-CAS decisions against a workload
+// that never issues a CAS all downgrade to ordinary steps — the budget is
+// consumed but the run is indistinguishable from a fault-free one.
+func TestRunDowngradesIllegalLostCAS(t *testing.T) {
+	w := newCountWorkload(3, 4)
+	fs := sched.NewFaultInjecting(sched.NewRandom(1),
+		memsim.FaultPolicy{Max: 3, Kinds: memsim.SetLostCAS}, 1.0, 7)
+	res, err := Run(Config{Workload: w, Scheduler: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Injected() != 3 {
+		t.Fatalf("Injected() = %d, want the full budget 3 (downgrades still consume it)", fs.Injected())
+	}
+	if res.Calls != 12 || w.done != 12 {
+		t.Fatalf("Calls = %d, done = %d, want 12 (downgraded faults lose no calls)", res.Calls, w.done)
+	}
+}
+
+// TestFaultRunDeterministic: identically seeded fault-injecting runs
+// produce identical traces.
+func TestFaultRunDeterministic(t *testing.T) {
+	run := func() []memsim.Event {
+		fs := sched.NewFaultInjecting(sched.NewRandom(3),
+			memsim.FaultPolicy{Max: 2, Kinds: memsim.SetCrash, Vol: memsim.VolOwned}, 0.2, 11)
+		res, err := Run(Config{Workload: newPingWorkload(3, 3), Scheduler: fs, KeepEvents: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Events
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("identically seeded fault runs diverged")
+	}
+}

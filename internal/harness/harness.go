@@ -254,6 +254,30 @@ func Run(cfg Config) (*Result, error) {
 		_, err := ctl.Step(cfg.Scheduler.Next(ready))
 		return err
 	}
+	if fs, ok := cfg.Scheduler.(sched.FaultScheduler); ok {
+		// A fault-aware scheduler may crash the chosen process or drop its
+		// CAS response instead of stepping it. The crashed call vanishes
+		// without a Done report (it never completed); the process is idle
+		// next round and Next mints its following call. Illegal lost-CAS
+		// decisions (the pending access is not a CAS, or it would fail
+		// anyway) downgrade to ordinary steps.
+		step = func(ready []memsim.PID) error {
+			pid, kind := fs.NextFault(ready)
+			switch kind {
+			case memsim.FaultCrash:
+				_, err := ctl.Crash(pid, fs.Vol())
+				return err
+			case memsim.FaultLostCAS:
+				if acc, ok := ctl.Pending(pid); ok && acc.Op == memsim.OpCAS &&
+					m.Load(acc.Addr) == acc.Arg1 {
+					_, err := ctl.StepLostCAS(pid)
+					return err
+				}
+			}
+			_, err := ctl.Step(pid)
+			return err
+		}
+	}
 	if sw, ok := w.(SteppedWorkload); ok {
 		if s := sw.Stepper(ctl, cfg.Scheduler); s != nil {
 			step = s

@@ -1,0 +1,129 @@
+package jobspec_test
+
+// Fault-field plumbing of the job surface: validation and defaulting in
+// Normalize, compilation to the memsim policy, and the byte-identity of
+// fault-free JSON documents (no fault keys may appear at faults=0 —
+// that's the contract that keeps pre-fault golden documents valid).
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/errs"
+	"repro/internal/explore"
+	"repro/internal/jobspec"
+	"repro/internal/memsim"
+	"repro/internal/search"
+)
+
+// TestNormalizeFaultDefaults: faults > 0 fills the kind and volatility
+// defaults; faults == 0 leaves them empty.
+func TestNormalizeFaultDefaults(t *testing.T) {
+	s := &jobspec.Spec{Kind: jobspec.KindExplore, Faults: 1}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.FaultKinds != "crash,lostcas" || s.FaultVol != "stable" {
+		t.Fatalf("fault defaults = %q/%q, want crash,lostcas/stable", s.FaultKinds, s.FaultVol)
+	}
+	z := &jobspec.Spec{Kind: jobspec.KindExplore}
+	if err := z.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if z.Faults != 0 || z.FaultKinds != "" || z.FaultVol != "" {
+		t.Fatalf("fault-free spec normalized to %+v", z)
+	}
+}
+
+// TestNormalizeFaultRejects: negative budgets, fault options without a
+// budget, and unknown kinds/volatilities are invalid-input Failures.
+func TestNormalizeFaultRejects(t *testing.T) {
+	for name, s := range map[string]jobspec.Spec{
+		"negative":          {Kind: jobspec.KindExplore, Faults: -1},
+		"kinds-no-budget":   {Kind: jobspec.KindExplore, FaultKinds: "crash"},
+		"vol-no-budget":     {Kind: jobspec.KindExplore, FaultVol: "owned"},
+		"unknown-kind":      {Kind: jobspec.KindExplore, Faults: 1, FaultKinds: "meteor"},
+		"unknown-vol":       {Kind: jobspec.KindExplore, Faults: 1, FaultVol: "ecc"},
+		"worstcase-rejects": {Kind: jobspec.KindWorstcase, Faults: 2, FaultKinds: "lostcas,meteor"},
+	} {
+		s := s
+		if err := s.Normalize(); !errs.IsFailure(err) || errs.CodeOf(err) != errs.CodeInvalid {
+			t.Errorf("%s: got %v, want invalid Failure", name, err)
+		}
+	}
+}
+
+// TestFaultPolicyCompiles: both compile methods thread the policy into
+// their Configs, and the zero spec compiles to the disabled policy.
+func TestFaultPolicyCompiles(t *testing.T) {
+	s := jobspec.Spec{Kind: jobspec.KindWorstcase, Faults: 2, FaultKinds: "crash", FaultVol: "owned"}
+	cfg, err := s.SearchConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := memsim.FaultPolicy{Max: 2, Kinds: memsim.SetCrash, Vol: memsim.VolOwned}
+	if cfg.Faults != want {
+		t.Fatalf("search config faults = %+v, want %+v", cfg.Faults, want)
+	}
+	e := jobspec.Spec{Kind: jobspec.KindExplore, Faults: 1}
+	ecfg, err := e.ExploreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ewant := memsim.FaultPolicy{Max: 1, Kinds: memsim.SetCrash | memsim.SetLostCAS, Vol: memsim.VolStable}
+	if ecfg.Faults != ewant {
+		t.Fatalf("explore config faults = %+v, want %+v", ecfg.Faults, ewant)
+	}
+	z := jobspec.Spec{Kind: jobspec.KindWorstcase}
+	zcfg, err := z.SearchConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zcfg.Faults.Enabled() {
+		t.Fatalf("fault-free spec compiled an enabled policy: %+v", zcfg.Faults)
+	}
+}
+
+// TestDocFaultFields: fault-free documents contain no fault keys at all
+// (byte-identity with pre-fault documents); fault-enabled documents echo
+// the normalized policy.
+func TestDocFaultFields(t *testing.T) {
+	s := jobspec.Spec{Kind: jobspec.KindWorstcase}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := &search.Result{Model: "dsm"}
+	b, err := json.Marshal(jobspec.NewWorstcaseDoc(&s, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "fault") {
+		t.Fatalf("fault-free worstcase doc mentions faults: %s", b)
+	}
+	e := jobspec.Spec{Kind: jobspec.KindExplore}
+	if err := e.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	eb, err := json.Marshal(jobspec.NewExploreDoc(&e, &explore.Result{}, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(eb), "fault") {
+		t.Fatalf("fault-free explore doc mentions faults: %s", eb)
+	}
+
+	f := jobspec.Spec{Kind: jobspec.KindWorstcase, Faults: 1, FaultVol: "owned"}
+	if err := f.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := json.Marshal(jobspec.NewWorstcaseDoc(&f, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"faults":1`, `"faultKinds":"crash,lostcas"`, `"faultVol":"owned"`} {
+		if !strings.Contains(string(fb), frag) {
+			t.Errorf("fault-enabled doc missing %s: %s", frag, fb)
+		}
+	}
+}

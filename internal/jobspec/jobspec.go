@@ -60,6 +60,19 @@ type Spec struct {
 	// Workers overrides the worker count (0 = one per core). Results are
 	// identical for every value.
 	Workers int `json:"workers,omitempty"`
+	// Faults bounds the fault dimension of the schedule space: up to
+	// Faults crash/lost-CAS choice points per schedule. Zero (the
+	// default) disables faults and keeps every result byte-identical to
+	// pre-fault documents.
+	Faults int `json:"faults,omitempty"`
+	// FaultKinds selects the injected fault kinds as a comma-separated
+	// list ("crash", "lostcas"); default "crash,lostcas" when Faults > 0.
+	FaultKinds string `json:"faultKinds,omitempty"`
+	// FaultVol is the crash volatility model: "stable" (crashes lose only
+	// the process's frame) or "owned" (the crashed process's owned memory
+	// words additionally revert to their initial values); default
+	// "stable".
+	FaultVol string `json:"faultVol,omitempty"`
 }
 
 // Normalize validates s and fills every defaulted field in place. It is
@@ -92,6 +105,27 @@ func (s *Spec) Normalize() error {
 	if s.Depth <= 0 {
 		s.Depth = 10
 	}
+	if s.Faults < 0 {
+		return errs.Failuref(errs.CodeInvalid, "jobspec: faults must be >= 0, got %d", s.Faults)
+	}
+	if s.Faults == 0 && (s.FaultKinds != "" || s.FaultVol != "") {
+		return errs.Failure(errs.CodeInvalid,
+			"jobspec: faultKinds/faultVol require faults > 0")
+	}
+	if s.Faults > 0 {
+		if s.FaultKinds == "" {
+			s.FaultKinds = "crash,lostcas"
+		}
+		if _, err := memsim.ParseFaultKinds(s.FaultKinds); err != nil {
+			return errs.Failuref(errs.CodeInvalid, "jobspec: %v", err)
+		}
+		if _, err := memsim.ParseVolatility(s.FaultVol); err != nil {
+			return errs.Failuref(errs.CodeInvalid, "jobspec: %v", err)
+		}
+		if s.FaultVol == "" {
+			s.FaultVol = "stable"
+		}
+	}
 	if s.Kind == KindExplore && s.Reduce && s.Dedup != nil && !*s.Dedup {
 		return errs.Failure(errs.CodeInvalid,
 			"jobspec: reduce requires the dedup backtracking engine (drop dedup=false)")
@@ -122,6 +156,24 @@ func (s *Spec) Normalize() error {
 		}
 	}
 	return nil
+}
+
+// FaultPolicy compiles the spec's fault fields into the memsim policy
+// shared by both engines. The zero value (Faults == 0) compiles to the
+// disabled policy. Call after Normalize.
+func (s *Spec) FaultPolicy() (memsim.FaultPolicy, error) {
+	if s.Faults == 0 {
+		return memsim.FaultPolicy{}, nil
+	}
+	kinds, err := memsim.ParseFaultKinds(s.FaultKinds)
+	if err != nil {
+		return memsim.FaultPolicy{}, errs.Failuref(errs.CodeInvalid, "jobspec: %v", err)
+	}
+	vol, err := memsim.ParseVolatility(s.FaultVol)
+	if err != nil {
+		return memsim.FaultPolicy{}, errs.Failuref(errs.CodeInvalid, "jobspec: %v", err)
+	}
+	return memsim.FaultPolicy{Max: s.Faults, Kinds: kinds, Vol: vol}, nil
 }
 
 // ModelByName resolves a cost-model name the way the worstcase CLI
@@ -179,6 +231,10 @@ func (s *Spec) SearchConfig() (search.Config, error) {
 	if err := m.UnmarshalText([]byte(s.Mode)); err != nil {
 		return search.Config{}, err
 	}
+	fp, err := s.FaultPolicy()
+	if err != nil {
+		return search.Config{}, err
+	}
 	n, scripts := s.Scripts()
 	return search.Config{
 		Factory:  alg.New,
@@ -191,6 +247,7 @@ func (s *Spec) SearchConfig() (search.Config, error) {
 		Reduce:   s.Reduce,
 		Seed:     s.Seed,
 		Walks:    s.Walks,
+		Faults:   fp,
 	}, nil
 }
 
@@ -215,6 +272,10 @@ func (s *Spec) ExploreConfig() (explore.Config, error) {
 	if s.Reduce {
 		engine = explore.EngineBacktrackDedupPOR
 	}
+	fp, err := s.FaultPolicy()
+	if err != nil {
+		return explore.Config{}, err
+	}
 	n, scripts := s.Scripts()
 	return explore.Config{
 		Factory:  alg.New,
@@ -223,6 +284,7 @@ func (s *Spec) ExploreConfig() (explore.Config, error) {
 		MaxDepth: s.Depth,
 		Engine:   engine,
 		Workers:  s.Workers,
+		Faults:   fp,
 		Check: func(events []memsim.Event) error {
 			if vs := signal.CheckSpec(events); len(vs) > 0 {
 				return vs[0]
@@ -241,6 +303,12 @@ type WorstcaseDoc struct {
 	Waiters   int    `json:"waiters"`
 	Polls     int    `json:"polls"`
 	Depth     int    `json:"depth"`
+	// Faults, FaultKinds and FaultVol echo the fault policy the search ran
+	// under; all omitted (keeping fault-free documents byte-identical to
+	// pre-fault ones) when Faults is zero.
+	Faults     int    `json:"faults,omitempty"`
+	FaultKinds string `json:"faultKinds,omitempty"`
+	FaultVol   string `json:"faultVol,omitempty"`
 	*search.Result
 	// Workers shadows the embedded Result field out of the document: the
 	// resolved pool size is machine-dependent (GOMAXPROCS) while every
@@ -254,7 +322,7 @@ type WorstcaseDoc struct {
 func NewWorstcaseDoc(s *Spec, res *search.Result) *WorstcaseDoc {
 	r := *res
 	r.Workers = 0 // machine-dependent; see WorstcaseDoc.Workers
-	return &WorstcaseDoc{
+	doc := &WorstcaseDoc{
 		Algorithm: s.Alg,
 		Model:     r.Model,
 		Waiters:   s.Waiters,
@@ -262,6 +330,10 @@ func NewWorstcaseDoc(s *Spec, res *search.Result) *WorstcaseDoc {
 		Depth:     s.Depth,
 		Result:    &r,
 	}
+	if s.Faults > 0 {
+		doc.Faults, doc.FaultKinds, doc.FaultVol = s.Faults, s.FaultKinds, s.FaultVol
+	}
+	return doc
 }
 
 // ExploreDoc mirrors cmd/explore's -json document byte-identically on
@@ -269,10 +341,15 @@ func NewWorstcaseDoc(s *Spec, res *search.Result) *WorstcaseDoc {
 // the CLI, which exits non-zero instead) carries the counterexample
 // message when the specification fails.
 type ExploreDoc struct {
-	Algorithm       string `json:"algorithm"`
-	Waiters         int    `json:"waiters"`
-	Polls           int    `json:"polls"`
-	Depth           int    `json:"depth"`
+	Algorithm string `json:"algorithm"`
+	Waiters   int    `json:"waiters"`
+	Polls     int    `json:"polls"`
+	Depth     int    `json:"depth"`
+	// Faults, FaultKinds and FaultVol echo the fault policy the
+	// exploration ran under; all omitted when Faults is zero.
+	Faults          int    `json:"faults,omitempty"`
+	FaultKinds      string `json:"faultKinds,omitempty"`
+	FaultVol        string `json:"faultVol,omitempty"`
 	Paths           int    `json:"paths"`
 	Truncated       int    `json:"truncated"`
 	StatesDeduped   int    `json:"statesDeduped"`
@@ -290,7 +367,7 @@ type ExploreDoc struct {
 // NewExploreDoc assembles the document from a normalized spec, its
 // result, and the violation message ("" when the spec holds).
 func NewExploreDoc(s *Spec, res *explore.Result, violation string) *ExploreDoc {
-	return &ExploreDoc{
+	doc := &ExploreDoc{
 		Algorithm:       s.Alg,
 		Waiters:         s.Waiters,
 		Polls:           s.Polls,
@@ -305,4 +382,8 @@ func NewExploreDoc(s *Spec, res *explore.Result, violation string) *ExploreDoc {
 		SpecHolds:       violation == "",
 		Violation:       violation,
 	}
+	if s.Faults > 0 {
+		doc.Faults, doc.FaultKinds, doc.FaultVol = s.Faults, s.FaultKinds, s.FaultVol
+	}
+	return doc
 }

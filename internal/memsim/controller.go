@@ -274,6 +274,62 @@ func (c *Controller) Step(pid PID) (Event, error) {
 	return ev, nil
 }
 
+// Crash kills pid's active call at a scheduling point, applying the
+// fault's memory effect (LL reservation cleared; module reverted under
+// VolOwned) and recording an EvCrash event. The process returns to idle
+// with its call count rewound, so restarting the scripted call reuses
+// the same CallSeq — the crashed attempt never "counts". Only a process
+// with a pending access can crash: idle processes have nothing to lose
+// and completed calls have already taken effect.
+func (c *Controller) Crash(pid PID, vol Volatility) (Event, error) {
+	st := &c.procs[pid]
+	if st.phase != phasePending {
+		return Event{}, fmt.Errorf("memsim: process %d has no pending access to crash at", pid)
+	}
+	if a, ok := st.frame.(frameAborter); ok {
+		a.abortFrame()
+	}
+	st.phase = phaseIdle
+	st.frame = nil
+	st.calls--
+	c.mach.Crash(pid, vol)
+	ev := Event{Kind: EvCrash, PID: pid, CallSeq: st.calls, Proc: st.name, Fault: FaultCrash}
+	c.emit(ev)
+	return ev, nil
+}
+
+// StepLostCAS applies pid's pending access like Step, but drops the
+// response: memory sees the CAS land while the frame observes failure.
+// It is only legal for a pending CAS that would succeed — a failing
+// CAS's lost response is indistinguishable from ordinary failure. The
+// recorded event carries the true memory result plus a FaultLostCAS
+// marker, so cost models price the real operation.
+func (c *Controller) StepLostCAS(pid PID) (Event, error) {
+	st := &c.procs[pid]
+	if st.phase != phasePending {
+		return Event{}, fmt.Errorf("memsim: process %d has no pending access", pid)
+	}
+	if st.pending.Op != OpCAS {
+		return Event{}, fmt.Errorf("memsim: process %d pending %s is not a CAS", pid, st.pending.Op)
+	}
+	if c.mach.Load(st.pending.Addr) != st.pending.Arg1 {
+		return Event{}, fmt.Errorf("memsim: process %d pending CAS would fail; a lost failure is a plain failure", pid)
+	}
+	res := c.mach.Apply(pid, st.pending)
+	ev := Event{
+		Kind:    EvAccess,
+		PID:     pid,
+		CallSeq: st.calls - 1,
+		Proc:    st.name,
+		Acc:     st.pending,
+		Res:     res,
+		Fault:   FaultLostCAS,
+	}
+	c.emit(ev)
+	c.settle(pid, Result{Val: st.pending.Arg1, OK: false})
+	return ev, nil
+}
+
 // Abort kills pid's active call, if any, without applying its pending
 // access. The process returns to idle; no call-end event is recorded. Abort
 // is a runtime cleanup facility (the logical "erasure" of the lower bound

@@ -38,20 +38,26 @@ var ErrNoProgram = errors.New("memsim: no program for this call kind")
 type ActionKind uint8
 
 // Schedule action kinds: begin a procedure call, apply one step, collect a
-// completed call's result.
+// completed call's result, crash the process at its pending access, and
+// apply a pending CAS while dropping its response.
 const (
 	ActStart ActionKind = iota + 1
 	ActStep
 	ActFinish
+	ActCrash
+	ActLostCAS
 )
 
 // Action is one deterministic scheduling decision. A sequence of actions,
 // together with a deterministic instance, fully determines an execution —
 // the replayability property the lower-bound construction depends on.
+// Fault actions carry their own parameters (Vol for ActCrash), so a
+// fault schedule replays without out-of-band policy state.
 type Action struct {
 	Kind ActionKind
 	PID  PID
-	Call CallKind // for ActStart
+	Call CallKind   // for ActStart
+	Vol  Volatility // for ActCrash
 }
 
 // Instance is a deployed algorithm: its shared variables have been
@@ -179,6 +185,28 @@ func (e *Execution) Step(pid PID) (Event, error) {
 	return ev, nil
 }
 
+// Crash kills pid's call at its pending access (see Controller.Crash)
+// and logs the fault as a replayable action.
+func (e *Execution) Crash(pid PID, vol Volatility) (Event, error) {
+	ev, err := e.ctl.Crash(pid, vol)
+	if err != nil {
+		return Event{}, err
+	}
+	e.actions = append(e.actions, Action{Kind: ActCrash, PID: pid, Vol: vol})
+	return ev, nil
+}
+
+// StepLostCAS applies pid's pending CAS while dropping its response (see
+// Controller.StepLostCAS) and logs the fault as a replayable action.
+func (e *Execution) StepLostCAS(pid PID) (Event, error) {
+	ev, err := e.ctl.StepLostCAS(pid)
+	if err != nil {
+		return Event{}, err
+	}
+	e.actions = append(e.actions, Action{Kind: ActLostCAS, PID: pid})
+	return ev, nil
+}
+
 // Finish collects the return value of pid's completed call.
 func (e *Execution) Finish(pid PID) (Value, error) {
 	ret, err := e.ctl.FinishCall(pid)
@@ -237,6 +265,10 @@ func Replay(factory Factory, n int, actions []Action) (*Execution, error) {
 			_, err = e.Step(a.PID)
 		case ActFinish:
 			_, err = e.Finish(a.PID)
+		case ActCrash:
+			_, err = e.Crash(a.PID, a.Vol)
+		case ActLostCAS:
+			_, err = e.StepLostCAS(a.PID)
 		default:
 			err = fmt.Errorf("unknown action kind %d", a.Kind)
 		}

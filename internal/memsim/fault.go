@@ -1,0 +1,162 @@
+package memsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FaultKind classifies one injected fault. Faults are schedule choice
+// points like any other: the adversary decides not only who steps next
+// but whether a pending step is perturbed by a failure.
+type FaultKind uint8
+
+// The fault kinds.
+//
+// FaultCrash kills a process mid-call: its frame is discarded, its LL
+// reservation cleared, and — under VolOwned — the words of its own
+// memory module revert to their initial values (volatile local memory).
+// The process restarts the same scripted call from the top, so a crash
+// models recoverable-mutual-exclusion style failures where the recovery
+// code is simply the procedure itself.
+//
+// FaultLostCAS drops the response of a compare-and-swap that would have
+// succeeded: memory applies the CAS, but the calling frame observes
+// failure (old-value = expected, ok = false). A CAS that would fail is
+// never offered this fault — a lost failure response is observationally
+// identical to ordinary failure.
+const (
+	FaultNone FaultKind = iota
+	FaultCrash
+	FaultLostCAS
+)
+
+// String names the fault kind the way -fault-kinds spells it.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultCrash:
+		return "crash"
+	case FaultLostCAS:
+		return "lostcas"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// FaultSet is a bitmask of enabled fault kinds.
+type FaultSet uint8
+
+// The fault-set bits.
+const (
+	SetCrash   FaultSet = 1 << FaultCrash
+	SetLostCAS FaultSet = 1 << FaultLostCAS
+)
+
+// Has reports whether the set enables k.
+func (s FaultSet) Has(k FaultKind) bool { return s&(1<<k) != 0 }
+
+// String renders the set as the comma list -fault-kinds accepts,
+// alphabetically ("crash,lostcas"); the empty set renders as "".
+func (s FaultSet) String() string {
+	var names []string
+	if s.Has(FaultCrash) {
+		names = append(names, "crash")
+	}
+	if s.Has(FaultLostCAS) {
+		names = append(names, "lostcas")
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// ParseFaultKinds parses a comma list of fault-kind names ("crash",
+// "lostcas"). The empty string parses to the empty set.
+func ParseFaultKinds(s string) (FaultSet, error) {
+	var set FaultSet
+	if s == "" {
+		return set, nil
+	}
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "crash":
+			set |= SetCrash
+		case "lostcas":
+			set |= SetLostCAS
+		default:
+			return 0, fmt.Errorf("memsim: unknown fault kind %q (have crash, lostcas)", name)
+		}
+	}
+	return set, nil
+}
+
+// Volatility selects what a crash does to memory.
+type Volatility uint8
+
+// The volatility models.
+//
+// VolStable: shared memory survives crashes untouched (non-volatile
+// shared memory; only the process's private frame is lost).
+//
+// VolOwned: the crashed process's own memory module reverts to its
+// initial values (its words are volatile local state, lost with the
+// process), while words in other modules — and NoOwner globals —
+// survive. This is the DSM-flavored model where a process's module
+// dies with it.
+const (
+	VolStable Volatility = iota
+	VolOwned
+)
+
+// String names the volatility model the way -fault-vol spells it.
+func (v Volatility) String() string {
+	switch v {
+	case VolStable:
+		return "stable"
+	case VolOwned:
+		return "owned"
+	default:
+		return fmt.Sprintf("vol(%d)", uint8(v))
+	}
+}
+
+// ParseVolatility parses a -fault-vol name. The empty string parses to
+// VolStable, the default.
+func ParseVolatility(s string) (Volatility, error) {
+	switch s {
+	case "", "stable":
+		return VolStable, nil
+	case "owned":
+		return VolOwned, nil
+	default:
+		return 0, fmt.Errorf("memsim: unknown volatility %q (have stable, owned)", s)
+	}
+}
+
+// FaultPolicy bounds the fault dimension of a schedule space: at most
+// Max faults drawn from Kinds, crashes governed by Vol. The zero policy
+// is disabled and changes nothing anywhere — every engine's k=0
+// behavior (results, state keys, fingerprints, JSON documents) is
+// byte-identical to a build without fault support.
+type FaultPolicy struct {
+	// Max is the fault budget k: the total number of faults (of any
+	// kind) an explored schedule may contain.
+	Max int
+	// Kinds is the set of fault kinds the adversary may inject.
+	Kinds FaultSet
+	// Vol selects the crash volatility model.
+	Vol Volatility
+}
+
+// Enabled reports whether the policy admits any fault at all.
+func (p FaultPolicy) Enabled() bool { return p.Max > 0 && p.Kinds != 0 }
+
+// String renders the policy for fingerprints and diagnostics, e.g.
+// "k=2,kinds=crash,lostcas,vol=owned"; the disabled policy renders "".
+func (p FaultPolicy) String() string {
+	if !p.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("k=%d,kinds=%s,vol=%s", p.Max, p.Kinds, p.Vol)
+}

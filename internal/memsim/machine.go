@@ -9,6 +9,9 @@ import (
 // LL/SC validity and for the "sees" relation of Definition 6.4.
 type word struct {
 	val Value
+	// init is the value the word was allocated (or Init-overridden) with;
+	// a VolOwned crash reverts the owner's words to it.
+	init Value
 	// ver counts nontrivial operations applied to this word; LL records
 	// it and SC succeeds only if it is unchanged.
 	ver uint64
@@ -73,7 +76,7 @@ func (m *Machine) Alloc(owner PID, name string, count int, init Value) Addr {
 	}
 	base := Addr(len(m.words))
 	for i := 0; i < count; i++ {
-		m.words = append(m.words, word{val: init, lastWriter: NoOwner})
+		m.words = append(m.words, word{val: init, init: init, lastWriter: NoOwner})
 		m.owner = append(m.owner, owner)
 		if count == 1 {
 			m.names = append(m.names, name)
@@ -90,6 +93,7 @@ func (m *Machine) Alloc(owner PID, name string, count int, init Value) Addr {
 // an array allocated with one Alloc call.
 func (m *Machine) Init(a Addr, v Value) {
 	m.words[a].val = v
+	m.words[a].init = v
 }
 
 // Owner returns the module owner of addr (NoOwner for global words).
@@ -192,11 +196,65 @@ func (m *Machine) ApplyLogged(pid PID, acc Access) (Result, Undo) {
 	return m.Apply(pid, acc), u
 }
 
-// Revert undoes one logged Apply. Undos must be reverted in reverse order
-// of application.
+// Revert undoes one logged Apply (or one record of a logged Crash).
+// Undos must be reverted in reverse order of application.
 func (m *Machine) Revert(u Undo) {
-	m.words[u.addr] = u.word
+	if u.addr >= 0 {
+		m.words[u.addr] = u.word
+	}
 	m.links[u.pid] = u.link
+}
+
+// Crash applies the memory effect of pid crashing: its LL reservation is
+// cleared (a reservation is frame state, lost with the process) and,
+// under VolOwned, every word of pid's module reverts to its initial
+// value. A reverted word counts as overwritten by no one — lastWriter
+// resets to NoOwner — but its version still bumps, so reservations other
+// processes hold on it are invalidated like any overwrite would.
+func (m *Machine) Crash(pid PID, vol Volatility) {
+	m.links[pid] = llink{}
+	if vol != VolOwned {
+		return
+	}
+	for a := range m.words {
+		if m.owner[a] != pid {
+			continue
+		}
+		w := &m.words[a]
+		if w.val == w.init {
+			continue
+		}
+		w.val = w.init
+		w.ver++
+		w.lastWriter = NoOwner
+	}
+}
+
+// CrashLogged performs Crash like Crash and appends the undo records
+// that reverse it to undos, returning the extended slice. The records
+// revert (in reverse order, like any undo run) to the pre-crash words
+// and reservation; the reservation-only record uses addr -1, which
+// Revert recognizes and skips the word restore for.
+func (m *Machine) CrashLogged(pid PID, vol Volatility, undos []Undo) []Undo {
+	undos = append(undos, Undo{pid: pid, addr: -1, link: m.links[pid]})
+	m.links[pid] = llink{}
+	if vol != VolOwned {
+		return undos
+	}
+	for a := range m.words {
+		if m.owner[a] != pid {
+			continue
+		}
+		w := &m.words[a]
+		if w.val == w.init {
+			continue
+		}
+		undos = append(undos, Undo{pid: pid, addr: Addr(a), word: *w, link: m.links[pid]})
+		w.val = w.init
+		w.ver++
+		w.lastWriter = NoOwner
+	}
+	return undos
 }
 
 // LLState reports pid's load-linked reservation in canonical form: the

@@ -146,11 +146,13 @@ type Result struct {
 type EventKind uint8
 
 // Trace event kinds: a shared-memory access, the start of a procedure call,
-// and the completion of a procedure call.
+// the completion of a procedure call, and a process crash (the in-flight
+// call is abandoned; the process restarts it from the top).
 const (
 	EvAccess EventKind = iota + 1
 	EvCallStart
 	EvCallEnd
+	EvCrash
 )
 
 // Event is one entry of an execution trace. Access events carry the applied
@@ -169,4 +171,10 @@ type Event struct {
 	Res Result
 	// Ret is the return value for EvCallEnd events.
 	Ret Value
+	// Fault marks fault events: FaultCrash on EvCrash events, and
+	// FaultLostCAS on the EvAccess event of a CAS whose memory effect
+	// landed but whose response was dropped (Res carries the true memory
+	// outcome; the frame observed failure). FaultNone everywhere else, so
+	// fault-free traces are unchanged.
+	Fault FaultKind
 }

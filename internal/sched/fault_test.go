@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func crashPolicy(k int) memsim.FaultPolicy {
+	return memsim.FaultPolicy{Max: k, Kinds: memsim.SetCrash | memsim.SetLostCAS}
+}
+
+// TestFaultInjectingDeterministic: the whole fault-decision stream is a
+// pure function of (inner, policy, rate, seed).
+func TestFaultInjectingDeterministic(t *testing.T) {
+	run := func() (ps []memsim.PID, ks []memsim.FaultKind) {
+		s := NewFaultInjecting(NewRoundRobin(), crashPolicy(3), 0.5, 7)
+		for i := 0; i < 32; i++ {
+			p, k := s.NextFault(pids(0, 1, 2))
+			ps = append(ps, p)
+			ks = append(ks, k)
+		}
+		return
+	}
+	p1, k1 := run()
+	p2, k2 := run()
+	for i := range p1 {
+		if p1[i] != p2[i] || k1[i] != k2[i] {
+			t.Fatalf("decision %d differs across identically seeded runs: (%d,%v) vs (%d,%v)",
+				i, p1[i], k1[i], p2[i], k2[i])
+		}
+	}
+}
+
+// TestFaultInjectingBudget: at most Max fault decisions, counted by
+// Injected, even at rate 1; the targeted pid always comes from the inner
+// scheduler.
+func TestFaultInjectingBudget(t *testing.T) {
+	s := NewFaultInjecting(NewRoundRobin(), crashPolicy(2), 1.0, 1)
+	faults := 0
+	for i := 0; i < 20; i++ {
+		wantPid := memsim.PID(i % 3)
+		p, k := s.NextFault(pids(0, 1, 2))
+		if p != wantPid {
+			t.Fatalf("decision %d targets p%d, inner schedule says p%d", i, p, wantPid)
+		}
+		if k != memsim.FaultNone {
+			faults++
+		}
+	}
+	if faults != 2 || s.Injected() != 2 {
+		t.Fatalf("injected %d faults (Injected() = %d), want exactly the budget 2", faults, s.Injected())
+	}
+}
+
+// TestFaultInjectingDisabled: a disabled policy or zero rate never
+// injects, and Next degrades to the inner scheduler.
+func TestFaultInjectingDisabled(t *testing.T) {
+	for name, s := range map[string]*FaultInjecting{
+		"disabled-policy": NewFaultInjecting(NewRoundRobin(), memsim.FaultPolicy{}, 1.0, 1),
+		"zero-rate":       NewFaultInjecting(NewRoundRobin(), crashPolicy(5), 0, 1),
+	} {
+		for i := 0; i < 10; i++ {
+			if _, k := s.NextFault(pids(0, 1)); k != memsim.FaultNone {
+				t.Fatalf("%s: injected %v", name, k)
+			}
+		}
+		if s.Injected() != 0 {
+			t.Fatalf("%s: Injected() = %d, want 0", name, s.Injected())
+		}
+	}
+	s := NewFaultInjecting(NewRoundRobin(), crashPolicy(5), 1.0, 1)
+	if p := s.Next(pids(0, 1, 2)); p != 0 {
+		t.Fatalf("Next = %d, want the inner round-robin's 0", p)
+	}
+}
+
+// TestFaultInjectingVol: the wrapper reports the policy's volatility.
+func TestFaultInjectingVol(t *testing.T) {
+	fp := crashPolicy(1)
+	fp.Vol = memsim.VolOwned
+	if v := NewFaultInjecting(NewRoundRobin(), fp, 1, 1).Vol(); v != memsim.VolOwned {
+		t.Fatalf("Vol() = %v, want owned", v)
+	}
+}

@@ -81,6 +81,13 @@ func Fingerprint(tag string, cfg Config, shardDepth int, sharded bool) string {
 		}
 		b.WriteByte(';')
 	}
+	if cfg.Faults.Enabled() {
+		// A fault-enabled search explores a strictly larger schedule space
+		// and keys its memo entries with the consumed fault budget, so its
+		// snapshots must never resume into a fault-free run or vice versa
+		// (and distinct policies must never cross-seed each other).
+		fmt.Fprintf(&b, "|faults[%s]", cfg.Faults)
+	}
 	if sharded {
 		b.WriteString("|sharded")
 	}
@@ -168,7 +175,7 @@ func expandUnits(cfg Config, d int) ([][]int, error) {
 		}
 		m := e.save()
 		for i, c := range choices {
-			if red != nil && red.por && sleep&(1<<uint(c.pid)) != 0 {
+			if red != nil && red.por && c.fault == memsim.FaultNone && sleep&(1<<uint(c.pid)) != 0 {
 				continue
 			}
 			var cAcc memsim.Access

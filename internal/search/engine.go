@@ -29,15 +29,24 @@ const (
 	sDone
 )
 
-// choice is one scheduling decision: apply pid's pending access, or start
-// pid's next scripted call.
+// choice is one scheduling decision: apply pid's pending access, start
+// pid's next scripted call, or — under an enabled FaultPolicy — inject a
+// fault at pid's pending access.
 type choice struct {
 	pid   memsim.PID
 	start bool
+	fault memsim.FaultKind
 }
 
-// String renders the choice compactly, e.g. "p0" or "p1+".
+// String renders the choice compactly: "p0" step, "p1+" call start,
+// "p0!" crash, "p0?" lost CAS (the explorer's notation).
 func (c choice) String() string {
+	switch c.fault {
+	case memsim.FaultCrash:
+		return fmt.Sprintf("p%d!", c.pid)
+	case memsim.FaultLostCAS:
+		return fmt.Sprintf("p%d?", c.pid)
+	}
 	if c.start {
 		return fmt.Sprintf("p%d+", c.pid)
 	}
@@ -64,6 +73,11 @@ type sengine struct {
 	// objective). Both rewind via node snapshots.
 	acc  model.Accumulator
 	cost int
+
+	// Fault dimension: the policy in force and the number of faults the
+	// current path has injected (part of the state key when enabled).
+	fp         memsim.FaultPolicy
+	faultsUsed int
 
 	// Hot-path scratch, engine-owned and reused node to node: the
 	// state-key build buffer, per-depth settle buffers, and the free list
@@ -106,6 +120,7 @@ func newSengine(cfg Config) (*sengine, error) {
 		kinds:    make([]memsim.CallKind, cfg.N),
 		progress: make([]int, cfg.N),
 		acc:      acc,
+		fp:       cfg.Faults,
 	}, nil
 }
 
@@ -183,6 +198,24 @@ func (e *sengine) settleInto(choices []choice) []choice {
 			choices = append(choices, choice{pid: p, start: true})
 		}
 	}
+	// Fault choice points come after every regular choice, mirroring the
+	// explorer's enumeration exactly: PID order, crash before lost CAS.
+	// With the policy disabled (k=0) this appends nothing.
+	if e.fp.Enabled() && e.faultsUsed < e.fp.Max {
+		for pid := 0; pid < e.n; pid++ {
+			p := memsim.PID(pid)
+			if e.phase[p] != sPending {
+				continue
+			}
+			if e.fp.Kinds.Has(memsim.FaultCrash) {
+				choices = append(choices, choice{pid: p, fault: memsim.FaultCrash})
+			}
+			if e.fp.Kinds.Has(memsim.FaultLostCAS) && e.pending[p].Op == memsim.OpCAS &&
+				e.mach.Load(e.pending[p].Addr) == e.pending[p].Arg1 {
+				choices = append(choices, choice{pid: p, fault: memsim.FaultLostCAS})
+			}
+		}
+	}
 	return choices
 }
 
@@ -195,6 +228,37 @@ func (e *sengine) settleInto(choices []choice) []choice {
 func (e *sengine) apply(c choice, idx int) (int, error) {
 	p := c.pid
 	step := 0
+	switch c.fault {
+	case memsim.FaultCrash:
+		// A crash itself performs no memory access, so it costs 0 RMRs;
+		// its price is the restarted call's re-executed steps. The script
+		// position rewinds so the same call restarts from the top.
+		e.undos = e.mach.CrashLogged(p, e.fp.Vol, e.undos)
+		e.progress[p]--
+		e.phase[p] = sIdle
+		e.frames[p] = nil
+		e.faultsUsed++
+		e.path = append(e.path, idx)
+		return 0, nil
+	case memsim.FaultLostCAS:
+		// Memory applies the real CAS (priced as such — the accumulator
+		// sees the true event) while the frame observes failure.
+		acc := e.pending[p]
+		res, undo := e.mach.ApplyLogged(p, acc)
+		e.undos = append(e.undos, undo)
+		cost := e.acc.Add(memsim.Event{
+			Kind: memsim.EvAccess, PID: p, Proc: e.kinds[p].String(),
+			Acc: acc, Res: res, Fault: memsim.FaultLostCAS,
+		})
+		if cost.RMR {
+			step = 1
+			e.cost++
+		}
+		e.advance(p, memsim.Result{Val: acc.Arg1, OK: false})
+		e.faultsUsed++
+		e.path = append(e.path, idx)
+		return step, nil
+	}
 	if c.start {
 		kind := e.scripts[p][e.progress[p]]
 		r, err := e.inst.ResumableProgram(p, kind)
@@ -240,6 +304,8 @@ type mark struct {
 	path     int
 	acc      model.Accumulator
 	cost     int
+
+	faultsUsed int
 }
 
 // forkAcc forks src, recycling spare's backing storage when the model
@@ -275,6 +341,7 @@ func (e *sengine) save() *mark {
 	m.path = len(e.path)
 	m.acc = forkAcc(e.acc, m.acc)
 	m.cost = e.cost
+	m.faultsUsed = e.faultsUsed
 	// Mark-owned frames never alias engine-owned frames: CloneResumableInto
 	// copies content into the mark's retained clone (or makes a fresh one).
 	for i, f := range e.frames {
@@ -311,6 +378,7 @@ func (e *sengine) restore(m *mark) {
 	e.path = e.path[:m.path]
 	e.acc = forkAcc(m.acc, e.acc)
 	e.cost = m.cost
+	e.faultsUsed = m.faultsUsed
 }
 
 // stateKey hashes the canonical post-settle state: machine word values,
@@ -331,6 +399,12 @@ func (e *sengine) restore(m *mark) {
 // (stateKeyLegacy, kept as the differential-test oracle).
 func (e *sengine) stateKey() [16]byte {
 	b := e.mach.AppendKeyState(e.keyBuf[:0])
+	if e.fp.Enabled() {
+		// Remaining fault budget shapes the maximal tail cost below a
+		// state, so faults-used joins the key — but only under an enabled
+		// policy, keeping k=0 keys byte-identical to fault-free ones.
+		b = binary.AppendUvarint(b, uint64(e.faultsUsed))
+	}
 	for pid := 0; pid < e.n; pid++ {
 		p := memsim.PID(pid)
 		if e.scripts[p] == nil {
@@ -374,6 +448,9 @@ func (e *sengine) stateKeyLegacy() [16]byte {
 		if addr, ok := e.mach.LLState(memsim.PID(pid)); ok {
 			fmt.Fprintf(h, "ll%d=%d;", pid, addr)
 		}
+	}
+	if e.fp.Enabled() {
+		fmt.Fprintf(h, "faults%d;", e.faultsUsed)
 	}
 	for pid := 0; pid < e.n; pid++ {
 		p := memsim.PID(pid)

@@ -475,7 +475,7 @@ func (w *hunter) dfs(depth int, sleep uint64, fromEdge bool) (int, []int, error)
 	split := w.s.workers > 1 && len(choices) > 1 && budget > 1 && w.s.frontier.Hungry()
 	if split {
 		for i := 1; i < len(choices); i++ {
-			if por && sleep&(1<<uint(choices[i].pid)) != 0 {
+			if por && choices[i].fault == memsim.FaultNone && sleep&(1<<uint(choices[i].pid)) != 0 {
 				continue
 			}
 			prefix := make(task, len(w.e.path)+1)
@@ -490,10 +490,12 @@ func (w *hunter) dfs(depth int, sleep uint64, fromEdge bool) (int, []int, error)
 	// once after the loop: one allocation per internal node.
 	best, bestIdx, bestChild := -1, -1, []int(nil)
 	for i, c := range choices {
-		if por && sleep&(1<<uint(c.pid)) != 0 {
+		if por && c.fault == memsim.FaultNone && sleep&(1<<uint(c.pid)) != 0 {
 			// A sleeping process's subtree only contains schedules that
 			// commute into an earlier sibling's subtree; skip it. Counted
-			// once per DAG node (only the claim winner walks children).
+			// once per DAG node (only the claim winner walks children). A
+			// sleeping bit never silences the pid's fault choices: the bit
+			// argues about its ordinary step, not about crashing it.
 			w.stepsSlept++
 			continue
 		}
@@ -565,7 +567,7 @@ func (w *hunter) reconstructWitness(rootCost int) ([]int, error) {
 		m := w.e.save()
 		matched := false
 		for i, c := range choices {
-			if w.red.por && sleep&(1<<uint(c.pid)) != 0 {
+			if w.red.por && c.fault == memsim.FaultNone && sleep&(1<<uint(c.pid)) != 0 {
 				continue
 			}
 			var cAcc memsim.Access

@@ -133,6 +133,13 @@ func readClass(op memsim.Op) bool {
 // when they touch disjoint addresses or are both read-class on the same
 // address (the exact pair classes model.OrderInvariantCost covers).
 func (e *sengine) indepAfterApply(u, c choice, cAcc memsim.Access) bool {
+	// Fault choices are conservatively dependent with everything: a crash
+	// rewinds scheduler bookkeeping and (under VolOwned) rewrites a whole
+	// module, and a lost CAS decouples the memory effect from the frame's
+	// observation — neither commutes by the step-local rules below.
+	if u.fault != memsim.FaultNone || c.fault != memsim.FaultNone {
+		return false
+	}
 	if c.start || u.start {
 		return true
 	}
@@ -169,7 +176,10 @@ func (r *reduction) earlierMasks(choices []choice, out []uint64) {
 		ri := r.rankOf(c.pid)
 		var m uint64
 		for _, u := range choices {
-			if u.pid != c.pid && r.rankOf(u.pid) < ri {
+			// A fault sibling never contributes its PID bit: putting the
+			// bit to sleep would (unsoundly) also skip the pid's ordinary
+			// step choice, which shares the bit.
+			if u.pid != c.pid && u.fault == memsim.FaultNone && r.rankOf(u.pid) < ri {
 				m |= 1 << uint(u.pid)
 			}
 		}
@@ -183,11 +193,16 @@ func (r *reduction) earlierMasks(choices []choice, out []uint64) {
 // explored or memoized elsewhere), keep those whose choice commutes with
 // the applied one. Must be called immediately after e.apply(choices[idx]).
 func (r *reduction) childSleep(sleep, earlier uint64, choices []choice, idx int, cAcc memsim.Access) uint64 {
+	c := choices[idx]
+	if c.fault != memsim.FaultNone {
+		// A fault drains the sleep set: it is dependent with every
+		// sibling (see indepAfterApply), so nothing stays asleep below it.
+		return 0
+	}
 	cur := sleep | earlier
 	if cur == 0 {
 		return 0
 	}
-	c := choices[idx]
 	var out uint64
 	for _, u := range choices {
 		if u.pid == c.pid {
@@ -384,6 +399,10 @@ func (r *reduction) stateKey(sleep uint64) (key [16]byte, merged bool) {
 	}
 	b := e.keyBuf[:0]
 	b = binary.AppendUvarint(b, mask)
+	if e.fp.Enabled() {
+		// Fault budget consumed so far; see sengine.stateKey.
+		b = binary.AppendUvarint(b, uint64(e.faultsUsed))
+	}
 	for a := 0; a < e.mach.Size(); a++ {
 		if mask != 0 {
 			if ag, _, _, isRole := r.sym.RoleAddr(memsim.Addr(a)); isRole && mask&(1<<uint(ag)) != 0 {

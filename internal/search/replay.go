@@ -66,9 +66,9 @@ func drive(cfg Config, choose func(depth, n int) int) (*ReplayResult, error) {
 	res := &ReplayResult{}
 	progress := make(map[memsim.PID]int, len(cfg.Scripts))
 	kinds := make(map[memsim.PID]memsim.CallKind, len(cfg.Scripts))
-	depth := 0
+	depth, faultsUsed := 0, 0
 	for {
-		choices, err := settleExec(exec, cfg.Scripts, progress, kinds)
+		choices, err := settleExec(exec, cfg.Scripts, progress, kinds, cfg.Faults, faultsUsed)
 		if err != nil {
 			return nil, err
 		}
@@ -85,15 +85,31 @@ func drive(cfg Config, choose func(depth, n int) int) (*ReplayResult, error) {
 				idx, depth, len(choices))
 		}
 		c := choices[idx]
-		if c.start {
-			kind := cfg.Scripts[c.pid][progress[c.pid]]
-			if err := exec.Start(c.pid, kind); err != nil {
+		switch c.fault {
+		case memsim.FaultCrash:
+			if _, err := exec.Crash(c.pid, cfg.Faults.Vol); err != nil {
 				return nil, err
 			}
-			kinds[c.pid] = kind
-			progress[c.pid]++
-		} else if _, err := exec.Step(c.pid); err != nil {
-			return nil, err
+			// The crashed call never completed; the same scripted call
+			// restarts on the process's next start choice.
+			progress[c.pid]--
+			faultsUsed++
+		case memsim.FaultLostCAS:
+			if _, err := exec.StepLostCAS(c.pid); err != nil {
+				return nil, err
+			}
+			faultsUsed++
+		default:
+			if c.start {
+				kind := cfg.Scripts[c.pid][progress[c.pid]]
+				if err := exec.Start(c.pid, kind); err != nil {
+					return nil, err
+				}
+				kinds[c.pid] = kind
+				progress[c.pid]++
+			} else if _, err := exec.Step(c.pid); err != nil {
+				return nil, err
+			}
 		}
 		res.Path = append(res.Path, idx)
 		res.Schedule = append(res.Schedule, c.String())
@@ -107,9 +123,11 @@ func drive(cfg Config, choose func(depth, n int) int) (*ReplayResult, error) {
 
 // settleExec collects completed calls (eagerly, with the poll-stop rule)
 // and returns the open scheduling choices in deterministic order — the
-// Execution-based mirror of sengine.settle.
+// Execution-based mirror of sengine.settle, fault choice points included
+// (appended after every regular choice: PID order, crash before lost CAS).
 func settleExec(exec *memsim.Execution, scripts map[memsim.PID][]memsim.CallKind,
-	progress map[memsim.PID]int, kinds map[memsim.PID]memsim.CallKind) ([]choice, error) {
+	progress map[memsim.PID]int, kinds map[memsim.PID]memsim.CallKind,
+	fp memsim.FaultPolicy, faultsUsed int) ([]choice, error) {
 	var choices []choice
 	for pid := 0; pid < exec.N(); pid++ {
 		p := memsim.PID(pid)
@@ -132,6 +150,24 @@ func settleExec(exec *memsim.Execution, scripts map[memsim.PID][]memsim.CallKind
 		}
 		if exec.Idle(p) && progress[p] < len(script) {
 			choices = append(choices, choice{pid: p, start: true})
+		}
+	}
+	if fp.Enabled() && faultsUsed < fp.Max {
+		for pid := 0; pid < exec.N(); pid++ {
+			p := memsim.PID(pid)
+			acc, ok := exec.Pending(p)
+			if !ok {
+				continue
+			}
+			if fp.Kinds.Has(memsim.FaultCrash) {
+				choices = append(choices, choice{pid: p, fault: memsim.FaultCrash})
+			}
+			// A lost CAS is only distinguishable from a plain failed CAS
+			// when the CAS would have succeeded.
+			if fp.Kinds.Has(memsim.FaultLostCAS) && acc.Op == memsim.OpCAS &&
+				exec.Machine().Load(acc.Addr) == acc.Arg1 {
+				choices = append(choices, choice{pid: p, fault: memsim.FaultLostCAS})
+			}
 		}
 	}
 	return choices, nil

@@ -105,6 +105,13 @@ type Config struct {
 	// exhaustive engine so a CLI can report states/sec on stderr. It has
 	// no effect on the Result.
 	Meter *progress.Meter
+	// Faults bounds the fault dimension of the schedule space: schedules
+	// may additionally crash a process at a pending access, or drop the
+	// response of a succeeding CAS, up to Faults.Max faults per schedule
+	// — the worst case under at most k faults. The zero policy is
+	// disabled and leaves results, state keys and checkpoint fingerprints
+	// byte-identical to a fault-free search.
+	Faults memsim.FaultPolicy
 }
 
 // Quantiles summarizes the sampled cost distribution (nearest-rank).

@@ -83,6 +83,10 @@ func (c *SpecChecker) Observe(ev memsim.Event) {
 				})
 			}
 		}
+	case memsim.EvCrash:
+		// A crashed call never returns, so it answers to no clause of the
+		// specification; the restarted attempt opens a fresh call.
+		delete(c.open, ev.PID)
 	}
 }
 

@@ -32,6 +32,7 @@ type JSONEvent struct {
 	Value   int64  `json:"value"`
 	Wrote   bool   `json:"wrote,omitempty"`
 	Ret     int64  `json:"ret"`
+	Fault   string `json:"fault,omitempty"`
 	RMRCC   bool   `json:"rmrCC,omitempty"`
 	RMRDSM  bool   `json:"rmrDSM,omitempty"`
 	Inval   int    `json:"invalidations,omitempty"`
@@ -71,9 +72,15 @@ func WriteJSON(w io.Writer, events []memsim.Event, owner OwnerFunc, n int) error
 			je.AddrOwn = int(owner(ev.Acc.Addr))
 			je.Value = ev.Res.Val
 			je.Wrote = ev.Res.Wrote
+			if ev.Fault != memsim.FaultNone {
+				je.Fault = ev.Fault.String()
+			}
 			je.RMRCC = ccCosts[i].RMR
 			je.RMRDSM = dsmCosts[i].RMR
 			je.Inval = ccCosts[i].Invalidations
+		case memsim.EvCrash:
+			je.Kind = "crash"
+			je.Fault = ev.Fault.String()
 		default:
 			return fmt.Errorf("trace: unknown event kind %d at seq %d", ev.Kind, ev.Seq)
 		}
