@@ -37,6 +37,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/jobspec"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -75,12 +76,19 @@ func run(args []string, out io.Writer) error {
 	stopAfter := fs.Int("stop-after", 0,
 		"deterministically interrupt after this many committed units (testing; exits 3)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	memProfile := fs.String("memprofile", "",
+		"write a heap profile to this file (and an allocation profile to file.allocs) on exit")
+	blockProfile := fs.String("blockprofile", "", "write a blocking profile to this file on exit")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	telemetryOut := fs.String("telemetry", "",
+		"emit periodic NDJSON telemetry snapshots to this file (\"-\" = stderr); stdout stays byte-identical")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	stopProf, err := prof.StartConfig(prof.Config{
+		CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile,
+	})
 	if err != nil {
 		return err
 	}
@@ -103,6 +111,18 @@ func run(args []string, out io.Writer) error {
 	cfg, err := spec.ExploreConfig()
 	if err != nil {
 		return err
+	}
+	if *telemetryOut != "" {
+		// Telemetry goes to its own sink (file or stderr), never stdout:
+		// the deterministic summary must stay byte-identical with the
+		// flag on or off.
+		reg := telemetry.New()
+		stopTel, err := telemetry.StartNDJSON(*telemetryOut, os.Stderr, reg, 0)
+		if err != nil {
+			return err
+		}
+		defer stopTel() // final snapshot on every exit path
+		cfg.Telemetry = reg
 	}
 
 	start := time.Now()

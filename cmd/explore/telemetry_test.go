@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func mustRunTel(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return out.String()
+}
+
+// TestTelemetryStdoutByteIdentical: -telemetry attaches a registry and
+// an NDJSON sink but must not perturb the deterministic summary (the
+// first two stdout lines; the third reports timing) or the -json
+// document, at every worker count, with reduction and with faults. The
+// emitted NDJSON must be well-formed and carry the run's work.
+func TestTelemetryStdoutByteIdentical(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "queue", "-waiters", "2", "-polls", "2", "-depth", "9"},
+		{"-alg", "queue", "-waiters", "2", "-polls", "2", "-depth", "9", "-reduce"},
+		{"-alg", "flag", "-waiters", "2", "-polls", "2", "-depth", "8", "-faults", "1"},
+	}
+	for _, base := range cases {
+		for _, workers := range []string{"1", "2", "8"} {
+			args := append(append([]string(nil), base...), "-workers", workers)
+			plain := summary(t, mustRunTel(t, args...))
+			tel := filepath.Join(t.TempDir(), "tel.ndjson")
+			got := summary(t, mustRunTel(t, append(args, "-telemetry", tel)...))
+			if got != plain {
+				t.Fatalf("%v: -telemetry changed the summary:\n got:\n%s want:\n%s", args, got, plain)
+			}
+			validateNDJSON(t, tel, args)
+
+			// The -json document must be byte-identical too.
+			jsonArgs := append(append([]string(nil), args...), "-json")
+			plainJSON := mustRunTel(t, jsonArgs...)
+			tel2 := filepath.Join(t.TempDir(), "tel2.ndjson")
+			gotJSON := mustRunTel(t, append(jsonArgs, "-telemetry", tel2)...)
+			if gotJSON != plainJSON {
+				t.Fatalf("%v: -telemetry changed the -json document:\n got: %s want: %s",
+					args, gotJSON, plainJSON)
+			}
+		}
+	}
+}
+
+func validateNDJSON(t *testing.T, path string, args []string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 {
+		t.Fatalf("%v: no telemetry snapshots emitted", args)
+	}
+	var last telemetry.Snapshot
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		if err := json.Unmarshal([]byte(line), &last); err != nil {
+			t.Fatalf("%v: bad NDJSON line %q: %v", args, line, err)
+		}
+		if last.Schema != telemetry.Schema {
+			t.Fatalf("%v: snapshot schema %q, want %q", args, last.Schema, telemetry.Schema)
+		}
+	}
+	if !last.Final {
+		t.Fatalf("%v: last snapshot is not final", args)
+	}
+	var nodes, paths int64
+	for _, m := range last.Metrics {
+		switch m.Name {
+		case "repro_engine_nodes_total":
+			nodes = m.Value
+		case "repro_engine_paths_total":
+			paths = m.Value
+		}
+	}
+	if nodes == 0 || paths == 0 {
+		t.Fatalf("%v: final snapshot missing engine work (nodes=%d paths=%d)", args, nodes, paths)
+	}
+}

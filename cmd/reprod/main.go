@@ -7,9 +7,11 @@
 //
 //	reprod -addr :8177 -data /var/lib/reprod
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	GET  /healthz                     liveness
+//	GET  /metrics                     Prometheus text exposition: server
+//	                                  families + live per-job engine counters
 //	GET  /api/v1/experiments          all regenerated tables (cached)
 //	GET  /api/v1/experiments/{id}     one table, e.g. E7
 //	POST /api/v1/jobs                 submit a jobspec.Spec; returns the job
@@ -23,14 +25,22 @@
 // With -data, exhaustive jobs snapshot to <data>/<jobID>.rpck between
 // units, so cancel/resume loses no committed work. SIGINT shuts the
 // server down gracefully.
+//
+// -debug-addr binds a second, operator-only listener exposing the Go
+// debug surface: net/http/pprof under /debug/pprof/ and expvar under
+// /debug/vars. It is opt-in and meant for loopback addresses — the
+// profile endpoints can stall the process and must never share the
+// public API port.
 package main
 
 import (
 	"context"
+	_ "expvar" // registers /debug/vars on the default mux (-debug-addr only)
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (-debug-addr only)
 	"os"
 	"os/signal"
 	"time"
@@ -49,6 +59,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
 	addr := fs.String("addr", ":8177", "listen address")
 	dataDir := fs.String("data", "", "checkpoint directory; empty disables durable jobs")
+	debugAddr := fs.String("debug-addr", "",
+		"optional second listener for pprof (/debug/pprof/) and expvar (/debug/vars); use a loopback address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +70,22 @@ func run(args []string) error {
 		return err
 	}
 	defer s.Close()
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug-addr: %w", err)
+		}
+		// The blank imports above registered the pprof and expvar
+		// handlers on http.DefaultServeMux; serve exactly that mux here
+		// and nowhere else, keeping the debug surface off the API port.
+		fmt.Fprintf(os.Stderr, "reprod: debug listening on %s\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, http.DefaultServeMux); err != nil {
+				fmt.Fprintln(os.Stderr, "reprod: debug server:", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

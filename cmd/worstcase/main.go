@@ -53,6 +53,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/progress"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -98,12 +99,19 @@ func run(args []string, out, errOut io.Writer) error {
 	progressEvery := fs.Duration("progress", 0,
 		"emit states/sec + checkpoint-age lines to stderr at this interval (0 = off)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	memProfile := fs.String("memprofile", "",
+		"write a heap profile to this file (and an allocation profile to file.allocs) on exit")
+	blockProfile := fs.String("blockprofile", "", "write a blocking profile to this file on exit")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	telemetryOut := fs.String("telemetry", "",
+		"emit periodic NDJSON telemetry snapshots to this file (\"-\" = stderr); stdout stays byte-identical")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	stopProf, err := prof.StartConfig(prof.Config{
+		CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile,
+	})
 	if err != nil {
 		return err
 	}
@@ -142,6 +150,18 @@ func run(args []string, out, errOut io.Writer) error {
 		cfg.Meter = meter
 		stop := meter.Start(errOut, *progressEvery)
 		defer stop()
+	}
+	if *telemetryOut != "" {
+		// Telemetry goes to its own sink (file or stderr), never stdout:
+		// the deterministic summary must stay byte-identical with the
+		// flag on or off.
+		reg := telemetry.New()
+		stopTel, err := telemetry.StartNDJSON(*telemetryOut, errOut, reg, 0)
+		if err != nil {
+			return err
+		}
+		defer stopTel() // final snapshot on every exit path
+		cfg.Telemetry = reg
 	}
 	durable := *ckPath != "" || *shards > 1
 	if durable && cfg.Mode != search.ModeExhaustive {

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// readSnapshots parses an NDJSON telemetry file and validates the
+// schema on every line.
+func readSnapshots(t *testing.T, path string) []telemetry.Snapshot {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []telemetry.Snapshot
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line == "" {
+			continue
+		}
+		var s telemetry.Snapshot
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if s.Schema != telemetry.Schema {
+			t.Fatalf("snapshot schema %q, want %q", s.Schema, telemetry.Schema)
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps
+}
+
+// counterValue extracts one named counter from a snapshot (0 if absent).
+func counterValue(s telemetry.Snapshot, name string) int64 {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// TestTelemetryStdoutByteIdentical: -telemetry attaches a registry and
+// an NDJSON sink but must not perturb the deterministic output — stdout
+// is byte-identical with the flag on or off, at every worker count, with
+// reduction and with faults, in text and -json form. The emitted NDJSON
+// must itself be well-formed: every line carries the v1 schema, the last
+// line is final, and the engine families carry the run's work.
+func TestTelemetryStdoutByteIdentical(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "queue", "-n", "2", "-depth", "9"},
+		{"-alg", "queue", "-n", "2", "-depth", "9", "-reduce"},
+		{"-alg", "flag", "-n", "2", "-depth", "8", "-faults", "1"},
+		{"-alg", "queue", "-n", "2", "-depth", "9", "-json"},
+	}
+	for _, base := range cases {
+		for _, workers := range []string{"1", "2", "8"} {
+			args := append(append([]string(nil), base...), "-workers", workers)
+			plain := mustRun(t, args...)
+			tel := filepath.Join(t.TempDir(), "tel.ndjson")
+			got := mustRun(t, append(args, "-telemetry", tel)...)
+			if got != plain {
+				t.Fatalf("%v: -telemetry changed stdout:\n got:\n%s want:\n%s", args, got, plain)
+			}
+			snaps := readSnapshots(t, tel)
+			if len(snaps) == 0 {
+				t.Fatalf("%v: no telemetry snapshots emitted", args)
+			}
+			last := snaps[len(snaps)-1]
+			if !last.Final {
+				t.Fatalf("%v: last snapshot is not final", args)
+			}
+			if counterValue(last, "repro_engine_nodes_total") == 0 {
+				t.Fatalf("%v: final snapshot has no engine nodes: %+v", args, last.Metrics)
+			}
+			if counterValue(last, "repro_engine_paths_total") == 0 {
+				t.Fatalf("%v: final snapshot has no engine paths", args)
+			}
+		}
+	}
+}
+
+// TestTelemetryCheckpointedMonotoneAcrossResume: a -stop-after kill and
+// a -resume produce final telemetry counters at least as large as the
+// killed run's (the resume preloads the snapshot's counter block), and
+// the resumed stdout still matches an uninterrupted run.
+func TestTelemetryCheckpointedMonotoneAcrossResume(t *testing.T) {
+	base := []string{"-alg", "queue", "-n", "2", "-polls", "2", "-depth", "9"}
+	plain := mustRun(t, base...)
+
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "run.rpck")
+	tel1 := filepath.Join(dir, "kill.ndjson")
+	args := append(append([]string(nil), base...),
+		"-checkpoint", ck, "-stop-after", "2", "-telemetry", tel1)
+	var out strings.Builder
+	if err := run(args, &out, io.Discard); err == nil {
+		t.Fatal("-stop-after run did not interrupt")
+	}
+	killed := readSnapshots(t, tel1)
+	killedNodes := counterValue(killed[len(killed)-1], "repro_engine_nodes_total")
+	if killedNodes == 0 {
+		t.Fatal("killed run committed no nodes before stopping")
+	}
+
+	tel2 := filepath.Join(dir, "resume.ndjson")
+	got := mustRun(t, append(append([]string(nil), base...),
+		"-checkpoint", ck, "-resume", "-telemetry", tel2)...)
+	if got != plain {
+		t.Fatalf("resumed stdout drifted:\n got:\n%s want:\n%s", got, plain)
+	}
+	resumed := readSnapshots(t, tel2)
+	resumedNodes := counterValue(resumed[len(resumed)-1], "repro_engine_nodes_total")
+	if resumedNodes < killedNodes {
+		t.Fatalf("telemetry went backwards across resume: %d then %d", killedNodes, resumedNodes)
+	}
+}

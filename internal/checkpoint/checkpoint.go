@@ -91,6 +91,15 @@ type Entry struct {
 	Adopted bool     `json:"adopted"`
 }
 
+// CounterSample is one persisted telemetry counter: a family name and
+// its cumulative value at snapshot time. The checkpoint-local type keeps
+// this package free of a telemetry dependency in the format itself;
+// observe.go converts at the boundary.
+type CounterSample struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
 // Snapshot is one durable point of a run.
 type Snapshot struct {
 	// Kind is the owning subsystem.
@@ -112,6 +121,12 @@ type Snapshot struct {
 	Counters Counters
 	// Entries is the table state produced by the committed units.
 	Entries []Entry
+	// Telemetry carries the run's cumulative telemetry counters, sorted
+	// by name (format version 4; empty when read from older snapshots).
+	// Unlike Counters these are observability-only: a resumed run
+	// preloads them so rates and totals stay monotone across kills, but
+	// nothing in the Result depends on them.
+	Telemetry []CounterSample
 }
 
 // DoneSet returns Done as a set.
@@ -146,7 +161,12 @@ const (
 	// equivalent but the hash *values* differ, so preloading a v1 table
 	// would silently corrupt claim-once accounting — v1 files are
 	// rejected with a distinct message instead of upgraded.
-	version = 3
+	// version 4: appends the telemetry counter block (a sorted
+	// name/value list) after the Entries sequence. The block is pure
+	// observability — resumption correctness never reads it — so
+	// version 2 and 3 snapshots stay readable and simply decode an
+	// empty block.
+	version = 4
 	// minReadVersion is the oldest format this build still decodes.
 	minReadVersion = 2
 	// headerSize is magic + u16 version + u32 crc + u64 body length.
@@ -278,6 +298,13 @@ func encodeBody(s *Snapshot) ([]byte, error) {
 			b.WriteByte(0)
 		}
 	}
+	putU32(&b, uint32(len(s.Telemetry)))
+	for _, c := range s.Telemetry {
+		if err := putString(&b, c.Name); err != nil {
+			return nil, err
+		}
+		putI64(&b, c.Value)
+	}
 	return b.Bytes(), nil
 }
 
@@ -358,6 +385,23 @@ func decodeBody(r *bytes.Reader, v uint16) (*Snapshot, error) {
 			return nil, err
 		}
 		e.Adopted = ad != 0
+	}
+	if v >= 4 {
+		nTel, err := getU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if nTel > 0 {
+			s.Telemetry = make([]CounterSample, nTel)
+			for i := range s.Telemetry {
+				if s.Telemetry[i].Name, err = getString(r); err != nil {
+					return nil, err
+				}
+				if s.Telemetry[i].Value, err = getI64(r); err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
 	if r.Len() != 0 {
 		return nil, fmt.Errorf("%d trailing bytes", r.Len())

@@ -15,6 +15,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/signal"
+	"repro/internal/telemetry"
 )
 
 // ErrBudget is returned when a run exhausts its step budget before every
@@ -85,6 +86,11 @@ type Config struct {
 	// engine-equivalence tests and BenchmarkEngineStep. Traces are
 	// identical either way.
 	ForceBlocking bool
+	// Telemetry, when non-nil, receives call start/completion and
+	// budget-exhaustion counters (the same families the workload
+	// harness ticks). Write-only: the Result is identical with or
+	// without it.
+	Telemetry *telemetry.Registry
 }
 
 // forceBlockingDefault flips every core.Run onto the blocking engine tier;
@@ -265,6 +271,11 @@ func Run(cfg Config) (*Result, error) {
 	signalStarted := make(map[memsim.PID]bool, len(cfg.Signalers))
 	signalDone := false
 
+	// The telemetry counters no-op on a nil registry (nil handles).
+	started := cfg.Telemetry.Counter("repro_harness_calls_started_total")
+	completed := cfg.Telemetry.Counter("repro_harness_calls_completed_total")
+	exhausted := cfg.Telemetry.Counter("repro_harness_budget_exhausted_total")
+
 	// harvest collects p's completed call, if any.
 	harvest := func(p memsim.PID) error {
 		ret, ended := exec.CallEnded(p)
@@ -274,6 +285,7 @@ func Run(cfg Config) (*Result, error) {
 		if _, err := exec.Finish(p); err != nil {
 			return err
 		}
+		completed.Inc(int(p))
 		res.Returns[p] = append(res.Returns[p], ret)
 		if isSignaler[p] && signalStarted[p] {
 			signalDone = true
@@ -303,11 +315,13 @@ func Run(cfg Config) (*Result, error) {
 					if err := exec.Start(p, waiterKind); err != nil {
 						return nil, err
 					}
+					started.Inc(int(p))
 				} else if isSignaler[p] && !cfg.NoSignaler && !signalStarted[p] &&
 					res.Steps >= cfg.SignalAfter {
 					if err := exec.Start(p, memsim.CallSignal); err != nil {
 						return nil, err
 					}
+					started.Inc(int(p))
 					signalStarted[p] = true
 				}
 			}
@@ -338,6 +352,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if res.Steps >= cfg.MaxSteps {
 			res.Truncated = true
+			exhausted.Inc(0)
 			break
 		}
 		pid := cfg.Scheduler.Next(ready)

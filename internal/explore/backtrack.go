@@ -108,6 +108,14 @@ type bengine struct {
 	descs      [][4]string
 	choiceBufs [][]choice
 	markPool   []*mark
+
+	// Telemetry-only statistics of the scratch structures above: pool
+	// reuse and the undo-log high-water mark, sampled at save(). Plain
+	// ints on the engine; flushed with the worker tallies, never read
+	// by the exploration itself.
+	poolHits   int
+	poolMisses int
+	undoMax    int
 }
 
 func newBengine(cfg Config) (*bengine, error) {
@@ -376,11 +384,16 @@ func newMark(n int) *mark {
 }
 
 func (e *bengine) save() *mark {
+	if len(e.undos) > e.undoMax {
+		e.undoMax = len(e.undos)
+	}
 	var m *mark
 	if n := len(e.markPool); n > 0 {
+		e.poolHits++
 		m = e.markPool[n-1]
 		e.markPool = e.markPool[:n-1]
 	} else {
+		e.poolMisses++
 		m = newMark(e.n)
 	}
 	copy(m.phase, e.phase)

@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/errs"
 	"repro/internal/memsim"
+	"repro/internal/telemetry"
+	"repro/internal/worksteal"
 )
 
 // Checkpointed exploration mirrors the search's unit decomposition (see
@@ -318,6 +321,18 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// Telemetry in checkpointed mode is committed-unit-granular, exactly
+	// as in search (see internal/search/checkpointed.go): the engine
+	// runs without a live registry (s.em stays nil) and tally deltas
+	// land on the registry only when the unit that produced them — or
+	// the shallow pass — commits to disk.
+	reg := cfg.Telemetry
+	em := newEngineMetrics(reg)
+	worksteal.NewMetrics(reg) // frontier families at zero (single-worker)
+	ckm := checkpoint.NewMetrics(reg)
+	unitNs := reg.Histogram("repro_unit_ns",
+		1e5, 1e6, 1e7, 1e8, 1e9, 1e10)
+
 	s := &search{cfg: cfg, workers: 1, reduce: reduce}
 	if dedup {
 		s.table = newDedupTable()
@@ -392,11 +407,27 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 		if s.table != nil {
 			s.table.preload(snap.Entries)
 		}
+		// Continue the telemetry counters from the killed run's last
+		// commit (monotone across resumes); a pre-v4 snapshot carries no
+		// telemetry block, so seed the engine families from the
+		// deterministic counters instead.
+		if len(snap.Telemetry) > 0 {
+			checkpoint.PreloadCounters(reg, snap.Telemetry)
+		} else if reg != nil {
+			reg.AddCounterValues([]telemetry.CounterValue{
+				{Name: "repro_engine_paths_total", Value: int64(snap.Counters.Paths)},
+				{Name: "repro_engine_truncated_total", Value: int64(snap.Counters.Truncated)},
+				{Name: "repro_engine_deduped_total", Value: int64(snap.Counters.Deduped)},
+				{Name: "repro_engine_sleep_prunes_total", Value: int64(snap.Counters.StepsSlept)},
+				{Name: "repro_engine_symmetry_merges_total", Value: int64(snap.Counters.SymmetryMerges)},
+			})
+		}
 	} else {
 		// The shallow pass: everything above (and at) the shard depth is
 		// counted and claimed now, once; the snapshot written below is the
 		// only record of it a resumed run ever needs.
 		prev := xgrab(w)
+		prevTel := w.telTally()
 		if err := w.shallowPass(d, &units); err != nil {
 			if errors.Is(err, errStopped) {
 				return cause("explore: interrupted during shallow pass (nothing persisted)")
@@ -404,6 +435,7 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 			return nil, err
 		}
 		counters.Add(xdelta(prev, w))
+		em.addTally(0, prevTel, w.telTally(), w.e.undoMax, w.maxDepth)
 	}
 
 	writeSnap := func() error {
@@ -418,8 +450,12 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 		if s.table != nil {
 			snap.Entries = s.table.export()
 		}
+		// The write-instrumentation families necessarily lag one commit
+		// (the sample is taken inside the body this write persists); the
+		// engine families are exact at every commit.
+		snap.Telemetry = checkpoint.SampleCounters(reg)
 		snap.SortEntries()
-		return checkpoint.Write(ck.Path, snap)
+		return ckm.Write(ck.Path, snap)
 	}
 	if !ck.Resume {
 		if err := writeSnap(); err != nil {
@@ -436,6 +472,8 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 			return cause("explore: interrupted between units")
 		}
 		prev := xgrab(w)
+		prevTel := w.telTally()
+		unitStart := time.Now()
 		if err := w.runUnit(task(units[ui])); err != nil {
 			if errors.Is(err, errStopped) {
 				return cause("explore: interrupted mid-unit")
@@ -443,6 +481,8 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 			return nil, err
 		}
 		counters.Add(xdelta(prev, w))
+		em.addTally(0, prevTel, w.telTally(), w.e.undoMax, w.maxDepth)
+		unitNs.Observe(0, time.Since(unitStart).Nanoseconds())
 		doneList = append(doneList, uint32(ui))
 		committed++
 		unsnapped++

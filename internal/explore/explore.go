@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/memsim"
+	"repro/internal/telemetry"
 )
 
 // Engine selects how the schedule tree is enumerated.
@@ -109,6 +110,12 @@ type Config struct {
 	// results, state keys, checkpoint fingerprints — byte-identical to a
 	// fault-free exploration.
 	Faults memsim.FaultPolicy
+	// Telemetry, when non-nil, receives batched engine, frontier and
+	// checkpoint counters (see docs/ARCHITECTURE.md, "Observability").
+	// It is a monotone write-only side-channel: nothing in the
+	// exploration reads it back, and every Result field is
+	// byte-identical with or without it. The replay engine ignores it.
+	Telemetry *telemetry.Registry
 }
 
 // Result summarizes an exploration.

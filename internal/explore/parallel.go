@@ -56,6 +56,7 @@ type search struct {
 	reduce   bool        // sleep sets + symmetry canonicalization
 	frontier *worksteal.Frontier
 	stop     atomic.Bool
+	em       *engineMetrics // nil unless cfg.Telemetry is attached
 
 	mu   sync.Mutex
 	fail *failure // lexicographically least failure so far
@@ -117,6 +118,12 @@ type searcher struct {
 	stepsSlept int
 	symMerges  int
 	maxDepth   int
+
+	// Telemetry-only tallies; never folded into the Result.
+	nodes         int // total node visits
+	ticks         int // visits not yet flushed to the registry
+	faultBranches int // fault choices walked
+	flushed       engineTally
 }
 
 func newSearcher(s *search, id int) (*searcher, error) {
@@ -165,7 +172,12 @@ func (w *searcher) runTask(t task) error {
 			sleep = w.red.sleepRecompute(sleep, earlier, choices, idx, cAcc)
 		}
 	}
-	return w.dfs(len(t), sleep)
+	err := w.dfs(len(t), sleep)
+	if w.s.em != nil {
+		w.ticks = 0
+		w.flushTelemetry()
+	}
+	return err
 }
 
 // dfs explores the subtree at the engine's current position. It is the
@@ -177,6 +189,15 @@ func (w *searcher) runTask(t task) error {
 func (w *searcher) dfs(depth int, sleep uint64) error {
 	if w.s.stop.Load() {
 		return errStopped
+	}
+	w.nodes++
+	if w.s.em != nil {
+		// Batched telemetry flushes, same 1024-node cadence as the search
+		// engine's Meter batching: the hot path sees only local ints.
+		if w.ticks++; w.ticks == 1024 {
+			w.ticks = 0
+			w.flushTelemetry()
+		}
 	}
 	if depth > w.maxDepth {
 		w.maxDepth = depth
@@ -243,6 +264,9 @@ func (w *searcher) dfs(depth int, sleep uint64) error {
 			w.s.frontier.Submit(w.id, prefix)
 			continue
 		}
+		if c.fault != memsim.FaultNone {
+			w.faultBranches++
+		}
 		var cAcc memsim.Access
 		if !c.start {
 			cAcc = w.e.pending[c.pid]
@@ -280,10 +304,13 @@ func runBacktrack(cfg Config, dedup, reduce bool) (*Result, error) {
 	} else if dedup {
 		engine = EngineBacktrackDedup
 	}
-	s := &search{cfg: cfg, workers: workers, reduce: reduce}
+	s := &search{cfg: cfg, workers: workers, reduce: reduce, em: newEngineMetrics(cfg.Telemetry)}
 	if dedup {
 		s.table = newDedupTable()
 	}
+	// Register the frontier families even when one worker needs no
+	// frontier, so scrapes see every family from the first snapshot.
+	stealMetrics := worksteal.NewMetrics(cfg.Telemetry)
 	searchers := make([]*searcher, workers)
 	for i := range searchers {
 		w, err := newSearcher(s, i)
@@ -294,11 +321,14 @@ func runBacktrack(cfg Config, dedup, reduce bool) (*Result, error) {
 	}
 
 	if workers == 1 {
-		if err := searchers[0].dfs(0, 0); err != nil && !errors.Is(err, errStopped) {
+		err := searchers[0].dfs(0, 0)
+		searchers[0].flushTelemetry()
+		if err != nil && !errors.Is(err, errStopped) {
 			return merge(s, engine, searchers), err
 		}
 	} else {
 		s.frontier = worksteal.New(workers)
+		s.frontier.SetMetrics(stealMetrics)
 		s.frontier.Submit(0, task{}) // the root subtree
 		var wg sync.WaitGroup
 		for _, w := range searchers {

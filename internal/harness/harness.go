@@ -8,6 +8,7 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // ErrBudget is returned (wrapped) together with a valid truncated Result
@@ -106,6 +107,10 @@ type Config struct {
 	// engine-equivalence tests and benchmarks. Traces are identical
 	// either way.
 	ForceBlocking bool
+	// Telemetry, when non-nil, receives call start/completion and
+	// budget-exhaustion counters. Write-only: it never influences
+	// scheduling and the Result is identical with or without it.
+	Telemetry *telemetry.Registry
 }
 
 // Result is the outcome of a harness run. Workload-specific verdicts
@@ -237,15 +242,25 @@ func Run(cfg Config) (*Result, error) {
 	if rw, ok := w.(ResumableWorkload); ok && !cfg.ForceBlocking && rw.CanResume() {
 		resumable = rw
 	}
+	// The telemetry counters no-op on a nil registry (nil handles).
+	started := cfg.Telemetry.Counter("repro_harness_calls_started_total")
+	completed := cfg.Telemetry.Counter("repro_harness_calls_completed_total")
+	exhausted := cfg.Telemetry.Counter("repro_harness_budget_exhausted_total")
 	start := func(pid memsim.PID) error {
 		if resumable != nil {
 			if name, r, ok := resumable.NextResumable(pid); ok {
-				return ctl.StartResumable(pid, name, r)
+				if err := ctl.StartResumable(pid, name, r); err != nil {
+					return err
+				}
+				started.Inc(int(pid))
 			}
 			return nil
 		}
 		if name, prog, ok := w.Next(pid); ok {
-			return ctl.StartCall(pid, name, prog)
+			if err := ctl.StartCall(pid, name, prog); err != nil {
+				return err
+			}
+			started.Inc(int(pid))
 		}
 		return nil
 	}
@@ -291,6 +306,7 @@ func Run(cfg Config) (*Result, error) {
 				return err
 			}
 			res.Calls++
+			completed.Inc(int(pid))
 			w.Done(pid, ret)
 		}
 		return nil
@@ -328,6 +344,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if res.Steps >= cfg.MaxSteps {
 			res.Truncated = true
+			exhausted.Inc(0)
 			break
 		}
 		if err := step(ready); err != nil {

@@ -1,85 +1,18 @@
 package progress
 
-// Meter is the liveness side-channel of long exhaustive runs: engines
-// tick it once per search-tree node (batched, off the hot path) and mark
-// every committed checkpoint, and Start prints periodic
-// states/sec + checkpoint-age lines to a writer of the caller's choosing
-// — stderr in the CLIs, so the deterministic stdout summary is never
-// perturbed.
+// The states/sec Meter now lives in internal/telemetry with the rest
+// of the run-liveness plumbing; it was never a paper progress property
+// like the wait-freedom checks in this package. These aliases keep the
+// old import path compiling for one release.
 
-import (
-	"fmt"
-	"io"
-	"sync"
-	"sync/atomic"
-	"time"
-)
+import "repro/internal/telemetry"
 
-// Meter accumulates node-visit counts and the time of the last committed
-// checkpoint. All methods are safe for concurrent use; Add is a single
-// atomic add, cheap enough for batched hot-loop calls.
-type Meter struct {
-	states atomic.Int64
-	ckAt   atomic.Int64 // unix nanos of the last checkpoint commit; 0 = none yet
-}
+// Meter accumulates node-visit counts and checkpoint commit times.
+//
+// Deprecated: use telemetry.Meter.
+type Meter = telemetry.Meter
 
 // NewMeter returns a fresh meter.
-func NewMeter() *Meter { return &Meter{} }
-
-// Add records n more visited states.
-func (m *Meter) Add(n int) { m.states.Add(int64(n)) }
-
-// States reports the total visited so far.
-func (m *Meter) States() int64 { return m.states.Load() }
-
-// Checkpointed records that a snapshot just committed.
-func (m *Meter) Checkpointed() { m.ckAt.Store(time.Now().UnixNano()) }
-
-// Line renders one progress report: total states, the rate since the
-// previous call (prevStates at prevTime), and the checkpoint age.
-func (m *Meter) Line(prevStates int64, elapsed time.Duration) string {
-	total := m.States()
-	rate := 0.0
-	if elapsed > 0 {
-		rate = float64(total-prevStates) / elapsed.Seconds()
-	}
-	ck := "no checkpoint yet"
-	if at := m.ckAt.Load(); at != 0 {
-		ck = fmt.Sprintf("checkpoint age %s", time.Since(time.Unix(0, at)).Round(time.Second))
-	}
-	return fmt.Sprintf("progress: %d states, %.0f states/s, %s", total, rate, ck)
-}
-
-// Start emits a progress line to w every interval until the returned
-// stop function is called. Stop is idempotent and waits for the reporter
-// goroutine to exit, so no line can race a caller's final output.
-func (m *Meter) Start(w io.Writer, interval time.Duration) (stop func()) {
-	if interval <= 0 {
-		interval = 5 * time.Second
-	}
-	done := make(chan struct{})
-	finished := make(chan struct{})
-	go func() {
-		defer close(finished)
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		prev := m.States()
-		last := time.Now()
-		for {
-			select {
-			case <-done:
-				return
-			case <-t.C:
-				now := time.Now()
-				fmt.Fprintln(w, m.Line(prev, now.Sub(last)))
-				prev = m.States()
-				last = now
-			}
-		}
-	}()
-	var once sync.Once
-	return func() {
-		once.Do(func() { close(done) })
-		<-finished
-	}
-}
+//
+// Deprecated: use telemetry.NewMeter.
+func NewMeter() *Meter { return telemetry.NewMeter() }

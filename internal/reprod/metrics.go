@@ -1,0 +1,71 @@
+package reprod
+
+import (
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Server-level telemetry. The server owns one registry for its own
+// lifecycle families (job and request counts); each job attempt owns a
+// private registry the engines write into (see execute). GET /metrics
+// merges them all into one Prometheus text exposition, so a scrape sees
+// the server families next to the live engine counters of every job.
+
+type serverMetrics struct {
+	reg           *telemetry.Registry
+	jobsSubmitted *telemetry.Counter
+	jobsCompleted *telemetry.Counter
+	jobsFailed    *telemetry.Counter
+	jobsCanceled  *telemetry.Counter
+	jobsRunning   *telemetry.Gauge
+	httpRequests  *telemetry.Counter
+}
+
+func newServerMetrics() serverMetrics {
+	reg := telemetry.New()
+	return serverMetrics{
+		reg:           reg,
+		jobsSubmitted: reg.Counter("repro_jobs_submitted_total"),
+		jobsCompleted: reg.Counter("repro_jobs_completed_total"),
+		jobsFailed:    reg.Counter("repro_jobs_failed_total"),
+		jobsCanceled:  reg.Counter("repro_jobs_canceled_total"),
+		jobsRunning:   reg.Gauge("repro_jobs_running"),
+		httpRequests:  reg.Counter("repro_http_requests_total"),
+	}
+}
+
+// handleMetrics serves the merged exposition: server families plus every
+// job registry, with one derived family — repro_checkpoint_age_seconds,
+// the age of the newest committed snapshot across all jobs — computed at
+// scrape time from the persisted commit timestamps.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	lists := [][]telemetry.Metric{s.met.reg.Gather()}
+	s.mu.Lock()
+	for _, id := range s.order {
+		if reg := s.jobs[id].reg; reg != nil {
+			lists = append(lists, reg.Gather())
+		}
+	}
+	s.mu.Unlock()
+	metrics := telemetry.Merge(lists...)
+
+	var lastCommit int64
+	for _, m := range metrics {
+		if m.Name == "repro_checkpoint_last_commit_unixnano" {
+			lastCommit = m.Value
+		}
+	}
+	age := telemetry.Metric{Name: "repro_checkpoint_age_seconds", Kind: "gauge"}
+	if lastCommit > 0 {
+		age.Value = int64(time.Since(time.Unix(0, lastCommit)) / time.Second)
+	}
+	metrics = append(metrics, age)
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].Name < metrics[j].Name })
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = telemetry.WriteMetrics(w, metrics)
+}

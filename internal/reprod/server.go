@@ -29,6 +29,7 @@ import (
 	"repro/internal/progress"
 	"repro/internal/search"
 	"repro/internal/signal"
+	"repro/internal/telemetry"
 )
 
 // The job lifecycle. A job moves queued → running → one of the terminal
@@ -58,6 +59,10 @@ type job struct {
 	cancel   chan struct{} // closed to interrupt the running engine
 	done     chan struct{} // closed when the current attempt reaches a terminal state
 	meter    *progress.Meter
+	// reg is the attempt's telemetry registry, written by the engines and
+	// read by JobView and GET /metrics. Checkpointed attempts preload it
+	// from the snapshot, so counters stay monotone across cancel/resume.
+	reg *telemetry.Registry
 }
 
 // JobView is the wire form of a job, served by every job endpoint and as
@@ -77,6 +82,9 @@ type JobView struct {
 	// States is the number of search states visited so far (live while
 	// running; worstcase jobs only).
 	States int64 `json:"states,omitempty"`
+	// Counters are the job's cumulative telemetry counters (live while
+	// running; monotone across cancel/resume for checkpointed jobs).
+	Counters map[string]int64 `json:"counters,omitempty"`
 	// Result is the kind-specific document (jobspec.WorstcaseDoc or
 	// jobspec.ExploreDoc), identical to the matching CLI's -json output.
 	Result json.RawMessage `json:"result,omitempty"`
@@ -91,6 +99,8 @@ type Server struct {
 	expOnce   sync.Once
 	expTables []*core.Table
 	expErr    error
+
+	met serverMetrics
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -117,9 +127,11 @@ func NewServer(dataDir string) (*Server, error) {
 		jobs:    make(map[string]*job),
 		queue:   make(chan *job, 1024),
 		stop:    make(chan struct{}),
+		met:     newServerMetrics(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /api/v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
@@ -134,7 +146,10 @@ func NewServer(dataDir string) (*Server, error) {
 }
 
 // ServeHTTP dispatches to the API routes.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.met.httpRequests.Inc(0)
+	s.mux.ServeHTTP(w, r)
+}
 
 // Close stops the runner after its current job and waits for it.
 func (s *Server) Close() {
@@ -174,6 +189,14 @@ func (s *Server) viewLocked(j *job) JobView {
 	if j.meter != nil {
 		v.States = j.meter.States()
 	}
+	if j.reg != nil {
+		if vals := j.reg.CounterValues(); len(vals) > 0 {
+			v.Counters = make(map[string]int64, len(vals))
+			for _, cv := range vals {
+				v.Counters[cv.Name] = cv.Value
+			}
+		}
+	}
 	return v
 }
 
@@ -206,20 +229,25 @@ func (s *Server) runJob(j *job) {
 	}
 	j.status = JobRunning
 	s.mu.Unlock()
+	s.met.jobsRunning.Set(1) // the runner executes one job at a time
 
 	result, verified, err := s.execute(j)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.met.jobsRunning.Set(0)
 	switch {
 	case err == nil:
 		j.status, j.result, j.verified, j.errMsg = JobDone, result, verified, ""
+		s.met.jobsCompleted.Inc(0)
 	case errs.IsInterrupt(err):
 		j.status, j.errMsg = JobCanceled, err.Error()
 		j.resumable = j.durable
+		s.met.jobsCanceled.Inc(0)
 	default:
 		j.status, j.errMsg = JobFailed, err.Error()
 		j.resumable = j.durable
+		s.met.jobsFailed.Inc(0)
 	}
 	close(j.done)
 }
@@ -233,6 +261,11 @@ func (s *Server) execute(j *job) (json.RawMessage, bool, error) {
 	spec, durable, resume, cancel := j.spec, j.durable, j.resume, j.cancel
 	meter := progress.NewMeter()
 	j.meter = meter
+	// A fresh registry per attempt: checkpointed resumes preload it from
+	// the snapshot's telemetry block, so the served counters continue
+	// monotonically from the previous attempt's last commit.
+	reg := telemetry.New()
+	j.reg = reg
 	s.mu.Unlock()
 
 	switch spec.Kind {
@@ -242,6 +275,7 @@ func (s *Server) execute(j *job) (json.RawMessage, bool, error) {
 			return nil, false, err
 		}
 		cfg.Meter = meter
+		cfg.Telemetry = reg
 		var res *search.Result
 		if durable {
 			res, err = search.RunCheckpointed(cfg, search.Checkpoint{
@@ -274,6 +308,7 @@ func (s *Server) execute(j *job) (json.RawMessage, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
+		cfg.Telemetry = reg
 		var res *explore.Result
 		if durable {
 			res, err = explore.RunCheckpointed(cfg, explore.Checkpoint{
@@ -394,6 +429,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errs.Failure(errs.CodeUnavailable, "reprod: job queue is full"))
 		return
 	}
+	s.met.jobsSubmitted.Inc(0)
 	s.nextID++
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -489,6 +525,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.status = JobCanceled
 		j.errMsg = "canceled while queued"
 		j.resumable = true
+		s.met.jobsCanceled.Inc(0)
 		close(j.done)
 	case JobRunning:
 		if !j.durable {

@@ -292,6 +292,70 @@ func TestStream(t *testing.T) {
 	}
 }
 
+// TestMetricsAndJobCounters: a durable job leaves live telemetry behind —
+// the JobView carries nonzero engine counters, and GET /metrics serves a
+// Prometheus exposition holding the server families, the merged per-job
+// engine/worksteal/checkpoint families and the derived checkpoint age.
+func TestMetricsAndJobCounters(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	spec := jobspec.Spec{Kind: jobspec.KindWorstcase, Alg: "flag", Waiters: 2, Polls: 2, Depth: 10}
+	var created JobView
+	if code := postJSON(t, ts.URL+"/api/v1/jobs", spec, &created); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	v := awaitTerminal(t, ts.URL, created.ID)
+	if v.Status != JobDone {
+		t.Fatalf("job ended %s: %s", v.Status, v.Error)
+	}
+	if v.Counters["repro_engine_nodes_total"] == 0 || v.Counters["repro_engine_paths_total"] == 0 {
+		t.Fatalf("done job served empty engine counters: %v", v.Counters)
+	}
+	if v.Counters["repro_checkpoint_writes_total"] == 0 {
+		t.Fatalf("durable job recorded no checkpoint writes: %v", v.Counters)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	required := []string{
+		"repro_jobs_submitted_total",
+		"repro_jobs_completed_total",
+		"repro_jobs_failed_total",
+		"repro_jobs_canceled_total",
+		"repro_jobs_running",
+		"repro_http_requests_total",
+		"repro_engine_nodes_total",
+		"repro_engine_paths_total",
+		"repro_engine_memo_hits_total",
+		"repro_engine_memo_misses_total",
+		"repro_worksteal_steals_total",
+		"repro_checkpoint_writes_total",
+		"repro_checkpoint_age_seconds",
+		"repro_unit_ns",
+	}
+	for _, fam := range required {
+		if !strings.Contains(body, "# TYPE "+fam+" ") {
+			t.Fatalf("/metrics missing family %s:\n%s", fam, body)
+		}
+	}
+	if !strings.Contains(body, "repro_jobs_completed_total 1") {
+		t.Fatalf("/metrics did not count the completed job:\n%s", body)
+	}
+}
+
 // TestExperimentsCached: the table endpoints serve the suite and the
 // per-ID lookup agrees with the full listing.
 func TestExperimentsCached(t *testing.T) {

@@ -4,11 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/errs"
 	"repro/internal/memsim"
 	"repro/internal/model"
+	"repro/internal/telemetry"
+	"repro/internal/worksteal"
 )
 
 // Checkpointed execution: the same branch-and-bound search, partitioned
@@ -323,9 +326,40 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 		doneList = snap.Done
 		doneSet = snap.DoneSet()
 		resumeEntries = snap.Entries
+		// Continue the telemetry counters from where the killed run
+		// committed, so rates and totals stay monotone across resumes. A
+		// pre-v4 snapshot has no telemetry block; seed the engine
+		// families from the deterministic counters instead (the best
+		// cumulative record such a snapshot carries).
+		if len(snap.Telemetry) > 0 {
+			checkpoint.PreloadCounters(cfg.Telemetry, snap.Telemetry)
+		} else if cfg.Telemetry != nil {
+			cfg.Telemetry.AddCounterValues([]telemetry.CounterValue{
+				{Name: "repro_engine_paths_total", Value: int64(snap.Counters.Paths)},
+				{Name: "repro_engine_truncated_total", Value: int64(snap.Counters.Truncated)},
+				{Name: "repro_engine_pruned_total", Value: int64(snap.Counters.Pruned)},
+				{Name: "repro_engine_sleep_prunes_total", Value: int64(snap.Counters.StepsSlept)},
+				{Name: "repro_engine_symmetry_merges_total", Value: int64(snap.Counters.SymmetryMerges)},
+			})
+		}
 	}
 
+	// Telemetry in checkpointed mode is committed-unit-granular: the
+	// engine runs without a live registry (s.em stays nil, so the
+	// per-1024-node flush path is off) and tally deltas land on the
+	// registry only when the unit that produced them commits. That is
+	// what makes the persisted counters exact across kills: a mid-unit
+	// abort leaves the registry exactly at the last commit, matching the
+	// snapshot a resumed run preloads from.
+	reg := cfg.Telemetry
+	em := newEngineMetrics(reg)
+	worksteal.NewMetrics(reg) // frontier families at zero (single-worker)
+	ckm := checkpoint.NewMetrics(reg)
+	unitNs := reg.Histogram("repro_unit_ns",
+		1e5, 1e6, 1e7, 1e8, 1e9, 1e10)
+
 	s := &bnb{cfg: cfg, workers: 1, table: newMemoTable(), abort: make(chan struct{})}
+	s.live = cfg.Meter != nil
 	s.table.preload(resumeEntries)
 	if ck.Interrupt != nil {
 		finished := make(chan struct{})
@@ -352,9 +386,13 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 			Done:        doneList,
 			Counters:    counters,
 			Entries:     s.table.export(),
+			// The write-instrumentation families necessarily lag one
+			// commit (the sample is taken inside the body this write
+			// persists); the engine families are exact at every commit.
+			Telemetry: checkpoint.SampleCounters(reg),
 		}
 		snap.SortEntries()
-		if err := checkpoint.Write(ck.Path, snap); err != nil {
+		if err := ckm.Write(ck.Path, snap); err != nil {
 			return err
 		}
 		if cfg.Meter != nil {
@@ -372,6 +410,8 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 			return nil, errs.Interrupted("search: interrupted between units")
 		}
 		prev := grab(w)
+		prevTel := w.telTally()
+		unitStart := time.Now()
 		if err := w.runTask(task(units[ui])); err != nil {
 			if errors.Is(err, errStopped) {
 				// Mid-unit abort: the unit did not commit; the last snapshot
@@ -381,6 +421,8 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 			return nil, err
 		}
 		counters.Add(delta(prev, w))
+		em.addTally(0, prevTel, w.telTally(), w.e.undoMax, w.maxDepth)
+		unitNs.Observe(0, time.Since(unitStart).Nanoseconds())
 		doneList = append(doneList, uint32(ui))
 		committed++
 		unsnapped++
@@ -410,6 +452,7 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 	// but are never persisted — a run killed mid-spine resumes from the
 	// all-units-done snapshot and just redoes this (cheap) pass.
 	prev := grab(w)
+	prevTel := w.telTally()
 	if err := w.runTask(task{}); err != nil {
 		if errors.Is(err, errStopped) {
 			return nil, errs.Interrupted("search: interrupted during spine pass")
@@ -417,6 +460,7 @@ func RunCheckpointed(cfg Config, ck Checkpoint) (*Result, error) {
 		return nil, err
 	}
 	counters.Add(delta(prev, w))
+	em.addTally(0, prevTel, w.telTally(), w.e.undoMax, w.maxDepth)
 	if !s.rootSet {
 		return nil, errors.New("search: internal: spine pass never answered the root")
 	}

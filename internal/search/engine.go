@@ -87,6 +87,14 @@ type sengine struct {
 	choiceBufs [][]choice
 	markPool   []*mark
 	encBuf     bytes.Buffer // fallback render target for non-appending models
+
+	// Telemetry-only statistics of the scratch structures above: pool
+	// reuse and the undo-log high-water mark, sampled at save(). Plain
+	// ints on the engine; flushed with the worker tallies, never read
+	// by the search itself.
+	poolHits   int
+	poolMisses int
+	undoMax    int
 }
 
 func newSengine(cfg Config) (*sengine, error) {
@@ -318,11 +326,16 @@ func forkAcc(src, spare model.Accumulator) model.Accumulator {
 }
 
 func (e *sengine) save() *mark {
+	if len(e.undos) > e.undoMax {
+		e.undoMax = len(e.undos)
+	}
 	var m *mark
 	if n := len(e.markPool); n > 0 {
+		e.poolHits++
 		m = e.markPool[n-1]
 		e.markPool = e.markPool[:n-1]
 	} else {
+		e.poolMisses++
 		m = &mark{
 			frames:   make([]memsim.Resumable, e.n),
 			phase:    make([]sPhase, e.n),

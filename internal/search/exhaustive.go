@@ -274,6 +274,8 @@ type bnb struct {
 	frontier *worksteal.Frontier
 	abort    chan struct{}
 	stop     sync.Once
+	em       *engineMetrics // nil unless cfg.Telemetry is attached
+	live     bool           // tick per node: a Meter or a registry is watching
 
 	mu       sync.Mutex
 	err      error // first internal engine error
@@ -317,7 +319,15 @@ type hunter struct {
 	stepsSlept int
 	symMerges  int
 	maxDepth   int
-	ticks      int // node visits not yet flushed to cfg.Meter
+	nodes      int // total node visits (telemetry only; never in Result)
+	ticks      int // node visits not yet flushed to cfg.Meter / telemetry
+
+	// Telemetry-only tallies, same worker-local discipline as the
+	// deterministic ones above but never folded into the Result.
+	memoHits      int         // claims lost by an edge visit (entry reused)
+	memoClaims    int         // claims won (subtree computed here)
+	faultBranches int         // fault choices walked by edge visits
+	flushed       engineTally // high-water of the last telemetry flush
 }
 
 func newHunter(s *bnb, id int) (*hunter, error) {
@@ -368,9 +378,12 @@ func (w *hunter) runTask(t task) error {
 		}
 	}
 	cost, tail, err := w.dfs(len(t), sleep, len(t) == 0)
-	if w.s.cfg.Meter != nil && w.ticks > 0 {
-		w.s.cfg.Meter.Add(w.ticks)
+	if w.s.live {
+		if w.s.cfg.Meter != nil && w.ticks > 0 {
+			w.s.cfg.Meter.Add(w.ticks)
+		}
 		w.ticks = 0
+		w.flushTelemetry()
 	}
 	if err != nil {
 		return err
@@ -407,13 +420,17 @@ func (w *hunter) dfs(depth int, sleep uint64, fromEdge bool) (int, []int, error)
 	if w.s.stopped() {
 		return 0, nil, errStopped
 	}
-	if w.s.cfg.Meter != nil {
-		// Batched liveness ticks: one atomic add per 1024 nodes keeps the
-		// meter invisible on the hot path (the remainder flushes in
-		// runTask).
+	w.nodes++
+	if w.s.live {
+		// Batched liveness ticks: one atomic flush per 1024 nodes keeps
+		// the meter and the telemetry registry invisible on the hot path
+		// (the remainder flushes in runTask).
 		if w.ticks++; w.ticks == 1024 {
-			w.s.cfg.Meter.Add(w.ticks)
+			if w.s.cfg.Meter != nil {
+				w.s.cfg.Meter.Add(w.ticks)
+			}
 			w.ticks = 0
+			w.flushTelemetry()
 		}
 	}
 	if depth > w.maxDepth {
@@ -446,6 +463,11 @@ func (w *hunter) dfs(depth int, sleep uint64, fromEdge bool) (int, []int, error)
 		key.state = w.e.stateKey()
 	}
 	entry, won, wasAdopted := w.s.table.claim(key, fromEdge)
+	if won {
+		w.memoClaims++
+	} else if fromEdge {
+		w.memoHits++
+	}
 	if !won {
 		if !fromEdge {
 			// A prefetch task root that lost the claim race: the subtree
@@ -498,6 +520,9 @@ func (w *hunter) dfs(depth int, sleep uint64, fromEdge bool) (int, []int, error)
 			// argues about its ordinary step, not about crashing it.
 			w.stepsSlept++
 			continue
+		}
+		if c.fault != memsim.FaultNone {
+			w.faultBranches++
 		}
 		var cAcc memsim.Access
 		if w.red != nil && !c.start {
@@ -629,7 +654,13 @@ func runExhaustive(cfg Config) (*Result, error) {
 		workers: cfg.Workers,
 		table:   newMemoTable(),
 		abort:   make(chan struct{}),
+		em:      newEngineMetrics(cfg.Telemetry),
 	}
+	s.live = cfg.Meter != nil || s.em != nil
+	// Register the frontier families even when a single worker makes the
+	// frontier itself unnecessary: scrapes see every family from the
+	// first snapshot.
+	stealMetrics := worksteal.NewMetrics(cfg.Telemetry)
 	hunters := make([]*hunter, s.workers)
 	for i := range hunters {
 		w, err := newHunter(s, i)
@@ -645,6 +676,7 @@ func runExhaustive(cfg Config) (*Result, error) {
 		}
 	} else {
 		s.frontier = worksteal.New(s.workers)
+		s.frontier.SetMetrics(stealMetrics)
 		s.frontier.Submit(0, task{}) // the root subtree
 		var wg sync.WaitGroup
 		for _, w := range hunters {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/model"
 	"repro/internal/progress"
+	"repro/internal/telemetry"
 )
 
 // Mode selects how the schedule space is searched.
@@ -105,6 +106,12 @@ type Config struct {
 	// exhaustive engine so a CLI can report states/sec on stderr. It has
 	// no effect on the Result.
 	Meter *progress.Meter
+	// Telemetry, when non-nil, receives batched engine, frontier and
+	// checkpoint counters (see docs/ARCHITECTURE.md, "Observability").
+	// It is a monotone write-only side-channel: nothing in the search
+	// reads it back, and every Result field is byte-identical with or
+	// without it.
+	Telemetry *telemetry.Registry
 	// Faults bounds the fault dimension of the schedule space: schedules
 	// may additionally crash a process at a pending access, or drop the
 	// response of a succeeding CAS, up to Faults.Max faults per schedule

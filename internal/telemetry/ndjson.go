@@ -1,0 +1,97 @@
+package telemetry
+
+// NDJSON run telemetry: the -telemetry flag of cmd/explore and
+// cmd/worstcase emits one Snapshot per line to a file or stderr —
+// never stdout, whose deterministic summary the golden tests pin.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Schema identifies the NDJSON snapshot layout. Bump the suffix on any
+// incompatible change to the Snapshot shape.
+const Schema = "repro-telemetry/v1"
+
+// Snapshot is one NDJSON telemetry line: a sequence-numbered, wall-
+// clock-stamped gather of every registered metric. Final marks the
+// closing snapshot written when the run ends.
+type Snapshot struct {
+	Schema  string   `json:"schema"`
+	Seq     int64    `json:"seq"`
+	UnixMs  int64    `json:"unixMs"`
+	Final   bool     `json:"final,omitempty"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot gathers the registry into a Snapshot with the given
+// sequence number.
+func (r *Registry) Snapshot(seq int64, final bool) Snapshot {
+	return Snapshot{
+		Schema:  Schema,
+		Seq:     seq,
+		UnixMs:  time.Now().UnixMilli(),
+		Final:   final,
+		Metrics: r.Gather(),
+	}
+}
+
+// StartNDJSON emits a Snapshot line for reg to path every interval
+// until the returned stop function runs; stop writes one final
+// snapshot and is idempotent. Path "-" writes to fallback (the CLIs
+// pass stderr); any other path is created/truncated and closed on
+// stop. A zero or negative interval defaults to one second.
+func StartNDJSON(path string, fallback io.Writer, reg *Registry, interval time.Duration) (stop func(), err error) {
+	var w io.Writer = fallback
+	var f *os.File
+	if path != "-" {
+		f, err = os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry sink: %w", err)
+		}
+		w = f
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+
+	enc := json.NewEncoder(w)
+	var seq int64
+	emit := func(final bool) {
+		seq++
+		// Encoding errors (a full disk, a closed pipe) must not kill the
+		// run: telemetry is best-effort by design.
+		_ = enc.Encode(reg.Snapshot(seq, final))
+	}
+
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				emit(false)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+			emit(true)
+			if f != nil {
+				_ = f.Close()
+			}
+		})
+	}, nil
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+// Hand-rolled Prometheus text exposition (format version 0.0.4): the
+// job server's GET /metrics renders gathered metrics with this writer
+// instead of pulling in a client library. The subset emitted — one
+// # TYPE line per family, plain samples, cumulative le-labelled
+// histogram buckets with _sum and _count — is all the scrape format
+// the metrics here need.
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders metrics in Prometheus text format. Metrics must
+// be sorted by name with unique names (what Gather and Merge return);
+// each family gets exactly one # TYPE line.
+func WriteMetrics(w io.Writer, metrics []Metric) error {
+	for _, m := range metrics {
+		switch m.Kind {
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", m.Name); err != nil {
+				return err
+			}
+			var cum int64
+			for _, b := range m.Buckets {
+				cum += b.Count
+				le := "+Inf"
+				if b.UpperBound != maxInt64 {
+					le = fmt.Sprintf("%d", b.UpperBound)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", m.Name, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", m.Name, m.Sum, m.Name, m.Count); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.Name, m.Name, m.Value); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.Name, m.Name, m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,387 @@
+// Package telemetry is the observability side-channel of the search
+// stack: a zero-allocation, per-worker-sharded counter/gauge/histogram
+// registry plus the renderers that expose it (NDJSON run snapshots,
+// Prometheus text exposition, the states/sec Meter).
+//
+// Design rules, in priority order:
+//
+//   - Telemetry never feeds back. Nothing in this package is read by
+//     scheduling, deduplication or pruning decisions; the deterministic
+//     Result fields of internal/search and internal/explore remain the
+//     single source of truth and stay byte-identical whether a registry
+//     is attached or not.
+//   - The tick path allocates nothing. Counters and histograms are
+//     fixed arrays of padded atomic cells; engines batch their ticks on
+//     worker-local integers and flush a handful of atomic adds at unit
+//     or task boundaries.
+//   - Counters are monotone. They only ever increase within a run, and
+//     checkpointed runs persist them (snapshot format v4) so a resumed
+//     run reports total work across kills.
+//
+// All registry and metric methods tolerate nil receivers: a nil
+// *Registry hands out nil metrics whose methods are no-ops, so
+// uninstrumented runs pay only a predictable nil check.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// shards is the number of independent atomic cells per counter and
+// histogram. Workers index cells by their worker ID so concurrent
+// flushes touch distinct cache lines; a power of two keeps the index
+// mask branch-free.
+const shards = 16
+
+// cell is one cache-line-padded atomic counter cell.
+type cell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotone sharded counter. The zero value of a nil
+// pointer is usable: every method no-ops.
+type Counter struct {
+	name  string
+	cells [shards]cell
+}
+
+// Name reports the counter's registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Add adds n on the cell picked by shard (any int; callers pass their
+// worker ID). Negative n is ignored to keep the counter monotone.
+func (c *Counter) Add(shard int, n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.cells[uint(shard)%shards].n.Add(n)
+}
+
+// Inc adds one on the cell picked by shard.
+func (c *Counter) Inc(shard int) {
+	if c == nil {
+		return
+	}
+	c.cells[uint(shard)%shards].n.Add(1)
+}
+
+// Value sums the cells: the counter's current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.cells {
+		total += c.cells[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a single instantaneous value (last-write-wins Set, or
+// high-water Max).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name reports the gauge's registered name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Max raises the gauge to v if v is greater (a lock-free high-water
+// mark).
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histShard is one worker's view of a histogram: a bucket count per
+// upper bound (plus the +Inf overflow bucket at the end) and the sum of
+// observed values.
+type histShard struct {
+	counts []atomic.Int64
+	sum    atomic.Int64
+}
+
+// Histogram is a sharded fixed-bucket histogram of int64 observations.
+// Bounds are inclusive upper bounds in ascending order; an implicit
+// +Inf bucket catches the rest.
+type Histogram struct {
+	name   string
+	bounds []int64
+	cells  [shards]histShard
+}
+
+// Name reports the histogram's registered name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records v on the cell picked by shard. The bucket scan is a
+// linear walk over the (short) bounds slice; no allocation.
+func (h *Histogram) Observe(shard int, v int64) {
+	if h == nil {
+		return
+	}
+	s := &h.cells[uint(shard)%shards]
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	s.counts[i].Add(1)
+	s.sum.Add(v)
+}
+
+// Registry holds lazily registered metrics. Registration takes a
+// mutex and may allocate; the returned metric handles are then lock-
+// and allocation-free. A nil *Registry hands out nil handles.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given inclusive upper bounds on first use (later calls
+// reuse the first registration's bounds).
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{name: name, bounds: append([]int64(nil), bounds...)}
+		for i := range h.cells {
+			h.cells[i].counts = make([]atomic.Int64, len(bounds)+1)
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Bucket is one histogram bucket in a gathered snapshot: the count of
+// observations at most UpperBound (MaxInt64 marks the +Inf bucket).
+// Counts are per-bucket, not cumulative; renderers accumulate.
+type Bucket struct {
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"count"`
+}
+
+// Metric is one gathered metric value. Kind is "counter", "gauge" or
+// "histogram"; Sum/Count/Buckets are histogram-only.
+type Metric struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Value   int64    `json:"value,omitempty"`
+	Sum     int64    `json:"sum,omitempty"`
+	Count   int64    `json:"count,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Gather snapshots every registered metric, sorted by name (ties
+// cannot happen: names are unique per kind and collisions across kinds
+// are a registration bug surfaced by the exposition linter).
+func (r *Registry) Gather() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		m := Metric{Name: name, Kind: "histogram"}
+		m.Buckets = make([]Bucket, len(h.bounds)+1)
+		for i := range m.Buckets {
+			ub := int64(maxInt64)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			m.Buckets[i].UpperBound = ub
+		}
+		for s := range h.cells {
+			cell := &h.cells[s]
+			for i := range cell.counts {
+				n := cell.counts[i].Load()
+				m.Buckets[i].Count += n
+				m.Count += n
+			}
+			m.Sum += cell.sum.Load()
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+const maxInt64 = int64(^uint64(0) >> 1)
+
+// CounterValue is one (name, total) pair — the persistence unit of the
+// checkpoint telemetry block.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// CounterValues snapshots every registered counter sorted by name, for
+// deterministic persistence in checkpoints.
+func (r *Registry) CounterValues() []CounterValue {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	out := make([]CounterValue, len(names))
+	for i, name := range names {
+		out[i] = CounterValue{Name: name, Value: r.Counter(name).Value()}
+	}
+	return out
+}
+
+// AddCounterValues adds each value onto the counter of the same name,
+// registering it if needed — how a resumed run preloads the cumulative
+// totals its checkpoint carried.
+func (r *Registry) AddCounterValues(values []CounterValue) {
+	if r == nil {
+		return
+	}
+	for _, v := range values {
+		r.Counter(v.Name).Add(0, v.Value)
+	}
+}
+
+// Merge sums metric lists gathered from several registries into one,
+// by name: counter values and histogram buckets/sums/counts add;
+// gauges take the maximum (the gauges in this codebase are high-water
+// marks and last-commit timestamps, where max is the right join).
+// Histograms merge bucket-by-bucket and assume identical bounds, which
+// holds because every registry registers them from the same code.
+func Merge(lists ...[]Metric) []Metric {
+	byName := make(map[string]*Metric)
+	var order []string
+	for _, list := range lists {
+		for i := range list {
+			m := list[i]
+			prev, ok := byName[m.Name]
+			if !ok {
+				cp := m
+				cp.Buckets = append([]Bucket(nil), m.Buckets...)
+				byName[m.Name] = &cp
+				order = append(order, m.Name)
+				continue
+			}
+			switch m.Kind {
+			case "gauge":
+				if m.Value > prev.Value {
+					prev.Value = m.Value
+				}
+			case "histogram":
+				prev.Sum += m.Sum
+				prev.Count += m.Count
+				for i := 0; i < len(prev.Buckets) && i < len(m.Buckets); i++ {
+					prev.Buckets[i].Count += m.Buckets[i].Count
+				}
+			default:
+				prev.Value += m.Value
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]Metric, len(order))
+	for i, name := range order {
+		out[i] = *byName[name]
+	}
+	return out
+}

@@ -1,0 +1,399 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTickPathAllocsZero: the hot-path operations — counter add,
+// gauge set/max, histogram observe — allocate nothing, on both real
+// and nil receivers. This is the registry's core contract; the
+// BenchmarkTelemetry* entries gate the same property in bench_diff.
+func TestTickPathAllocsZero(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_ns", 10, 100, 1000)
+	var nilC *Counter
+	var nilH *Histogram
+	var i int64
+	for name, fn := range map[string]func(){
+		"counter add":   func() { c.Add(3, 7) },
+		"counter inc":   func() { c.Inc(5) },
+		"gauge set":     func() { g.Set(i) },
+		"gauge max":     func() { g.Max(i); i++ },
+		"hist observe":  func() { h.Observe(2, i%2000); i++ },
+		"nil counter":   func() { nilC.Add(0, 1) },
+		"nil histogram": func() { nilH.Observe(0, 1) },
+	} {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestCounterShardsSum: adds spread across shard indices (including
+// out-of-range and negative ones, which wrap) all land in Value.
+func TestCounterShardsSum(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total")
+	for id := -3; id < 40; id++ {
+		c.Add(id, 2)
+	}
+	if got := c.Value(); got != 86 {
+		t.Fatalf("Value = %d, want 86", got)
+	}
+	c.Add(0, -5) // negative adds are dropped: counters stay monotone
+	if got := c.Value(); got != 86 {
+		t.Fatalf("Value after negative add = %d, want 86", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+// TestCounterConcurrent: concurrent flushes from distinct worker IDs
+// lose nothing (the per-shard cells exist exactly for this pattern).
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
+// TestGaugeMax: Max is a high-water mark; Set is last-write-wins.
+func TestGaugeMax(t *testing.T) {
+	g := New().Gauge("g")
+	g.Max(5)
+	g.Max(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("Max high-water = %d, want 5", got)
+	}
+	g.Set(2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("Set = %d, want 2", got)
+	}
+}
+
+// TestHistogramBuckets: observations land in the first bucket whose
+// inclusive upper bound admits them, overflow goes to +Inf, and the
+// gathered snapshot carries per-bucket counts, sum and count.
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h_ns", 10, 100)
+	for shard, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(shard, v)
+	}
+	var m Metric
+	for _, gm := range r.Gather() {
+		if gm.Name == "h_ns" {
+			m = gm
+		}
+	}
+	wantBuckets := []Bucket{{10, 2}, {100, 2}, {maxInt64, 1}}
+	if !reflect.DeepEqual(m.Buckets, wantBuckets) {
+		t.Fatalf("buckets = %+v, want %+v", m.Buckets, wantBuckets)
+	}
+	if m.Count != 5 || m.Sum != 5126 {
+		t.Fatalf("count/sum = %d/%d, want 5/5126", m.Count, m.Sum)
+	}
+}
+
+// TestGatherSortedAndNilSafe: Gather returns name-sorted metrics of
+// all three kinds; a nil registry gathers nothing and hands out nil
+// metrics whose methods no-op.
+func TestGatherSortedAndNilSafe(t *testing.T) {
+	r := New()
+	r.Counter("b_total").Add(0, 2)
+	r.Gauge("a")
+	r.Histogram("c_ns", 10)
+	got := r.Gather()
+	var names []string
+	for _, m := range got {
+		names = append(names, m.Name)
+	}
+	if want := []string{"a", "b_total", "c_ns"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+
+	var nilReg *Registry
+	if nilReg.Gather() != nil || nilReg.CounterValues() != nil {
+		t.Fatal("nil registry gathered metrics")
+	}
+	nilReg.Counter("x").Inc(0)
+	nilReg.Gauge("y").Set(1)
+	nilReg.Histogram("z").Observe(0, 1)
+	nilReg.AddCounterValues([]CounterValue{{"x", 1}})
+}
+
+// TestCounterValuesRoundTrip: CounterValues is sorted and
+// AddCounterValues preloads a fresh registry to the same totals — the
+// checkpoint persistence contract.
+func TestCounterValuesRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("z_total").Add(1, 9)
+	r.Counter("a_total").Add(2, 4)
+	vals := r.CounterValues()
+	want := []CounterValue{{"a_total", 4}, {"z_total", 9}}
+	if !reflect.DeepEqual(vals, want) {
+		t.Fatalf("CounterValues = %+v, want %+v", vals, want)
+	}
+	fresh := New()
+	fresh.AddCounterValues(vals)
+	fresh.Counter("a_total").Inc(0)
+	if got := fresh.Counter("a_total").Value(); got != 5 {
+		t.Fatalf("preloaded counter = %d, want 5", got)
+	}
+}
+
+// TestSnapshotNDJSONRoundTrip: a Snapshot marshals to one JSON line
+// that unmarshals back identically, carrying the schema tag.
+func TestSnapshotNDJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("repro_engine_paths_total").Add(0, 42)
+	r.Histogram("repro_unit_ns", 1000).Observe(0, 7)
+	snap := r.Snapshot(3, true)
+	if snap.Schema != Schema || snap.Seq != 3 || !snap.Final {
+		t.Fatalf("snapshot header wrong: %+v", snap)
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.ContainsRune(raw, '\n') {
+		t.Fatalf("snapshot marshals with embedded newline: %s", raw)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("round trip changed the snapshot:\n %+v\n %+v", snap, back)
+	}
+}
+
+// TestStartNDJSONFile: the emitter writes periodic lines plus one
+// final line to the file, every line valid JSON under the current
+// schema; stop is idempotent.
+func TestStartNDJSONFile(t *testing.T) {
+	r := New()
+	r.Counter("c_total").Add(0, 1)
+	path := filepath.Join(t.TempDir(), "tel.ndjson")
+	stop, err := StartNDJSON(path, nil, r, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	stop()
+	stop()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	var snaps []Snapshot
+	for sc.Scan() {
+		var s Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if s.Schema != Schema {
+			t.Fatalf("schema = %q, want %q", s.Schema, Schema)
+		}
+		snaps = append(snaps, s)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("want at least one periodic + one final snapshot, got %d", len(snaps))
+	}
+	for i, s := range snaps {
+		if want := int64(i + 1); s.Seq != want {
+			t.Fatalf("snapshot %d has seq %d, want %d", i, s.Seq, want)
+		}
+		if s.Final != (i == len(snaps)-1) {
+			t.Fatalf("snapshot %d final flag wrong", i)
+		}
+	}
+}
+
+// TestWriteMetricsLint: the Prometheus rendering has exactly one TYPE
+// line per family, the TYPE line precedes its samples, no family
+// repeats, histogram buckets are cumulative and end at +Inf, and the
+// _sum/_count samples are present.
+func TestWriteMetricsLint(t *testing.T) {
+	r := New()
+	r.Counter("repro_engine_paths_total").Add(0, 3)
+	r.Gauge("repro_engine_undo_depth_max").Set(9)
+	h := r.Histogram("repro_unit_ns", 10, 100)
+	for _, v := range []int64{5, 50, 500} {
+		h.Observe(0, v)
+	}
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	typeSeen := map[string]bool{}
+	sampleSeen := map[string]bool{}
+	var lastCum int64 = -1
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			family := fields[2]
+			if typeSeen[family] {
+				t.Fatalf("duplicate TYPE line for %s:\n%s", family, text)
+			}
+			if sampleSeen[family] {
+				t.Fatalf("TYPE line after samples for %s:\n%s", family, text)
+			}
+			typeSeen[family] = true
+			continue
+		}
+		name := strings.SplitN(line, " ", 2)[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typeSeen[family] {
+			t.Fatalf("sample %q before its TYPE line:\n%s", line, text)
+		}
+		sampleSeen[family] = true
+		if strings.Contains(line, "_bucket{") {
+			cum, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket sample %q: %v", line, err)
+			}
+			if cum < lastCum {
+				t.Fatalf("bucket counts not cumulative: %q after %d", line, lastCum)
+			}
+			lastCum = cum
+		}
+	}
+	for _, want := range []string{
+		"# TYPE repro_engine_paths_total counter",
+		"repro_engine_paths_total 3",
+		"# TYPE repro_engine_undo_depth_max gauge",
+		"# TYPE repro_unit_ns histogram",
+		`repro_unit_ns_bucket{le="+Inf"} 3`,
+		"repro_unit_ns_sum 555",
+		"repro_unit_ns_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMerge: counters sum, gauges take max, histograms merge
+// bucket-wise, and names absent from one list pass through.
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Counter("jobs_total").Add(0, 2)
+	b.Counter("jobs_total").Add(0, 5)
+	a.Gauge("last_commit").Set(100)
+	b.Gauge("last_commit").Set(70)
+	a.Histogram("lat_ns", 10).Observe(0, 5)
+	b.Histogram("lat_ns", 10).Observe(0, 50)
+	b.Counter("only_b_total").Add(0, 1)
+
+	merged := Merge(a.Gather(), b.Gather())
+	got := map[string]Metric{}
+	for _, m := range merged {
+		got[m.Name] = m
+	}
+	if got["jobs_total"].Value != 7 {
+		t.Fatalf("counter merge = %d, want 7", got["jobs_total"].Value)
+	}
+	if got["last_commit"].Value != 100 {
+		t.Fatalf("gauge merge = %d, want 100", got["last_commit"].Value)
+	}
+	if h := got["lat_ns"]; h.Count != 2 || h.Sum != 55 || h.Buckets[0].Count != 1 || h.Buckets[1].Count != 1 {
+		t.Fatalf("histogram merge wrong: %+v", h)
+	}
+	if got["only_b_total"].Value != 1 {
+		t.Fatalf("pass-through metric lost: %+v", merged)
+	}
+	var names []string
+	for _, m := range merged {
+		names = append(names, m.Name)
+	}
+	if !sortedStrings(names) {
+		t.Fatalf("merged metrics not sorted: %v", names)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMeterLine: the relocated Meter still renders totals, rates and
+// checkpoint age the way the -progress flag documents.
+func TestMeterLine(t *testing.T) {
+	m := NewMeter()
+	m.Add(1024)
+	m.Add(476)
+	if got := m.States(); got != 1500 {
+		t.Fatalf("States = %d, want 1500", got)
+	}
+	line := m.Line(500, time.Second)
+	if !strings.Contains(line, "1500 states") || !strings.Contains(line, "1000 states/s") ||
+		!strings.Contains(line, "no checkpoint yet") {
+		t.Fatalf("unexpected progress line: %q", line)
+	}
+	m.Checkpointed()
+	if !strings.Contains(m.Line(0, time.Second), "checkpoint age") {
+		t.Fatalf("checkpoint age missing: %q", m.Line(0, time.Second))
+	}
+}
+
+// BenchmarkTelemetryCounterAdd gates the 0 allocs/op tick-path claim
+// in BENCH_results.json via bench_diff.sh.
+func BenchmarkTelemetryCounterAdd(b *testing.B) {
+	c := New().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(i, 1)
+	}
+	if c.Value() == 0 {
+		b.Fatal("counter did not advance")
+	}
+}
+
+// BenchmarkTelemetryHistogramObserve: the bucket-scan observe path is
+// also allocation-free.
+func BenchmarkTelemetryHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench_ns", 100, 1000, 10000, 100000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(i, int64(i)%200000)
+	}
+}

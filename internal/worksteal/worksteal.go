@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Task is one frontier entry: the choice-index prefix that re-reaches a
@@ -64,13 +66,42 @@ func (d *deque) stealTop() (Task, bool) {
 	return t, true
 }
 
+// Metrics is the frontier's telemetry bundle. All fields tolerate nil
+// (the zero Metrics is a no-op), so an uninstrumented frontier pays
+// only nil checks. The counts are scheduling facts — which worker
+// stole what, when someone idled — and are inherently nondeterministic
+// across runs; they never feed back into task order or any Result
+// field.
+type Metrics struct {
+	Steals       *telemetry.Counter // tasks taken from another worker's deque
+	Splits       *telemetry.Counter // subtree prefixes submitted for stealing
+	IdleSleeps   *telemetry.Counter // backoff naps while every deque was empty
+	Terminations *telemetry.Counter // pool-loop exits on global quiescence
+}
+
+// NewMetrics registers the frontier's counter families on reg (nil reg
+// yields the no-op bundle).
+func NewMetrics(reg *telemetry.Registry) Metrics {
+	return Metrics{
+		Steals:       reg.Counter("repro_worksteal_steals_total"),
+		Splits:       reg.Counter("repro_worksteal_splits_total"),
+		IdleSleeps:   reg.Counter("repro_worksteal_idle_sleeps_total"),
+		Terminations: reg.Counter("repro_worksteal_terminations_total"),
+	}
+}
+
 // Frontier is the shared task state of one sharded traversal.
 type Frontier struct {
 	workers int
 	queues  []*deque
 	qlen    atomic.Int64 // tasks queued across all deques
 	active  atomic.Int64 // workers currently holding a task
+	metrics Metrics
 }
+
+// SetMetrics attaches a telemetry bundle. Call before Work starts; the
+// zero bundle (the default) records nothing.
+func (f *Frontier) SetMetrics(m Metrics) { f.metrics = m }
 
 // New returns a frontier for the given worker count.
 func New(workers int) *Frontier {
@@ -93,6 +124,7 @@ func (f *Frontier) Hungry() bool {
 func (f *Frontier) Submit(owner int, t Task) {
 	f.qlen.Add(1)
 	f.queues[owner].push(t)
+	f.metrics.Splits.Inc(owner)
 }
 
 // Work drives worker id's loop: drain the own deque bottom-first, steal
@@ -109,11 +141,16 @@ func (f *Frontier) Work(id int, stopped func() bool, run func(Task)) {
 		t, ok := f.queues[id].popBottom()
 		if !ok {
 			t, ok = f.steal(id)
+			if ok {
+				f.metrics.Steals.Inc(id)
+			}
 		}
 		if !ok {
 			if f.active.Add(-1) == 0 && f.qlen.Load() == 0 {
+				f.metrics.Terminations.Inc(id)
 				return
 			}
+			f.metrics.IdleSleeps.Inc(id)
 			time.Sleep(backoff)
 			if backoff < 256*time.Microsecond {
 				backoff *= 2

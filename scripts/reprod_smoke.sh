@@ -6,7 +6,9 @@
 # completion, and byte-diffs each served result document against the
 # committed goldens (which are exactly the matching CLIs' -json output).
 # The worstcase result must also report verified=true — the server's
-# independent witness-replay check.
+# independent witness-replay check. Then exercises the telemetry
+# surface: /metrics must expose the required families, and a durable
+# job's counters must stay monotone across a cancel/resume round-trip.
 #
 # Environment knobs:
 #   ADDR       listen address (default 127.0.0.1:8177)
@@ -85,5 +87,57 @@ curl -fsS "$BASE/jobs/$ex_id" | jq -c .result | diff cmd/reprod/testdata/job_exp
 
 # The stream endpoint must end on the same terminal document.
 curl -fsS "$BASE/jobs/$wc_id/stream" | tail -n 1 | jq -e '.status == "done"' >/dev/null
+
+# /metrics must expose the server, engine and checkpoint families (the
+# per-job registries are merged into the scrape) and account for both
+# completed jobs.
+metrics=$(curl -fsS "http://$ADDR/metrics")
+for fam in repro_jobs_submitted_total repro_jobs_completed_total \
+    repro_jobs_running repro_http_requests_total \
+    repro_engine_nodes_total repro_engine_paths_total \
+    repro_worksteal_steals_total repro_checkpoint_writes_total; do
+    printf '%s\n' "$metrics" | grep -q "^# TYPE $fam " ||
+        { echo "reprod_smoke.sh: /metrics missing family $fam" >&2; exit 1; }
+done
+printf '%s\n' "$metrics" | grep -q '^repro_jobs_completed_total 2$' ||
+    { echo "reprod_smoke.sh: /metrics did not count 2 completed jobs" >&2; exit 1; }
+
+# Telemetry must be monotone across cancel/resume: a durable job's
+# counters captured at cancel time can never exceed the finished run's
+# (the resume preloads the snapshot's counter block). Cancel races the
+# run — landing while queued, running, or already done are all fine.
+ck_id=$(submit '{"kind":"worstcase","alg":"queue","waiters":2,"polls":2,"depth":11}')
+sleep 0.3
+curl -fsS -X POST "$BASE/jobs/$ck_id/cancel" >/dev/null 2>&1 || true
+ck_status=""
+for _ in $(seq 1 600); do
+    ck_status=$(curl -fsS "$BASE/jobs/$ck_id" | jq -r .status)
+    case "$ck_status" in done | canceled | failed) break ;; esac
+    sleep 0.1
+done
+at_cancel=$(curl -fsS "$BASE/jobs/$ck_id" | jq -c '.counters // {}')
+case "$ck_status" in
+canceled)
+    curl -fsS -X POST "$BASE/jobs/$ck_id/resume" >/dev/null
+    wait_done "$ck_id"
+    ;;
+done) ;;
+*)
+    echo "reprod_smoke.sh: cancel/resume job ended $ck_status:" >&2
+    curl -fsS "$BASE/jobs/$ck_id" >&2
+    exit 1
+    ;;
+esac
+final=$(curl -fsS "$BASE/jobs/$ck_id" | jq -c '.counters // {}')
+printf '%s\n' "$at_cancel" | jq -e --argjson final "$final" \
+    'to_entries | all(.value <= ($final[.key] // 0))' >/dev/null ||
+    {
+        echo "reprod_smoke.sh: telemetry went backwards across cancel/resume" >&2
+        echo "  at cancel: $at_cancel" >&2
+        echo "  final:     $final" >&2
+        exit 1
+    }
+curl -fsS "$BASE/jobs/$ck_id" | jq -e '.counters.repro_engine_nodes_total > 0' >/dev/null ||
+    { echo "reprod_smoke.sh: finished job reports no engine nodes" >&2; exit 1; }
 
 echo "reprod_smoke.sh: ok" >&2
